@@ -1,0 +1,32 @@
+"""Ablations for the two design mechanisms DESIGN.md calls out.
+
+A1 -- **gap machinery** (Section 4.2): without gaps, a left-chunk rebuild
+must slide its entire right sibling, so hammering a small district next to
+a huge one costs ~size-of-neighbour per batch instead of ~1/tau^2.
+
+A2 -- **boundary padding** (Section 2): without the ``floor(w~ delta/4)``
+padding, jobs sit flush against their segment edge and a one-slot boundary
+jitter evicts them, at f(w) a pop.
+"""
+
+from conftest import emit_report
+
+from repro.sim.experiments import a1_gap_ablation, a2_padding_ablation
+
+
+def test_ablation_gaps(benchmark):
+    report = benchmark.pedantic(a1_gap_ablation, kwargs={"quick": True}, rounds=1, iterations=1)
+    emit_report(report)
+    with_gaps = report["rows"][0][1]
+    without = report["rows"][1][1]
+    assert without > 3 * with_gaps
+
+
+def test_ablation_padding(benchmark):
+    report = benchmark.pedantic(
+        a2_padding_ablation, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    emit_report(report)
+    with_pad = report["rows"][0][1]
+    without = report["rows"][1][1]
+    assert without > with_pad

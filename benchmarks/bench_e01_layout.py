@@ -1,0 +1,11 @@
+"""E1 -- Figure 1 / Property 1: schedule-array layout bounds."""
+
+from conftest import emit_report
+
+from repro.sim.experiments import e01_layout
+
+
+def test_e01_layout(benchmark):
+    report = benchmark.pedantic(e01_layout, kwargs={"quick": True}, rounds=1, iterations=1)
+    emit_report(report)
+    assert all(row[-1] == "yes" for row in report["rows"])

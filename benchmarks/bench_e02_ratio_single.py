@@ -1,0 +1,13 @@
+"""E2 -- Lemma 4: single-server approximation ratio vs delta."""
+
+from conftest import emit_report
+
+from repro.sim.experiments import e02_ratio_single
+
+
+def test_e02_ratio(benchmark):
+    report = benchmark.pedantic(e02_ratio_single, kwargs={"quick": True}, rounds=1, iterations=1)
+    emit_report(report)
+    for delta, measured, bound, holds in report["rows"]:
+        assert holds == "yes"
+        assert measured <= bound

@@ -1,0 +1,16 @@
+"""E3 -- Lemma 3: reallocation competitiveness vs Delta per cost function."""
+
+from conftest import emit_report
+
+from repro.sim.experiments import e03_cost_vs_delta
+
+
+def test_e03_cost_vs_delta(benchmark):
+    report = benchmark.pedantic(e03_cost_vs_delta, kwargs={"quick": True}, rounds=1, iterations=1)
+    emit_report(report)
+    # Competitiveness stays bounded (no blow-up with Delta): the largest
+    # Delta's b is within 3x of the smallest Delta's for every f.
+    rows = report["rows"]
+    for col in range(1, len(report["headers"])):
+        first, last = rows[0][col], rows[-1][col]
+        assert last <= 3 * first + 1

@@ -1,0 +1,13 @@
+"""E4 -- Theorem 9: p-server ratio, migrations, Invariant 5."""
+
+from conftest import emit_report
+
+from repro.sim.experiments import e04_parallel
+
+
+def test_e04_parallel(benchmark):
+    report = benchmark.pedantic(e04_parallel, kwargs={"quick": True}, rounds=1, iterations=1)
+    emit_report(report)
+    for p, ratio, migs, mig_per_del, b in report["rows"]:
+        assert ratio <= 4.0  # O(1), independent of p
+        assert mig_per_del <= 1.0  # <= one migration per delete

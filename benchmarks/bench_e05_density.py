@@ -1,0 +1,11 @@
+"""E5 -- Theorem 16: k-cursor constant prefix density."""
+
+from conftest import emit_report
+
+from repro.sim.experiments import e05_density
+
+
+def test_e05_density(benchmark):
+    report = benchmark.pedantic(e05_density, kwargs={"quick": True}, rounds=1, iterations=1)
+    emit_report(report)
+    assert all(row[-1] == "yes" for row in report["rows"])

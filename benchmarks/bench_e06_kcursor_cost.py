@@ -1,0 +1,15 @@
+"""E6 -- Theorem 18: amortized O(log^3 k), independent of n."""
+
+from conftest import emit_report
+
+from repro.sim.experiments import e06_kcursor_cost
+
+
+def test_e06_kcursor_cost(benchmark):
+    report = benchmark.pedantic(e06_kcursor_cost, kwargs={"quick": True}, rounds=1, iterations=1)
+    emit_report(report)
+    assert "log^3" in report["conclusion"] or "log^2" in report["conclusion"]
+    # n-sweep rows (the trailing ones) must not grow with n.
+    n_rows = [row for row in report["rows"] if str(row[0]).startswith("ops=")]
+    costs = [row[1] for row in n_rows]
+    assert costs[-1] <= costs[0] * 1.5 + 5

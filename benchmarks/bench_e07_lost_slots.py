@@ -1,0 +1,13 @@
+"""E7 -- Theorem 19: lost-slot accounting and one-directionality."""
+
+from conftest import emit_report
+
+from repro.sim.experiments import e07_lost_slots
+
+
+def test_e07_lost_slots(benchmark):
+    report = benchmark.pedantic(e07_lost_slots, kwargs={"quick": True}, rounds=1, iterations=1)
+    emit_report(report)
+    metrics = dict((row[0], row[1]) for row in report["rows"])
+    assert metrics["one-directionality violations"] == 0
+    assert metrics["avg lost slots / op"] < 100

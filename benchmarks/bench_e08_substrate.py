@@ -1,0 +1,18 @@
+"""E8 -- k-cursor vs general sparse table (PMA) substrate costs."""
+
+from conftest import emit_report
+
+from repro.sim.experiments import e08_substrate
+
+
+def test_e08_substrate(benchmark):
+    report = benchmark.pedantic(e08_substrate, kwargs={"quick": True}, rounds=1, iterations=1)
+    emit_report(report)
+    rows = report["rows"]
+    # k-cursor amortized cost stays flat while the PMA's grows with V:
+    kc_first, kc_last = rows[0][2], rows[-1][2]
+    pma_first, pma_last = rows[0][3], rows[-1][3]
+    assert kc_last <= kc_first * 1.5 + 2
+    assert pma_last > pma_first
+    # and the gap widens in the PMA's disfavour:
+    assert rows[-1][4] > rows[0][4]

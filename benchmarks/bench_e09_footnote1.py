@@ -1,0 +1,22 @@
+"""E9 -- Footnote 1: gap scheduler O(1) for f=1, Theta(log Delta) for f=w."""
+
+import math
+
+from conftest import emit_report
+
+from repro.sim.experiments import e09_footnote1
+
+
+def test_e09_footnote1(benchmark):
+    report = benchmark.pedantic(e09_footnote1, kwargs={"quick": True}, rounds=1, iterations=1)
+    emit_report(report)
+    rows = report["rows"]
+    # f = 1: flat (within 25% across the Delta sweep).
+    consts = [row[1] for row in rows]
+    assert max(consts) <= 1.25 * min(consts) + 0.1
+    # f = w: grows with Delta roughly like log(Delta).
+    lin = [row[2] for row in rows]
+    assert lin[-1] > lin[0]
+    growth = lin[-1] / lin[0]
+    log_growth = math.log2(rows[-1][0]) / math.log2(rows[0][0])
+    assert growth <= 2.5 * log_growth  # log-like, not polynomial

@@ -1,0 +1,18 @@
+"""E10 -- exactly-optimal rescheduling pays Omega(n) moves per op."""
+
+from conftest import emit_report
+
+from repro.sim.experiments import e10_optimal_baseline
+
+
+def test_e10_optimal_baseline(benchmark):
+    report = benchmark.pedantic(
+        e10_optimal_baseline, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    emit_report(report)
+    rows = report["rows"]
+    # Optimal's per-op moves scale with n; ours do not.
+    assert rows[-1][1] / rows[0][1] > 2.0
+    assert rows[-1][2] <= rows[0][2] * 2 + 2
+    # And ours still keeps the objective near-optimal.
+    assert all(row[3] <= 2.0 for row in rows)

@@ -1,0 +1,18 @@
+"""E11 -- Figures 2/3/5: rebuild cascade structure and gap dynamics."""
+
+from conftest import emit_report
+
+from repro.sim.experiments import e11_rebuild_cascades
+
+
+def test_e11_rebuild_cascades(benchmark):
+    report = benchmark.pedantic(
+        e11_rebuild_cascades, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    emit_report(report)
+    level_rows = [row for row in report["rows"] if str(row[0]).startswith("level")]
+    counts = [row[1] for row in level_rows]
+    # Rebuild counts decay with level.
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    gaps = dict((row[0], row[1]) for row in report["rows"] if "gap" in str(row[0]))
+    assert gaps["gaps created"] > 0

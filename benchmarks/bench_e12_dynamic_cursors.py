@@ -1,0 +1,16 @@
+"""E12 -- "Creating more cursors": dynamic Delta growth."""
+
+from conftest import emit_report
+
+from repro.sim.experiments import e12_dynamic_cursors
+
+
+def test_e12_dynamic_cursors(benchmark):
+    report = benchmark.pedantic(
+        e12_dynamic_cursors, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    emit_report(report)
+    dyn, static = report["rows"]
+    assert dyn[1] == static[1]  # same class count once grown
+    assert abs(dyn[2] - static[2]) < 0.2  # matching ratios
+    assert dyn[3] <= static[3] * 2 + 1  # comparable reallocation cost

@@ -1,0 +1,15 @@
+"""E13 -- numerical audit of Theorem 18's accounting argument."""
+
+from conftest import emit_report
+
+from repro.sim.experiments import e13_accounting_audit
+
+
+def test_e13_accounting(benchmark):
+    report = benchmark.pedantic(
+        e13_accounting_audit, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    emit_report(report)
+    for row in report["rows"]:
+        if str(row[0]).startswith("k="):
+            assert row[4] <= 1.0  # max amortized within the theorem's unit

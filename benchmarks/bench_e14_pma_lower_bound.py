@@ -1,0 +1,18 @@
+"""E14 -- general sparse tables pay ~log^2 n; the k-cursor does not."""
+
+from conftest import emit_report
+
+from repro.sim.experiments import e14_pma_lower_bound
+
+
+def test_e14_pma_lower_bound(benchmark):
+    report = benchmark.pedantic(
+        e14_pma_lower_bound, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    emit_report(report)
+    pma_rows = [r for r in report["rows"] if isinstance(r[0], int)]
+    kc_rows = [r for r in report["rows"] if not isinstance(r[0], int)]
+    # PMA cost grows with n; k-cursor cost does not.
+    assert pma_rows[-1][1] > pma_rows[0][1]
+    assert kc_rows[-1][1] <= kc_rows[0][1] * 1.5 + 1
+    assert "log^2" in report["conclusion"]

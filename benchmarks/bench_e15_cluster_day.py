@@ -1,0 +1,17 @@
+"""E15 -- all contenders on a production-shaped (diurnal, heavy-tailed)
+cluster day."""
+
+from conftest import emit_report
+
+from repro.sim.experiments import e15_cluster_day
+
+
+def test_e15_cluster_day(benchmark):
+    report = benchmark.pedantic(e15_cluster_day, kwargs={"quick": True}, rounds=1, iterations=1)
+    emit_report(report)
+    by_sched = {row[1]: row for row in report["rows"]}
+    ours = by_sched["cost-oblivious"]
+    # Near-optimal ratio AND cheap reallocation, simultaneously.
+    assert ours[2] <= 2.0
+    assert ours[4] < by_sched["optimal-resort"][4]
+    assert by_sched["append-only"][2] > ours[2]

@@ -1,0 +1,22 @@
+"""E16 -- Theorem 1's epsilon knob: quality/cost trade-off curve."""
+
+from conftest import emit_report
+
+from repro.sim.experiments import e16_epsilon_tradeoff
+
+
+def test_e16_epsilon_tradeoff(benchmark):
+    report = benchmark.pedantic(
+        e16_epsilon_tradeoff, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    emit_report(report)
+    rows = report["rows"]
+    # Quality: mean ratio improves monotonically as delta shrinks and
+    # always respects the Lemma-4 bound.
+    ratios = [r[1] for r in rows]
+    assert ratios == sorted(ratios)
+    for r in rows:
+        assert r[2] <= r[3]
+    # Cost: reallocation competitiveness rises as delta shrinks.
+    costs = [r[4] for r in rows]
+    assert costs[0] > costs[-1]

@@ -1,0 +1,19 @@
+"""A5 -- elastic server counts: migration cost of growing/shrinking p.
+
+Extension beyond the paper (related work [31], Tovey: rescheduling under a
+changing number of identical processors): adding a server migrates about
+``n/(p+1)`` jobs (the unavoidable minimum to restore Invariant 5);
+removing one migrates exactly its load.
+"""
+
+from conftest import emit_report
+
+from repro.sim.experiments import a5_elastic_servers
+
+
+def test_elastic_migration_costs(benchmark):
+    report = benchmark.pedantic(a5_elastic_servers, kwargs={"quick": True}, rounds=1, iterations=1)
+    emit_report(report)
+    for p, n, grow, approx, shrink in report["rows"]:
+        assert grow <= approx * 1.6 + 20
+        assert shrink <= n

@@ -1,0 +1,16 @@
+"""A4 -- the makespan extension ([8]'s objective on this paper's machinery):
+balanced size classes keep C_max near optimal with ~zero migrations."""
+
+from conftest import emit_report
+
+from repro.sim.experiments import a4_makespan_extension
+
+
+def test_makespan_extension(benchmark):
+    report = benchmark.pedantic(
+        a4_makespan_extension, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    emit_report(report)
+    for p, ratio, migs, mig_rate in report["rows"]:
+        assert ratio <= 2.0
+        assert mig_rate <= 1.0

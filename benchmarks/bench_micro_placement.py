@@ -1,0 +1,56 @@
+"""Micro-benchmarks for the placement engine and position queries
+(the two hot paths found by scripts/profile_hotpaths.py)."""
+
+import random
+
+from repro.core.jobs import Job
+from repro.core.placement import ClassLayout
+from repro.kcursor import KCursorSparseTable, Params
+
+
+def test_placement_case3_throughput(benchmark):
+    """Repeated case-3 placements into a big, mostly-full class."""
+
+    def run():
+        lay = ClassLayout(0, 1, 0.5)
+        seg = (0, 60_000)
+        for i in range(8000):
+            lay.place(Job(f"a{i}", 1 + (i % 4)), seg)
+        return lay
+
+    lay = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(lay) == 8000
+
+
+def test_placement_churn_throughput(benchmark):
+    rng = random.Random(0)
+
+    def run():
+        lay = ClassLayout(2, 4, 0.5)
+        seg = (0, 40_000)
+        live = []
+        for i in range(6000):
+            if rng.random() < 0.6 or not live:
+                live.append(lay.place(Job(f"a{i}", rng.randint(4, 6)), seg))
+            else:
+                lay.remove(live.pop(rng.randrange(len(live))))
+        return lay
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_extent_query_throughput(benchmark):
+    t = KCursorSparseTable(32, params=Params.explicit(32, 2))
+    rng = random.Random(1)
+    for _ in range(50_000):
+        t.insert(rng.randrange(32))
+
+    def run():
+        total = 0
+        for _ in range(2000):
+            for j in range(32):
+                s, e = t.district_extent(j)
+                total += e - s
+        return total
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,94 @@
+"""Micro-benchmarks: raw operation throughput of the two sparse tables and
+the schedulers (wall-clock; the machine-model costs live in E6/E8)."""
+
+import random
+
+from repro.baselines import SimpleGapScheduler
+from repro.core import ParallelScheduler, SingleServerScheduler
+from repro.kcursor import KCursorSparseTable, Params
+from repro.pma import PackedMemoryArray
+from repro.workloads import generators
+
+
+def test_kcursor_insert_throughput(benchmark):
+    def run():
+        t = KCursorSparseTable(16, params=Params.explicit(16, 2))
+        rng = random.Random(0)
+        for _ in range(20_000):
+            t.insert(rng.randrange(16))
+        return t
+
+    t = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(t) == 20_000
+
+
+def test_kcursor_mixed_throughput(benchmark):
+    def run():
+        t = KCursorSparseTable(16, params=Params.explicit(16, 2))
+        rng = random.Random(1)
+        for _ in range(20_000):
+            j = rng.randrange(16)
+            if rng.random() < 0.55 or t.district_len(j) == 0:
+                t.insert(j)
+            else:
+                t.delete(j)
+        return t
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_pma_insert_throughput(benchmark):
+    def run():
+        pma = PackedMemoryArray()
+        rng = random.Random(2)
+        for i in range(20_000):
+            pma.insert(rng.randrange(len(pma) + 1), i)
+        return pma
+
+    pma = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(pma) == 20_000
+
+
+def test_scheduler_request_throughput(benchmark):
+    trace = generators.mixed(2000, 256, seed=3)
+
+    def run():
+        s = SingleServerScheduler(256, delta=0.5)
+        for r in trace:
+            if r.kind == "i":
+                s.insert(r.name, r.size)
+            else:
+                s.delete(r.name)
+        return s
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_parallel_scheduler_throughput(benchmark):
+    trace = generators.mixed(1500, 256, seed=4)
+
+    def run():
+        s = ParallelScheduler(4, 256, delta=0.5)
+        for r in trace:
+            if r.kind == "i":
+                s.insert(r.name, r.size)
+            else:
+                s.delete(r.name)
+        return s
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_simple_gap_throughput(benchmark):
+    trace = generators.mixed(2000, 256, seed=5)
+
+    def run():
+        s = SimpleGapScheduler(256)
+        for r in trace:
+            if r.kind == "i":
+                s.insert(r.name, r.size)
+            else:
+                s.delete(r.name)
+        return s
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,14 @@
+"""A3 -- Adaptive vs uniform PMA (Bender-Hu [9], cited as related work):
+heat-weighted rebalancing wins on skewed insertion patterns."""
+
+from conftest import emit_report
+
+from repro.sim.experiments import a3_adaptive_pma
+
+
+def test_pma_adaptive_vs_uniform(benchmark):
+    report = benchmark.pedantic(a3_adaptive_pma, kwargs={"quick": True}, rounds=1, iterations=1)
+    emit_report(report)
+    by_pattern = {r[0]: r for r in report["rows"]}
+    assert by_pattern["front"][3] > 1.2  # clear win on the hammer pattern
+    assert by_pattern["random"][3] > 0.3  # no collapse on the easy case

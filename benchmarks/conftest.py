@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Each ``bench_eNN_*.py`` regenerates one experiment from DESIGN.md's index:
+the timed section is the experiment's headline workload, and the rendered
+claim-vs-measured table is printed and saved under ``benchmarks/results/``
+so EXPERIMENTS.md can be refreshed from a run.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_report(report: dict) -> None:
+    """Print and persist an experiment report."""
+    from repro.sim.report import render_report
+
+    text = render_report(report)
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{report['id']}.txt"), "w") as fh:
+        fh.write(text + "\n")

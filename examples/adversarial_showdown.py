@@ -1,0 +1,52 @@
+"""Adversarial showdown: every scheduler against every attack trace.
+
+Four schedulers x three adversarial workloads, reporting approximation
+ratio and reallocation competitiveness side by side -- the whole paper's
+trade-off space in one table. The cost-oblivious scheduler is the only
+one that is simultaneously near-optimal *and* cheap to maintain on all
+three.
+
+Run:  python examples/adversarial_showdown.py
+"""
+
+from repro.analysis.opt import opt_sum_completion_single
+from repro.baselines import AppendOnlyScheduler, OptimalRescheduler, SimpleGapScheduler
+from repro.core import SingleServerScheduler
+from repro.core.costfn import LinearCost
+from repro.sim.report import ascii_table
+from repro.workloads import adversary, generators
+from repro.workloads.trace import replay
+
+DELTA_MAX = 1 << 12
+
+ATTACKS = {
+    "cascade-sawtooth": adversary.cascade_sawtooth(DELTA_MAX, 3000),
+    "sorted-front": adversary.sorted_front_attack(800, DELTA_MAX),
+    "churn-zipf": generators.mixed(3000, DELTA_MAX, dist="zipf", seed=13),
+}
+
+CONTENDERS = {
+    "cost-oblivious": lambda: SingleServerScheduler(DELTA_MAX, delta=0.5),
+    "optimal-resort": lambda: OptimalRescheduler(),
+    "simple-gap": lambda: SimpleGapScheduler(DELTA_MAX),
+    "append-only": lambda: AppendOnlyScheduler(),
+}
+
+rows = []
+for attack, trace in ATTACKS.items():
+    for label, make in CONTENDERS.items():
+        sched = make()
+        replay(trace, sched)
+        sizes = [pj.size for pj in sched.jobs()]
+        opt = opt_sum_completion_single(sizes)
+        ratio = sched.sum_completion_times() / opt if opt else 1.0
+        b = sched.ledger.competitiveness(LinearCost())
+        rows.append([attack, label, round(ratio, 3), round(b, 2)])
+
+print(ascii_table(["attack", "scheduler", "sumCj / OPT", "b under f(w)=w"], rows))
+print("""
+Reading guide: 'optimal-resort' always hits ratio 1.000 but pays orders of
+magnitude more reallocation on sorted-front; 'append-only' pays b = 0 but
+its ratio blows up under churn; 'simple-gap' is cheap for f = 1 yet its
+linear-f bill grows with Delta (see experiment E9). The cost-oblivious
+scheduler holds both columns simultaneously -- without ever seeing f.""")

@@ -1,0 +1,83 @@
+"""Airline disruption recovery -- the paper's motivating scenario.
+
+A day's flight legs are scheduled on one runway-slot timeline; weather and
+mechanical failures repeatedly cancel legs and inject recovery legs.
+Rescheduling a leg of duration ``w`` costs ``f(w)`` (crew reassignment,
+passenger rebooking...), and the airline does not know ``f`` precisely --
+exactly the cost-oblivious setting.
+
+We compare the cost-oblivious reallocating scheduler against (a) exact
+re-optimization after every disruption and (b) never adjusting, under
+three plausible disruption-cost models, priced after the fact.
+
+Run:  python examples/airline_disruption.py
+"""
+
+import random
+
+from repro.analysis.opt import opt_sum_completion_single
+from repro.baselines import AppendOnlyScheduler, OptimalRescheduler
+from repro.core import SingleServerScheduler
+from repro.core.costfn import AffineCost, CappedLinearCost, ConstantCost
+
+MAX_LEG_MINUTES = 480  # longest leg: 8 hours
+rng = random.Random(2015)
+
+# ---------------------------------------------------------------------------
+# Build the disruption day: morning schedule, then churn.
+
+events = []
+legs = {}
+for i in range(120):  # initial flight plan
+    w = rng.choice([45, 60, 90, 120, 180, 240, 360, 480])
+    legs[f"leg{i}"] = w
+    events.append(("insert", f"leg{i}", w))
+for step in range(400):  # rolling disruptions all day
+    if rng.random() < 0.5 and legs:
+        name = rng.choice(sorted(legs))
+        del legs[name]
+        events.append(("delete", name, 0))
+    else:
+        name = f"recovery{step}"
+        w = rng.choice([30, 45, 60, 90, 120, 240])
+        legs[name] = w
+        events.append(("insert", name, w))
+
+# ---------------------------------------------------------------------------
+# Drive all three dispatchers through the same day.
+
+dispatchers = {
+    "cost-oblivious (this paper)": SingleServerScheduler(MAX_LEG_MINUTES, delta=0.25),
+    "re-optimize exactly": OptimalRescheduler(),
+    "never adjust": AppendOnlyScheduler(),
+}
+for label, d in dispatchers.items():
+    for kind, name, w in events:
+        if kind == "insert":
+            d.insert(name, w)
+        else:
+            d.delete(name)
+
+# ---------------------------------------------------------------------------
+# Report: schedule quality and disruption cost under each cost model.
+
+cost_models = {
+    "flat rebooking fee        f(w)=25": ConstantCost(25.0),
+    "crew overtime             f(w)=10+2w": AffineCost(10.0, 2.0),
+    "bounded passenger impact  f(w)=min(3w,300)": CappedLinearCost(3.0, 300.0),
+}
+
+sizes = [pj.size for pj in dispatchers["re-optimize exactly"].jobs()]
+opt = opt_sum_completion_single(sizes)
+print(f"active legs at end of day: {len(sizes)};  optimal total wait {opt}\n")
+for label, d in dispatchers.items():
+    ratio = d.sum_completion_times() / opt
+    print(f"{label}:")
+    print(f"  total-wait ratio vs optimal: {ratio:.3f}")
+    for desc, f in cost_models.items():
+        print(f"  disruption cost [{desc}]: {d.ledger.reallocation_cost(f):,.0f}")
+    print()
+
+print("The cost-oblivious dispatcher was never told any of these cost models,")
+print("yet its disruption bill stays within a small factor of its allocation")
+print("bill for all of them, while staying near-optimal on total wait.")

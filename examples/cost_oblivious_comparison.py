@@ -1,0 +1,39 @@
+"""Cost obliviousness, demonstrated end to end.
+
+One scheduler, one run, one ledger of *which jobs moved* -- then the same
+history is priced under six different cost functions, including ones with
+very different structure (constant, concave, linear, capped).  A
+cost-aware competitor would need to be re-tuned (or re-run!) per function;
+the paper's algorithm commits to its reallocations before any f is known.
+
+The run also demonstrates the theory's split: strongly subadditive
+functions enjoy a strictly better bound (O(1) vs O(log^3 log Delta)), and
+the measured competitiveness lines up with the classification.
+
+Run:  python examples/cost_oblivious_comparison.py
+"""
+
+from repro.core import SingleServerScheduler
+from repro.core.costfn import STANDARD_FAMILY, classify
+from repro.workloads import generators
+from repro.workloads.trace import replay
+
+DELTA_MAX = 4096
+
+trace = generators.mixed(4000, DELTA_MAX, dist="zipf", seed=99)
+sched = SingleServerScheduler(DELTA_MAX, delta=0.5)
+replay(trace, sched)
+
+print(f"replayed {len(trace)} requests; {len(sched)} jobs active; "
+      f"{sched.ledger.moved_jobs_total()} job reallocations recorded\n")
+print(f"{'cost function':<14} {'class':<22} {'alloc cost':>12} "
+      f"{'realloc cost':>13} {'b':>7}")
+for label, f in STANDARD_FAMILY.items():
+    alloc = sched.ledger.allocation_cost(f)
+    realloc = sched.ledger.reallocation_cost(f)
+    kind = classify(f, max_w=256)
+    print(f"{label:<14} {kind:<22} {alloc:>12,.0f} {realloc:>13,.0f} "
+          f"{realloc / alloc:>7.2f}")
+
+print("\nNote the single ledger: the scheduler made identical decisions for")
+print("every row. Only the pricing changed -- that is cost obliviousness.")

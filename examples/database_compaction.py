@@ -1,0 +1,61 @@
+"""Database storage reallocation -- the scenario that birthed cost
+obliviousness (the paper's predecessor [8], PODS'14).
+
+A storage engine packs variable-size tables onto p disk volumes. Tables
+are created and dropped online; the engine must keep the *footprint* (max
+volume fill ~ makespan) low, but moving a table costs: a flat metadata
+update? proportional to bytes copied? capped by a snapshot mechanism?
+The DBA doesn't know which dominates -- so the reallocator must be cost
+oblivious.
+
+Uses the repo's makespan extension (repro.extensions) plus the ledger's
+after-the-fact pricing.  Run:  python examples/database_compaction.py
+"""
+
+import random
+
+from repro.core.costfn import CappedLinearCost, ConstantCost, LinearCost
+from repro.extensions import MakespanReallocator
+from repro.sim.gantt import render_gantt
+
+VOLUMES = 6
+MAX_TABLE_MB = 4096
+rng = random.Random(8)
+
+engine = MakespanReallocator(VOLUMES, MAX_TABLE_MB, delta=0.5)
+
+# A year of DDL churn: mostly small tables, occasional fact tables.
+tables = []
+worst_ratio = 1.0
+for step in range(5000):
+    if rng.random() < 0.57 or not tables:
+        name = f"tbl{step}"
+        mb = rng.randint(1, 64) if rng.random() < 0.8 else rng.randint(1024, MAX_TABLE_MB)
+        engine.insert(name, mb)
+        tables.append(name)
+    else:
+        i = rng.randrange(len(tables))
+        tables[i], tables[-1] = tables[-1], tables[i]
+        engine.delete(tables.pop())
+    if step % 200 == 0 and len(engine):
+        worst_ratio = max(worst_ratio, engine.ratio())
+        engine.check_invariants()
+
+led = engine.ledger
+print(f"volumes: {VOLUMES}   live tables: {len(engine)}   "
+      f"footprint: {engine.makespan()} MB (lower bound {engine.opt_lower_bound()} MB)")
+print(f"worst footprint ratio over the run: {worst_ratio:.3f}")
+print(f"DDL requests: {led.ops}   table moves: {led.total_migrations} "
+      f"({led.total_migrations / max(1, led.deletes):.2%} of drops)")
+
+print("\nreallocation bill under three cost models the engine never saw:")
+for desc, f in {
+    "metadata-only moves   f=1": ConstantCost(),
+    "full byte copy        f=w": LinearCost(),
+    "snapshot-capped       f=min(w,256)": CappedLinearCost(1.0, 256.0),
+}.items():
+    print(f"  {desc:<38} realloc={led.reallocation_cost(f):>12,.0f}   "
+          f"b={led.competitiveness(f):.3f}")
+
+print("\nvolume occupancy ('|' table start, '#' data, '.' free):")
+print(render_gantt(engine.jobs(), width=80))

@@ -1,0 +1,58 @@
+"""The k-cursor sparse table, hands on (Section 4).
+
+Watch the array layout evolve as districts grow and shrink: digits are
+elements (district id mod 10), '.' are buffer slots, '_' are gaps.  Gaps
+appear when a right chunk dwarfs its left sibling, and are consumed as the
+left sibling grows -- the mechanism that makes left-district insertions
+cheap even next to a huge neighbour.
+
+Run:  python examples/kcursor_playground.py
+"""
+
+from repro.kcursor import KCursorSparseTable, Params, check_invariants, render_layout
+from repro.kcursor.debug import max_prefix_density
+
+t = KCursorSparseTable(4, params=Params.explicit(4, 2), track_values=True)
+
+print("empty:", render_layout(t))
+
+print("\n-- fill districts unevenly --")
+for j, m in ((0, 6), (1, 3), (2, 9), (3, 4)):
+    t.extend(j, m)
+print(render_layout(t, 110))
+
+print("\n-- grow district 3 until gaps appear (right >> left) --")
+t.extend(3, 800)
+print(render_layout(t, 110))
+gaps = sum(c.gaps for c in t.iter_chunks())
+print(f"gaps in structure: {gaps}")
+
+print("\n-- hammer district 0: it consumes gaps instead of sliding district 3 --")
+before = t.counter.slots_moved
+for i in range(60):
+    t.insert(0, value=i)
+print(render_layout(t, 110))
+print(f"slots moved for 60 left-inserts: {t.counter.slots_moved - before} "
+      f"(vs {t.leaves[3].S}-slot right neighbour)")
+
+print("\n-- drain district 2 completely --")
+while t.district_len(2):
+    t.delete(2)
+print(render_layout(t, 110))
+
+check_invariants(t)
+print(f"\ninvariants hold; max prefix density {max_prefix_density(t):.3f} "
+      f"(bound {t.params.density_bound:.2f})")
+print(f"amortized machine-model cost so far: {t.counter.amortized_cost:.2f} "
+      f"slots/op over {t.counter.ops} ops")
+
+print("\n-- districts can be appended online ('creating more cursors') --")
+t2 = KCursorSparseTable(2, delta=0.5, tau_mode="local")
+t2.extend(0, 10)
+t2.extend(1, 10)
+for _ in range(3):
+    j = t2.append_district()
+    t2.extend(j, 5)
+print(f"grew from k=2 to k={t2.k} districts (capacity {t2.capacity}); "
+      f"extents: {t2.district_extents()}")
+check_invariants(t2)

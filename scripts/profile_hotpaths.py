@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Profile the hot paths (HPC workflow: measure before optimizing).
+
+Usage: python scripts/profile_hotpaths.py [scheduler|kcursor|pma]
+"""
+
+import cProfile
+import io
+import pstats
+import random
+import sys
+
+
+def profile_scheduler():
+    from repro.core import SingleServerScheduler
+    from repro.workloads import generators
+    from repro.workloads.trace import replay
+
+    trace = generators.mixed(6000, 1024, seed=0)
+    sched = SingleServerScheduler(1024, delta=0.5)
+    return lambda: replay(trace, sched)
+
+
+def profile_kcursor():
+    from repro.kcursor import KCursorSparseTable, Params
+
+    t = KCursorSparseTable(16, params=Params.explicit(16, 2))
+    rng = random.Random(0)
+
+    def run():
+        for _ in range(150_000):
+            j = rng.randrange(16)
+            if rng.random() < 0.55 or t.district_len(j) == 0:
+                t.insert(j)
+            else:
+                t.delete(j)
+
+    return run
+
+
+def profile_pma():
+    from repro.pma import PackedMemoryArray
+
+    pma = PackedMemoryArray()
+    rng = random.Random(0)
+
+    def run():
+        for i in range(50_000):
+            pma.insert(rng.randrange(len(pma) + 1), i)
+
+    return run
+
+
+TARGETS = {
+    "scheduler": profile_scheduler,
+    "kcursor": profile_kcursor,
+    "pma": profile_pma,
+}
+
+
+def main() -> int:
+    which = sys.argv[1] if len(sys.argv) > 1 else "scheduler"
+    run = TARGETS[which]()
+    pr = cProfile.Profile()
+    pr.enable()
+    run()
+    pr.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(pr, stream=buf)
+    stats.sort_stats("cumulative").print_stats(25)
+    print(buf.getvalue())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,7 @@
+"""Legacy setup shim: the execution environment has no `wheel` package,
+so PEP 660 editable installs fail; this enables `pip install -e .` via the
+legacy setuptools develop path."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Offline analysis: exact optima, competitive ratios, growth-law fits.
+
+This is the only layer that prices reallocation events with cost
+functions -- the schedulers themselves are cost-oblivious by construction.
+"""
+
+from repro.analysis.opt import (
+    opt_sum_completion,
+    opt_sum_completion_single,
+    opt_schedule,
+)
+from repro.analysis.metrics import (
+    approximation_ratio,
+    competitiveness_table,
+    amortized_series,
+)
+from repro.analysis.fitting import fit_growth, GROWTH_MODELS
+
+__all__ = [
+    "opt_sum_completion",
+    "opt_sum_completion_single",
+    "opt_schedule",
+    "approximation_ratio",
+    "competitiveness_table",
+    "amortized_series",
+    "fit_growth",
+    "GROWTH_MODELS",
+]

@@ -1,0 +1,25 @@
+"""Density profiling for the k-cursor structure (Theorem 16 measurements)."""
+
+from __future__ import annotations
+
+from repro.kcursor.debug import max_prefix_density
+from repro.kcursor.layout import occupancy_profile
+from repro.kcursor.table import KCursorSparseTable
+
+
+def density_report(table: KCursorSparseTable) -> dict:
+    """Measured worst prefix stretch vs. the theorem's bound."""
+    measured = max_prefix_density(table)
+    bound = table.params.density_bound
+    return {
+        "elements": len(table),
+        "span": table.total_span,
+        "overall_stretch": table.total_span / max(1, len(table)),
+        "max_prefix_stretch": measured,
+        "bound": bound,
+        "headroom": bound - measured,
+    }
+
+
+def profile(table: KCursorSparseTable, resolution: int = 64) -> list[float]:
+    return occupancy_profile(table, resolution)

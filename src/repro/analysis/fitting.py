@@ -1,0 +1,91 @@
+"""Growth-law identification for measured cost curves.
+
+The reproduction's claims are about *shapes* -- ``O(log^3 k)`` vs
+``Theta(log^2 n)`` vs ``O(log^3 log Delta)`` vs ``Theta(log Delta)``.
+We fit each candidate model ``y ~ a * g(x) + b`` by least squares
+(``a >= 0``) and report the model with the best R^2, so benchmark output
+can state "measured growth matches <model>" quantitatively rather than by
+eyeball.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+GrowthFn = Callable[[float], float]
+
+
+def _safe_log2(x: float) -> float:
+    return math.log2(max(x, 2.0))
+
+
+GROWTH_MODELS: dict[str, GrowthFn] = {
+    "constant": lambda x: 1.0,
+    "loglog^3": lambda x: _safe_log2(_safe_log2(x)) ** 3,
+    "log": lambda x: _safe_log2(x),
+    "log^2": lambda x: _safe_log2(x) ** 2,
+    "log^3": lambda x: _safe_log2(x) ** 3,
+    "sqrt": lambda x: math.sqrt(x),
+    "linear": lambda x: x,
+}
+
+
+@dataclass(frozen=True)
+class Fit:
+    model: str
+    a: float
+    b: float
+    r2: float
+    rmse: float
+
+    def predict(self, x: float) -> float:
+        return self.a * GROWTH_MODELS[self.model](x) + self.b
+
+
+def fit_model(xs: Sequence[float], ys: Sequence[float], model: str) -> Fit:
+    """Least-squares fit of ``y = a*g(x) + b`` with ``a`` clamped >= 0."""
+    g = GROWTH_MODELS[model]
+    gx = np.array([g(x) for x in xs], dtype=float)
+    y = np.array(ys, dtype=float)
+    A = np.vstack([gx, np.ones_like(gx)]).T
+    coef, *_ = np.linalg.lstsq(A, y, rcond=None)
+    a, b = float(coef[0]), float(coef[1])
+    if a < 0:  # decreasing trend: refit as pure constant
+        a, b = 0.0, float(y.mean())
+    resid = y - (a * gx + b)
+    ss_res = float((resid**2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    rmse = math.sqrt(ss_res / len(y))
+    return Fit(model=model, a=a, b=b, r2=r2, rmse=rmse)
+
+
+def fit_growth(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    models: Sequence[str] = tuple(GROWTH_MODELS),
+) -> Fit:
+    """Best-R^2 model among the candidates."""
+    if len(xs) != len(ys) or len(xs) < 3:
+        raise ValueError("need at least 3 (x, y) points")
+    fits = [fit_model(xs, ys, m) for m in models]
+    return max(fits, key=lambda f: f.r2)
+
+
+def compare_growth(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    models: Sequence[str] = tuple(GROWTH_MODELS),
+) -> list[Fit]:
+    """All candidate fits, best first (for reporting tables)."""
+    fits = [fit_model(xs, ys, m) for m in models]
+    return sorted(fits, key=lambda f: -f.r2)
+
+
+def doubling_ratios(ys: Sequence[float]) -> list[float]:
+    """y[i+1]/y[i] for doubling-x sweeps: ~1 means flat, ~2 linear, etc."""
+    return [ys[i + 1] / ys[i] if ys[i] else float("inf") for i in range(len(ys) - 1)]

@@ -1,0 +1,62 @@
+"""Competitive-ratio and amortized-cost metrics.
+
+``(f, a, b)``-competitiveness (paper, Section 1):
+
+* ``a`` -- the approximation factor: scheduler objective / exact optimum,
+  measured after every request (we report the max over the run);
+* ``b`` -- reallocation cost / total allocation cost, priced under each
+  cost function *after* the run via the ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.core.events import Ledger
+
+
+def approximation_ratio(scheduler, p: int = 1) -> float:
+    """Current objective / exact optimum for the active job set."""
+    from repro.analysis.opt import opt_sum_completion
+
+    sizes = [pj.size for pj in scheduler.jobs()]
+    if not sizes:
+        return 1.0
+    opt = opt_sum_completion(sizes, p)
+    return scheduler.sum_completion_times() / opt if opt else 1.0
+
+
+def competitiveness_table(
+    ledger: Ledger, cost_functions: dict[str, Callable[[int], float]]
+) -> dict[str, float]:
+    """The paper's ``b`` for each cost function (cost-oblivious pricing)."""
+    return {label: ledger.competitiveness(f) for label, f in cost_functions.items()}
+
+
+def amortized_series(values: Sequence[float]) -> list[float]:
+    """Running mean: amortized cost after each operation."""
+    out = []
+    total = 0.0
+    for i, v in enumerate(values, start=1):
+        total += v
+        out.append(total / i)
+    return out
+
+
+def windowed_mean(values: Sequence[float], window: int) -> list[float]:
+    """Simple trailing-window mean (for steady-state cost plots)."""
+    out = []
+    acc = 0.0
+    for i, v in enumerate(values):
+        acc += v
+        if i >= window:
+            acc -= values[i - window]
+        out.append(acc / min(i + 1, window))
+    return out
+
+
+def max_over_checkpoints(values: Iterable[float]) -> float:
+    m = 0.0
+    for v in values:
+        m = max(m, v)
+    return m

@@ -1,0 +1,107 @@
+"""Closed-form evaluators for the paper's literal bounds.
+
+Where the paper states an explicit formula we evaluate it exactly; where
+it states an O(.) we expose the *shape function* with the constant as a
+parameter (default 1), so experiments can report
+"measured / bound-shape" ratios that must stay bounded as parameters grow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def lemma4_ratio_bound(delta: float) -> float:
+    """Lemma 4: the scheduled sum of completion times is within
+    ``1 + 17*delta`` of optimal (the proof's explicit constant)."""
+    return 1.0 + 17.0 * delta
+
+
+def theorem16_density_bound(delta_prime: float) -> float:
+    """Theorem 16: first x elements within ``(1 + 9*delta') x`` slots."""
+    return 1.0 + 9.0 * delta_prime
+
+
+def corollary13_space_bound(delta_prime: float) -> float:
+    """Corollary 13: a chunk with x elements uses <= (1 + 6*delta') x slots
+    (before higher-level gaps)."""
+    return 1.0 + 6.0 * delta_prime
+
+
+def num_size_classes(delta: float, max_size: int) -> int:
+    """ceil(log_{1+delta} Delta) + 1: the k the scheduler needs."""
+    return int(math.floor(math.log(max_size, 1.0 + delta) + 1e-12)) + 1
+
+
+def theorem18_shape(k: int, delta_prime: float, c: float = 1.0) -> float:
+    """Theorem 18 shape: c * log^3(k) / delta'^3 slot moves per op."""
+    lg = math.log2(max(2, k))
+    return c * lg**3 / delta_prime**3
+
+
+def theorem1_subadditive_shape(
+    epsilon: float, max_size: int, c: float = 1.0
+) -> float:
+    """Theorem 1 shape for subadditive f:
+    c * (1/eps^5) * log^3(log_{1+eps} Delta)."""
+    k = num_size_classes(epsilon, max_size)
+    return c * (1.0 / epsilon**5) * math.log2(max(2, k)) ** 3
+
+
+def theorem1_strong_shape(epsilon: float, c: float = 1.0) -> float:
+    """Theorem 1 shape for strongly subadditive f: c / eps^3."""
+    return c / epsilon**3
+
+
+def pma_update_shape(n: int, c: float = 1.0) -> float:
+    """General sparse table: c * log^2 n amortized moves per update."""
+    return c * math.log2(max(2, n)) ** 2
+
+
+def footnote1_linear_shape(max_size: int, c: float = 1.0) -> float:
+    """Footnote 1 under f(w)=w: c * log2(Delta) amortized per op."""
+    return c * math.log2(max(2, max_size))
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """One measured-vs-shape comparison."""
+
+    name: str
+    measured: float
+    bound: float
+
+    @property
+    def ratio(self) -> float:
+        return self.measured / self.bound if self.bound else float("inf")
+
+    @property
+    def holds(self) -> bool:
+        return self.measured <= self.bound + 1e-9
+
+    def row(self) -> list:
+        return [self.name, round(self.measured, 4), round(self.bound, 4),
+                "yes" if self.holds else "NO"]
+
+
+def paper_parameter_sheet(delta: float, max_size: int) -> dict:
+    """Everything the paper's parameterization implies for a deployment."""
+    import math as _m
+
+    dpi = _m.ceil(9.0 / delta)
+    k = num_size_classes(delta, max_size)
+    H = (max(1, k) - 1).bit_length()
+    inv_tau = dpi * (H + 1)
+    return {
+        "delta": delta,
+        "Delta": max_size,
+        "size_classes_k": k,
+        "tree_height_H": H,
+        "delta_prime": 1.0 / dpi,
+        "inv_tau": inv_tau,
+        "buffered_threshold": 2 * inv_tau**2,
+        "ratio_bound": lemma4_ratio_bound(delta),
+        "density_bound": theorem16_density_bound(1.0 / dpi),
+        "kcursor_cost_shape": theorem18_shape(k, 1.0 / dpi),
+    }

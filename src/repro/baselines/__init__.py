@@ -1,0 +1,28 @@
+"""Baseline schedulers the paper compares against (implicitly or explicitly).
+
+* :class:`OptimalRescheduler` -- keeps the schedule *exactly* optimal
+  (SPT order, round-robin across servers) by re-sorting after every
+  request: approximation factor 1, but reallocation cost that grows with
+  the number of active jobs (the paper's motivation for approximating).
+* :class:`SimpleGapScheduler` -- the paper's footnote-1 algorithm:
+  power-of-two classes, eviction cascades, O(1) amortized reallocations
+  when ``f == 1`` but ``Theta(log Delta)`` for linear ``f``.
+* :class:`PMABackedScheduler` -- the Section-2 scheduler with its k-cursor
+  replaced by a *general* sparse table (PMA), realizing the paper's
+  ``O(log^3 V)`` contrast.
+* :class:`AppendOnlyScheduler` -- never reallocates: zero cost, unbounded
+  approximation under churn (the other end of the trade-off).
+"""
+
+from repro.baselines.optimal import OptimalRescheduler
+from repro.baselines.simple_gap import SimpleGapScheduler
+from repro.baselines.pma_sched import PMABackedScheduler, PMASegmentManager
+from repro.baselines.append_only import AppendOnlyScheduler
+
+__all__ = [
+    "OptimalRescheduler",
+    "SimpleGapScheduler",
+    "PMABackedScheduler",
+    "PMASegmentManager",
+    "AppendOnlyScheduler",
+]

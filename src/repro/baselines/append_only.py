@@ -1,0 +1,56 @@
+"""Append-only scheduler: the zero-reallocation extreme.
+
+Every inserted job is appended after the rightmost scheduled job and never
+moves again; deletions vacate slots that are never reclaimed.  The
+reallocation cost is exactly zero (``b = 0``), but under churn the sum of
+completion times drifts arbitrarily far from optimal -- the other end of
+the trade-off the paper's scheduler balances (experiment E10 context).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.events import Ledger, ReallocKind
+from repro.core.jobs import Job, PlacedJob
+
+
+class AppendOnlyScheduler:
+    """Never reallocates; p = 1."""
+
+    def __init__(self):
+        self.ledger = Ledger()
+        self._jobs: dict[Hashable, PlacedJob] = {}
+        self._frontier = 0
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __contains__(self, name: Hashable) -> bool:
+        return name in self._jobs
+
+    def jobs(self) -> list[PlacedJob]:
+        return sorted(self._jobs.values(), key=lambda pj: pj.start)
+
+    def sum_completion_times(self) -> int:
+        return sum(pj.completion for pj in self._jobs.values())
+
+    def insert(self, name: Hashable, size: int) -> PlacedJob:
+        if name in self._jobs:
+            raise KeyError(f"job {name!r} already active")
+        self.ledger.begin("insert", name, size)
+        placed = PlacedJob(job=Job(name, size), klass=0, start=self._frontier)
+        self._frontier += size
+        self._jobs[name] = placed
+        self.ledger.record(name, size, ReallocKind.PLACE)
+        self.ledger.commit()
+        return placed
+
+    def delete(self, name: Hashable) -> Job:
+        placed = self._jobs.pop(name, None)
+        if placed is None:
+            raise KeyError(f"job {name!r} not active")
+        self.ledger.begin("delete", name, placed.size)
+        self.ledger.record(name, placed.size, ReallocKind.REMOVE)
+        self.ledger.commit()
+        return placed.job

@@ -1,0 +1,164 @@
+"""The paper's footnote-1 baseline: gap-and-evict scheduling (p = 1).
+
+Jobs are grouped by power-of-two size classes (class ``i`` holds sizes in
+``[2^i, 2^{i+1})``), kept in class order in the schedule.  A size-class
+gap is left after each group; to insert a job, schedule it immediately
+after the last job of its class.  If it lands on a (strictly larger) job,
+evict that job and reinsert it recursively in *its* class -- the cascade
+climbs through at most ``log2(Delta)`` classes, and each eviction of a
+large job opens a large hole that absorbs many future smaller insertions.
+
+Consequences measured in experiment E9:
+
+* for ``f(w) = 1`` the amortized reallocation cost is O(1) -- the baseline
+  matches the cost-oblivious scheduler;
+* for ``f(w) = w`` each level of the cascade pays proportionally to the
+  *evicted* (larger!) job, and the amortized cost degrades to
+  ``Theta(log Delta)`` -- which is exactly the gap the paper's k-cursor
+  construction closes to ``O(log^3 log Delta)``.
+
+Deletions simply vacate the job's slots (the hole is reused by later
+insertions of the same class, preserving the 4-approximation).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Hashable, Optional
+
+from repro.core.events import Ledger, ReallocKind
+from repro.core.jobs import Job, PlacedJob
+
+
+class SimpleGapScheduler:
+    """Footnote-1 gap scheduler for a single server."""
+
+    def __init__(self, max_job_size: int, initial_gap: bool = True):
+        if max_job_size < 1:
+            raise ValueError("max_job_size must be >= 1")
+        self.max_job_size = max_job_size
+        self.initial_gap = initial_gap
+        self.ledger = Ledger()
+        self._jobs: dict[Hashable, PlacedJob] = {}
+        # Global order by start; jobs are disjoint so starts are unique.
+        self._starts: list[int] = []
+        self._order: list[PlacedJob] = []
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __contains__(self, name: Hashable) -> bool:
+        return name in self._jobs
+
+    def jobs(self) -> list[PlacedJob]:
+        return list(self._order)
+
+    def sum_completion_times(self) -> int:
+        return sum(pj.completion for pj in self._jobs.values())
+
+    @staticmethod
+    def class_of(size: int) -> int:
+        return size.bit_length() - 1  # floor(log2 size)
+
+    # ------------------------------------------------------------------
+    # Order maintenance
+
+    def _add(self, pj: PlacedJob) -> None:
+        i = bisect_right(self._starts, pj.start)
+        self._starts.insert(i, pj.start)
+        self._order.insert(i, pj)
+
+    def _remove(self, pj: PlacedJob) -> None:
+        i = bisect_left(self._starts, pj.start)
+        while self._order[i] is not pj:
+            i += 1
+        self._starts.pop(i)
+        self._order.pop(i)
+
+    def _first_overlapping(self, lo: int, hi: int) -> Optional[PlacedJob]:
+        i = bisect_left(self._starts, lo)
+        if i > 0 and self._order[i - 1].end > lo:
+            return self._order[i - 1]
+        if i < len(self._order) and self._order[i].start < hi:
+            return self._order[i]
+        return None
+
+    # ------------------------------------------------------------------
+    # Requests
+
+    def insert(self, name: Hashable, size: int) -> PlacedJob:
+        if name in self._jobs:
+            raise KeyError(f"job {name!r} already active")
+        if size > self.max_job_size:
+            raise ValueError(f"size {size} exceeds Delta={self.max_job_size}")
+        self.ledger.begin("insert", name, size)
+        placed = self._schedule(Job(name, size), is_new=True)
+        self.ledger.commit()
+        return placed
+
+    def delete(self, name: Hashable) -> Job:
+        placed = self._jobs.pop(name, None)
+        if placed is None:
+            raise KeyError(f"job {name!r} not active")
+        self.ledger.begin("delete", name, placed.size)
+        self._remove(placed)
+        self.ledger.record(name, placed.size, ReallocKind.REMOVE)
+        self.ledger.commit()
+        return placed.job
+
+    # ------------------------------------------------------------------
+
+    def _insertion_point(self, klass: int) -> int:
+        """End of the last job of class <= klass (plus the group's initial
+        gap when the class has no members yet)."""
+        last_same = -1
+        last_smaller = 0
+        for pj in self._order:  # ordered by start; classes are grouped
+            c = self.class_of(pj.size)
+            if c == klass:
+                last_same = max(last_same, pj.end)
+            elif c < klass:
+                last_smaller = max(last_smaller, pj.end)
+        if last_same >= 0:
+            return last_same
+        if self.initial_gap:
+            # "Allocate a job-sized gap between each group": reserve one
+            # max-class-size hole when opening the group.
+            return last_smaller + (1 << (klass + 1)) - 1
+        return last_smaller
+
+    def _schedule(self, job: Job, is_new: bool) -> PlacedJob:
+        klass = self.class_of(job.size)
+        start = self._insertion_point(klass)
+        placed = PlacedJob(job=job, klass=klass, start=start)
+        # Evict the (at most one -- larger jobs are longer than our span)
+        # job overlapping the landing zone, then cascade.
+        victim = self._first_overlapping(start, start + job.size)
+        self._jobs[job.name] = placed
+        self._add(placed)
+        if is_new:
+            self.ledger.record(job.name, job.size, ReallocKind.PLACE)
+        else:
+            self.ledger.record(job.name, job.size, ReallocKind.MOVE)
+        if victim is not None:
+            self._remove(victim)
+            del self._jobs[victim.name]
+            self._schedule(victim.job, is_new=False)
+        return placed
+
+    # ------------------------------------------------------------------
+
+    def check_schedule(self) -> None:
+        """Jobs disjoint and grouped by class in nondecreasing order."""
+        prev_end = 0
+        prev_class = -1
+        for pj in self._order:
+            if pj.start < prev_end:
+                raise AssertionError(f"overlap at job {pj.name}")
+            c = self.class_of(pj.size)
+            if c < prev_class:
+                raise AssertionError("class grouping violated")
+            prev_end = pj.end
+            prev_class = c

@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run         replay a trace file (or a generated workload) on a scheduler
+            and print quality/cost metrics
+experiments run experiments from the registry (alias of repro.sim.experiments)
+gen         generate a workload trace file
+inspect     pretty-print a k-cursor table driven by a trace of district ops
+costs       classify a cost-function expression and show its pricing table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.metrics import approximation_ratio
+from repro.core.costfn import STANDARD_FAMILY
+
+
+def _build_scheduler(name: str, max_size: int, p: int, delta: float):
+    from repro.baselines import (
+        AppendOnlyScheduler,
+        OptimalRescheduler,
+        PMABackedScheduler,
+        SimpleGapScheduler,
+    )
+    from repro.core import ParallelScheduler, SingleServerScheduler
+
+    if name == "ours":
+        if p > 1:
+            return ParallelScheduler(p, max_size, delta=delta)
+        return SingleServerScheduler(max_size, delta=delta)
+    if name == "optimal":
+        return OptimalRescheduler(p=p)
+    if name == "simple-gap":
+        return SimpleGapScheduler(max_size)
+    if name == "pma":
+        return PMABackedScheduler(max_size, delta=delta)
+    if name == "append":
+        return AppendOnlyScheduler()
+    raise SystemExit(f"unknown scheduler {name!r}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.sim.runner import run_trace
+    from repro.workloads import generators
+    from repro.workloads.trace import Trace
+
+    if args.trace:
+        trace = Trace.load(args.trace)
+    else:
+        trace = generators.mixed(
+            args.ops, args.max_size, dist=args.dist, seed=args.seed
+        )
+    sched = _build_scheduler(args.scheduler, trace.max_size, args.p, args.delta)
+    res = run_trace(sched, trace, p=args.p, checkpoint_every=max(1, len(trace) // 20))
+    print(f"scheduler: {args.scheduler} (p={args.p})  trace: {trace.label} "
+          f"({len(trace)} requests, Delta={trace.max_size})")
+    print(f"active jobs: {len(sched)}   objective: {sched.sum_completion_times()}")
+    print(f"approximation ratio: final {res.final_ratio:.4f}, worst {res.max_ratio:.4f}")
+    print(f"jobs reallocated: {sched.ledger.moved_jobs_total()}  "
+          f"migrations: {sched.ledger.total_migrations}")
+    print("reallocation competitiveness b by cost function:")
+    for label, f in STANDARD_FAMILY.items():
+        print(f"  {label:<10} {sched.ledger.competitiveness(f):8.3f}")
+    print(f"wall time: {res.wall_seconds:.2f}s")
+    return 0
+
+
+def cmd_gen(args: argparse.Namespace) -> int:
+    from repro.workloads import adversary, generators
+
+    if args.kind == "mixed":
+        trace = generators.mixed(args.ops, args.max_size, dist=args.dist, seed=args.seed)
+    elif args.kind == "churn":
+        trace = generators.churn(args.ops, args.working_set, args.max_size, seed=args.seed)
+    elif args.kind == "grow-shrink":
+        trace = generators.grow_then_shrink(args.ops // 2, args.max_size, seed=args.seed)
+    elif args.kind == "cascade":
+        trace = adversary.cascade_sawtooth(args.max_size, args.ops)
+    elif args.kind == "sorted-front":
+        trace = adversary.sorted_front_attack(args.ops, args.max_size)
+    else:
+        raise SystemExit(f"unknown kind {args.kind!r}")
+    trace.save(args.out)
+    print(f"wrote {len(trace)} requests to {args.out} "
+          f"(peak active {trace.peak_active()})")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.kcursor import KCursorSparseTable, Params, check_invariants, render_layout
+    from repro.kcursor.debug import max_prefix_density
+
+    params = Params.explicit(args.k, args.factor) if args.factor else None
+    t = KCursorSparseTable(args.k, delta=args.delta, params=params)
+    rng = random.Random(args.seed)
+    for _ in range(args.ops):
+        j = rng.randrange(args.k)
+        if rng.random() < 0.55 or t.district_len(j) == 0:
+            t.insert(j)
+        else:
+            t.delete(j)
+    check_invariants(t)
+    print(render_layout(t, width=100))
+    print(f"elements: {len(t)}  span: {t.total_span}  "
+          f"max prefix density: {max_prefix_density(t):.3f} "
+          f"(bound {t.params.density_bound:.3f})")
+    print(f"amortized cost: {t.counter.amortized_cost:.2f} slots/op")
+    print("rebuilds by level:", dict(sorted(t.counter.rebuilds_by_level.items())))
+    print(f"gaps created/consumed: {t.counter.gaps_created}/{t.counter.gaps_consumed}")
+    return 0
+
+
+def cmd_costs(args: argparse.Namespace) -> int:
+    from repro.core.costfn import classify, strong_subadditivity_gamma
+
+    for label, f in STANDARD_FAMILY.items():
+        gamma = strong_subadditivity_gamma(f, 1024)
+        print(f"{label:<10} {f!s:<22} {classify(f):<22} gamma={gamma:.4f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="replay a trace on a scheduler")
+    p_run.add_argument("--scheduler", default="ours",
+                       choices=["ours", "optimal", "simple-gap", "pma", "append"])
+    p_run.add_argument("--trace", help="trace file (else generate)")
+    p_run.add_argument("--ops", type=int, default=2000)
+    p_run.add_argument("--max-size", type=int, default=1024)
+    p_run.add_argument("--dist", default="uniform")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--p", type=int, default=1)
+    p_run.add_argument("--delta", type=float, default=0.5)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_gen = sub.add_parser("gen", help="generate a workload trace")
+    p_gen.add_argument("kind", choices=["mixed", "churn", "grow-shrink", "cascade",
+                                        "sorted-front"])
+    p_gen.add_argument("out")
+    p_gen.add_argument("--ops", type=int, default=2000)
+    p_gen.add_argument("--max-size", type=int, default=1024)
+    p_gen.add_argument("--working-set", type=int, default=200)
+    p_gen.add_argument("--dist", default="uniform")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.set_defaults(fn=cmd_gen)
+
+    p_ins = sub.add_parser("inspect", help="drive and render a k-cursor table")
+    p_ins.add_argument("--k", type=int, default=8)
+    p_ins.add_argument("--ops", type=int, default=2000)
+    p_ins.add_argument("--delta", type=float, default=0.5)
+    p_ins.add_argument("--factor", type=int, default=2,
+                       help="explicit 1/delta' (0 = paper-derived params)")
+    p_ins.add_argument("--seed", type=int, default=0)
+    p_ins.set_defaults(fn=cmd_inspect)
+
+    p_costs = sub.add_parser("costs", help="classify the standard cost-function family")
+    p_costs.set_defaults(fn=cmd_costs)
+
+    p_exp = sub.add_parser("experiments", help="run experiments (see repro.sim.experiments)")
+    p_exp.add_argument("ids", nargs="*", default=[])
+    p_exp.add_argument("--full", action="store_true")
+    p_exp.add_argument("--markdown", action="store_true")
+
+    def run_experiments(a):
+        from repro.sim.experiments import main as exp_main
+
+        argv2 = list(a.ids)
+        if a.full:
+            argv2.append("--full")
+        if a.markdown:
+            argv2.append("--markdown")
+        return exp_main(argv2)
+
+    p_exp.set_defaults(fn=run_experiments)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Core reallocating-scheduler library (Sections 2 and 3 of the paper).
+
+The public surface:
+
+* :class:`~repro.core.single.SingleServerScheduler` -- the cost-oblivious
+  single-server reallocating scheduler (Theorem 1),
+* :class:`~repro.core.parallel.ParallelScheduler` -- the p-server scheduler
+  (Theorem 9, Invariant 5),
+* :class:`~repro.core.jobs.SizeClasser` / :class:`~repro.core.jobs.Job` --
+  size-class arithmetic,
+* :class:`~repro.core.events.Ledger` -- reallocation accounting.  The
+  schedulers record *which* jobs moved; cost functions are applied only by
+  the analysis layer, which is what makes the algorithms cost-oblivious by
+  construction (``repro.core`` never imports ``repro.core.costfn`` in its
+  scheduling logic).
+"""
+
+from repro.core.jobs import Job, PlacedJob, SizeClasser
+from repro.core.events import Ledger, OpReport, Reallocation, ReallocKind
+from repro.core.single import SingleServerScheduler
+from repro.core.parallel import ParallelScheduler
+from repro.core import costfn
+from repro.core import snapshot
+
+__all__ = [
+    "Job",
+    "PlacedJob",
+    "SizeClasser",
+    "Ledger",
+    "OpReport",
+    "Reallocation",
+    "ReallocKind",
+    "SingleServerScheduler",
+    "ParallelScheduler",
+    "costfn",
+    "snapshot",
+]

@@ -1,0 +1,193 @@
+"""Reallocation-cost functions and their structural properties.
+
+The paper's guarantees are parameterized by a *monotonically nondecreasing
+subadditive* cost function ``f``: reallocating a size-``w`` job costs
+``f(w)``.
+
+* ``f`` is **subadditive** if ``f(x + y) <= f(x) + f(y)`` (every monotone
+  concave function qualifies);
+* ``f`` is **strongly subadditive** if additionally ``f(2x) <= (2 - gamma)
+  f(x)`` for a constant ``gamma`` bounded above 0 -- per-unit cost then
+  *geometrically decreases* with size, which is what upgrades the
+  scheduler's competitiveness from ``O(log^3 log Delta)`` to ``O(1)``.
+
+The schedulers never see these objects (cost obliviousness); only the
+analysis layer prices recorded reallocation events with them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+CostFunction = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class ConstantCost:
+    """``f(w) = c``: moving a job costs the same regardless of size.
+
+    Strongly subadditive (``f(2x) = f(x)``, gamma = 1).  The footnote-1
+    baseline is tuned for exactly this function.
+    """
+
+    c: float = 1.0
+
+    def __call__(self, w: int) -> float:
+        return self.c
+
+    def __str__(self) -> str:
+        return f"f(w)={self.c:g}"
+
+
+@dataclass(frozen=True)
+class LinearCost:
+    """``f(w) = a*w``: cost proportional to job length (e.g. data volume).
+
+    Subadditive with equality -- the hardest case in the paper's family
+    (gamma = 0, not strongly subadditive).
+    """
+
+    a: float = 1.0
+
+    def __call__(self, w: int) -> float:
+        return self.a * w
+
+    def __str__(self) -> str:
+        return f"f(w)={self.a:g}w"
+
+
+@dataclass(frozen=True)
+class PowerCost:
+    """``f(w) = w**alpha`` for ``0 <= alpha <= 1``.
+
+    Subadditive; strongly subadditive iff ``alpha < 1``
+    (``f(2x)/f(x) = 2**alpha < 2``).
+    """
+
+    alpha: float = 0.5
+
+    def __post_init__(self):
+        if not (0.0 <= self.alpha <= 1.0):
+            raise ValueError("alpha must be in [0, 1] for subadditivity")
+
+    def __call__(self, w: int) -> float:
+        return float(w) ** self.alpha
+
+    def __str__(self) -> str:
+        return f"f(w)=w^{self.alpha:g}"
+
+
+@dataclass(frozen=True)
+class LogCost:
+    """``f(w) = 1 + log2(w)``: concave, hence subadditive; *not* strongly
+    subadditive at small sizes (``f(2)/f(1) = 2``)."""
+
+    def __call__(self, w: int) -> float:
+        return 1.0 + math.log2(w)
+
+    def __str__(self) -> str:
+        return "f(w)=1+lg w"
+
+
+@dataclass(frozen=True)
+class AffineCost:
+    """``f(w) = b + a*w``: fixed overhead plus linear transfer cost --
+    the realistic shape for VM/job migration.  Subadditive (b >= 0)."""
+
+    b: float = 1.0
+    a: float = 1.0
+
+    def __post_init__(self):
+        if self.b < 0 or self.a < 0:
+            raise ValueError("coefficients must be nonnegative")
+
+    def __call__(self, w: int) -> float:
+        return self.b + self.a * w
+
+    def __str__(self) -> str:
+        return f"f(w)={self.b:g}+{self.a:g}w"
+
+
+@dataclass(frozen=True)
+class CappedLinearCost:
+    """``f(w) = min(a*w, cap)``: linear up to a ceiling (e.g. restart cost
+    dominated by a full checkpoint).  Monotone concave, strongly
+    subadditive once the cap binds."""
+
+    a: float = 1.0
+    cap: float = 64.0
+
+    def __call__(self, w: int) -> float:
+        return min(self.a * w, self.cap)
+
+    def __str__(self) -> str:
+        return f"f(w)=min({self.a:g}w,{self.cap:g})"
+
+
+# ---------------------------------------------------------------------------
+# Property checkers (sampled; exact for integral arguments up to max_w)
+
+
+def is_monotone(f: CostFunction, max_w: int = 4096) -> bool:
+    prev = f(1)
+    for w in range(2, max_w + 1):
+        cur = f(w)
+        if cur < prev - 1e-12:
+            return False
+        prev = cur
+    return True
+
+
+def is_subadditive(f: CostFunction, max_w: int = 1024) -> bool:
+    """Check ``f(x+y) <= f(x) + f(y)`` for all integral x, y <= max_w."""
+    vals = [0.0] + [f(w) for w in range(1, 2 * max_w + 1)]
+    for x in range(1, max_w + 1):
+        fx = vals[x]
+        for y in range(x, max_w + 1):
+            if vals[x + y] > fx + vals[y] + 1e-9:
+                return False
+    return True
+
+
+def strong_subadditivity_gamma(f: CostFunction, max_w: int = 4096) -> float:
+    """Largest ``gamma`` such that ``f(2x) <= (2 - gamma) f(x)`` for all
+    integral ``x <= max_w`` (0 means not strongly subadditive)."""
+    gamma = 2.0
+    for x in range(1, max_w + 1):
+        fx = f(x)
+        if fx <= 0:
+            continue
+        gamma = min(gamma, 2.0 - f(2 * x) / fx)
+    return max(0.0, gamma)
+
+
+def is_strongly_subadditive(f: CostFunction, max_w: int = 4096, min_gamma: float = 1e-3) -> bool:
+    return strong_subadditivity_gamma(f, max_w) >= min_gamma
+
+
+def classify(f: CostFunction, max_w: int = 1024) -> str:
+    """Human-readable classification used in reports."""
+    if not is_monotone(f, max_w):
+        return "non-monotone"
+    if not is_subadditive(f, min(max_w, 512)):
+        return "not subadditive"
+    if is_strongly_subadditive(f, max_w):
+        return "strongly subadditive"
+    return "subadditive"
+
+
+STANDARD_FAMILY: dict[str, CostFunction] = {
+    "constant": ConstantCost(),
+    "sqrt": PowerCost(0.5),
+    "log": LogCost(),
+    "linear": LinearCost(),
+    "affine": AffineCost(),
+    "capped": CappedLinearCost(),
+}
+"""The cost-function family every experiment sweeps (E3, E9)."""
+
+
+def evaluate_total(f: CostFunction, sizes: Iterable[int]) -> float:
+    return sum(f(w) for w in sizes)

@@ -1,0 +1,154 @@
+"""Cost-oblivious reallocation accounting.
+
+A reallocating scheduler is ``(f, a, b)``-competitive when the reallocation
+cost is at most ``b`` times the sum of allocation costs of every job ever
+inserted.  Crucially, the paper's algorithm is *cost oblivious*: it never
+inspects ``f``.  We enforce that architecturally -- schedulers emit
+:class:`Reallocation` records (which job moved, its size, whether it
+changed servers) into a :class:`Ledger`; pricing under any cost function
+happens strictly after the fact (:meth:`Ledger.reallocation_cost` etc.),
+typically in :mod:`repro.analysis`.
+
+Per the paper's definition, a request's reallocation cost counts each job
+whose scheduling changed *once*, so the ledger deduplicates moves within a
+single operation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Optional
+
+
+class ReallocKind(enum.Enum):
+    PLACE = "place"  # initial allocation of an inserted job
+    MOVE = "move"  # nonmigrating reallocation (same server, new slot)
+    MIGRATE = "migrate"  # migrating reallocation (server changed)
+    REMOVE = "remove"  # job left the system (no cost; bookkeeping)
+
+
+@dataclass(frozen=True)
+class Reallocation:
+    name: Hashable
+    size: int
+    kind: ReallocKind
+
+
+@dataclass
+class OpReport:
+    """All (re)allocations triggered by one insert/delete request."""
+
+    kind: str  # "insert" | "delete"
+    name: Hashable
+    size: int
+    events: list[Reallocation] = field(default_factory=list)
+
+    def moved_sizes(self) -> list[int]:
+        """Sizes of jobs whose schedule changed (deduplicated per job)."""
+        seen: dict[Hashable, int] = {}
+        for ev in self.events:
+            if ev.kind in (ReallocKind.MOVE, ReallocKind.MIGRATE):
+                seen[ev.name] = ev.size
+        return list(seen.values())
+
+    def migrations(self) -> int:
+        return len({ev.name for ev in self.events if ev.kind is ReallocKind.MIGRATE})
+
+
+class Ledger:
+    """Streaming aggregation of allocation/reallocation events.
+
+    Holds only histograms (size -> count), so pricing an arbitrary cost
+    function afterwards is O(#distinct sizes); optionally keeps the full
+    per-op report list for fine-grained series (enabled by default, cheap
+    for the trace lengths we use).
+    """
+
+    def __init__(self, keep_reports: bool = True):
+        self.alloc_hist: dict[int, int] = {}
+        self.realloc_hist: dict[int, int] = {}
+        self.migrate_hist: dict[int, int] = {}
+        self.ops = 0
+        self.inserts = 0
+        self.deletes = 0
+        self.total_migrations = 0
+        self.reports: Optional[list[OpReport]] = [] if keep_reports else None
+        self._open: Optional[OpReport] = None
+
+    # -- recording (called by schedulers) --------------------------------
+
+    def begin(self, kind: str, name: Hashable, size: int) -> OpReport:
+        if self._open is not None:
+            raise RuntimeError("previous operation not committed")
+        self._open = OpReport(kind=kind, name=name, size=size)
+        return self._open
+
+    def record(self, name: Hashable, size: int, kind: ReallocKind) -> None:
+        if self._open is None:
+            raise RuntimeError("no open operation")
+        self._open.events.append(Reallocation(name, size, kind))
+
+    def commit(self) -> OpReport:
+        op = self._open
+        if op is None:
+            raise RuntimeError("no open operation")
+        self._open = None
+        self.ops += 1
+        if op.kind == "insert":
+            self.inserts += 1
+            self.alloc_hist[op.size] = self.alloc_hist.get(op.size, 0) + 1
+        else:
+            self.deletes += 1
+        for w in op.moved_sizes():
+            self.realloc_hist[w] = self.realloc_hist.get(w, 0) + 1
+        migs = op.migrations()
+        self.total_migrations += migs
+        for ev in op.events:
+            if ev.kind is ReallocKind.MIGRATE:
+                self.migrate_hist[ev.size] = self.migrate_hist.get(ev.size, 0) + 1
+        if self.reports is not None:
+            self.reports.append(op)
+        return op
+
+    def abort(self) -> None:
+        self._open = None
+
+    # -- pricing (called by analysis; f never reaches the scheduler) -----
+
+    def allocation_cost(self, f: Callable[[int], float]) -> float:
+        return sum(f(w) * c for w, c in self.alloc_hist.items())
+
+    def reallocation_cost(self, f: Callable[[int], float]) -> float:
+        return sum(f(w) * c for w, c in self.realloc_hist.items())
+
+    def competitiveness(self, f: Callable[[int], float]) -> float:
+        """The paper's ``b``: reallocation cost / total allocation cost."""
+        alloc = self.allocation_cost(f)
+        return self.reallocation_cost(f) / alloc if alloc > 0 else 0.0
+
+    def reallocation_series(self, f: Callable[[int], float]) -> list[float]:
+        """Per-operation reallocation cost (requires keep_reports=True)."""
+        if self.reports is None:
+            raise RuntimeError("ledger was built with keep_reports=False")
+        return [sum(f(w) for w in op.moved_sizes()) for op in self.reports]
+
+    def moved_jobs_total(self) -> int:
+        return sum(self.realloc_hist.values())
+
+    def summary(self) -> dict:
+        return {
+            "ops": self.ops,
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "jobs_moved": self.moved_jobs_total(),
+            "migrations": self.total_migrations,
+        }
+
+
+def merge_histograms(parts: Iterable[dict[int, int]]) -> dict[int, int]:
+    out: dict[int, int] = {}
+    for h in parts:
+        for w, c in h.items():
+            out[w] = out.get(w, 0) + c
+    return out

@@ -1,0 +1,32 @@
+"""Common protocol implemented by every scheduler (ours and baselines).
+
+Having one structural interface lets the sim harness, analysis layer and
+benchmarks drive any scheduler interchangeably:
+
+* ``insert(name, size)`` / ``delete(name)`` -- the online requests;
+* ``sum_completion_times()`` -- current objective value;
+* ``jobs()`` -- current placements (for validation);
+* ``ledger`` -- the cost-oblivious reallocation record.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Protocol, runtime_checkable
+
+from repro.core.events import Ledger
+from repro.core.jobs import PlacedJob
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    ledger: Ledger
+
+    def insert(self, name: Hashable, size: int): ...
+
+    def delete(self, name: Hashable): ...
+
+    def sum_completion_times(self) -> int: ...
+
+    def jobs(self) -> list[PlacedJob]: ...
+
+    def __len__(self) -> int: ...

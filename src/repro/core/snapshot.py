@@ -1,0 +1,172 @@
+"""Scheduler state snapshot/restore.
+
+The database motivation behind cost obliviousness ([8]) cares about crash
+safety: a storage engine must persist its reallocator's state and resume
+*deterministically* (same future decisions, hence same future costs).
+These functions capture the complete decision-relevant state of a
+scheduler -- job placements, class volumes, and the full k-cursor chunk
+tree -- as a JSON-serializable dict, and rebuild an equivalent scheduler.
+
+Determinism contract (tested): for any request sequence T2,
+``restore(snapshot(S)); replay T2`` produces placements identical to
+replaying T2 on the original S.
+
+The ledger's *history* is intentionally not captured (accounting restarts
+at the snapshot point); capture it separately if you need cumulative
+competitiveness across restarts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.jobs import Job, PlacedJob
+from repro.core.parallel import ParallelScheduler
+from repro.core.single import SingleServerScheduler
+
+FORMAT_VERSION = 1
+
+
+def _chunk_states(table) -> list[dict]:
+    out = []
+    for c in table.iter_chunks():
+        out.append(
+            {
+                "level": c.level,
+                "index": c.index,
+                "buffered": c.buffered,
+                "buf": c.buf,
+                "gaps": c.gaps,
+                "gap_offset": c.gap_offset,
+                "count": c.count,
+                "S": c.S,
+                "it": c.it,
+            }
+        )
+    return out
+
+
+def _apply_chunk_states(table, states: list[dict]) -> None:
+    chunks = list(table.iter_chunks())
+    if len(chunks) != len(states):
+        raise ValueError(
+            f"snapshot has {len(states)} chunks; rebuilt tree has {len(chunks)}"
+        )
+    n = 0
+    for c, st in zip(chunks, states):
+        if (c.level, c.index) != (st["level"], st["index"]):
+            raise ValueError("chunk tree shape mismatch")
+        c.buffered = st["buffered"]
+        c.buf = st["buf"]
+        c.gaps = st["gaps"]
+        c.gap_offset = st["gap_offset"]
+        c.count = st["count"]
+        c.S = st["S"]
+        c.it = st["it"]
+        if c.is_leaf:
+            n += c.count
+    table._n = n
+
+
+def snapshot_single(s: SingleServerScheduler) -> dict:
+    """Complete decision-relevant state of a single-server scheduler."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "single",
+        "delta": s.delta,
+        "max_size": s.classer.max_size,
+        "dynamic": s.dynamic,
+        "padding_enabled": s.padding_enabled,
+        "server": s.server,
+        "tau_mode": s.segments.table.tau_mode,
+        "params": {
+            "k": s.segments.table.params.k,
+            "delta_prime_inv": s.segments.table.params.delta_prime_inv,
+        },
+        "volumes": list(s.segments.volumes),
+        "scan_hints": [lay._scan_hint for lay in s.layouts],
+        "chunks": _chunk_states(s.segments.table),
+        "jobs": [
+            {"name": pj.name, "size": pj.size, "klass": pj.klass, "start": pj.start}
+            for pj in s.jobs()
+        ],
+    }
+
+
+def restore_single(snap: dict) -> SingleServerScheduler:
+    if snap.get("format") != FORMAT_VERSION or snap.get("kind") != "single":
+        raise ValueError("not a version-1 single-scheduler snapshot")
+    s = SingleServerScheduler(
+        snap["max_size"],
+        delta=snap["delta"],
+        dynamic=snap["dynamic"],
+        server=snap["server"],
+        padding_enabled=snap["padding_enabled"],
+    )
+    # Grow the class table to the snapshot's width (dynamic schedulers may
+    # have grown beyond what max_size implies for fresh construction).
+    want_k = snap["params"]["k"]
+    if s.segments.table.capacity < want_k or len(snap["chunks"]) != sum(
+        1 for _ in s.segments.table.iter_chunks()
+    ):
+        while s.segments.table.k < want_k:
+            s.segments.table.append_district()
+    _apply_chunk_states(s.segments.table, snap["chunks"])
+    s.segments.volumes[: len(snap["volumes"])] = snap["volumes"]
+    for lay, hint in zip(s.layouts, snap.get("scan_hints", [])):
+        lay._scan_hint = hint
+    for rec in snap["jobs"]:
+        pj = PlacedJob(
+            job=Job(rec["name"], rec["size"]),
+            klass=rec["klass"],
+            start=rec["start"],
+            server=snap["server"],
+        )
+        s._jobs[pj.name] = pj
+        s.layouts[pj.klass].add(pj)
+    return s
+
+
+def snapshot_parallel(p: ParallelScheduler) -> dict:
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "parallel",
+        "p": p.p,
+        "servers": [snapshot_single(child) for child in p.servers],
+        "where": {str(k): v for k, v in p._where.items()},
+    }
+
+
+def restore_parallel(snap: dict) -> ParallelScheduler:
+    if snap.get("format") != FORMAT_VERSION or snap.get("kind") != "parallel":
+        raise ValueError("not a version-1 parallel-scheduler snapshot")
+    first = snap["servers"][0]
+    out = ParallelScheduler(
+        snap["p"],
+        first["max_size"],
+        delta=first["delta"],
+        dynamic=first["dynamic"],
+    )
+    out.servers = [restore_single(child) for child in snap["servers"]]
+    out.classer = out.servers[0].classer
+    out._where = {k: v for k, v in snap["where"].items()}
+    return out
+
+
+def dumps(snap: dict) -> str:
+    return json.dumps(snap, sort_keys=True)
+
+
+def loads(text: str) -> dict:
+    return json.loads(text)
+
+
+def save(snap: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(dumps(snap))
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        return loads(fh.read())

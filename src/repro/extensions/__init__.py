@@ -1,0 +1,13 @@
+"""Extensions beyond the paper's core results.
+
+* :mod:`repro.extensions.makespan` -- a cost-oblivious reallocating
+  *makespan* balancer.  The paper positions minimizing the sum of
+  completion times against its predecessor [8], whose objective (total
+  storage footprint) "is analogous to minimizing the makespan"; this
+  module carries the same size-class + Invariant-5 machinery over to that
+  objective, with honest (weaker) guarantees documented in the module.
+"""
+
+from repro.extensions.makespan import MakespanReallocator
+
+__all__ = ["MakespanReallocator"]

@@ -1,0 +1,48 @@
+"""k-cursor sparse table (Section 4 of the paper).
+
+A *k-cursor sparse table* stores ``n`` unit-size elements in ``k`` ordered
+LIFO regions ("cursor districts") inside a conceptually infinite array,
+while guaranteeing
+
+* **constant prefix density** (Theorem 16): the earliest ``x`` elements
+  always occupy a prefix of at most ``(1 + 9*delta') * x`` array slots, and
+* **amortized O(log^3 k)** slot moves per insert/delete (Theorem 18),
+  *independent of n* -- beating the Omega(log^2 n) lower bound for general
+  sparse tables when k << n, and
+* **one-directional rebalances** (Theorem 19): an operation on district j
+  never moves any slot belonging to a district left of j.
+
+Public API
+----------
+:class:`KCursorSparseTable`
+    the data structure; :meth:`~KCursorSparseTable.insert`,
+    :meth:`~KCursorSparseTable.delete`,
+    :meth:`~KCursorSparseTable.district_extent`, ...
+:class:`Params`
+    derivation of the paper's parameters (H, tau, delta') from (k, delta).
+:class:`CostCounter` / :class:`OpStats`
+    the explicit machine model: every slot scanned or moved is counted.
+"""
+
+from repro.kcursor.params import Params
+from repro.kcursor.costmodel import CostCounter, OpStats, RebuildRecord
+from repro.kcursor.chunk import Chunk
+from repro.kcursor.table import KCursorSparseTable
+from repro.kcursor.debug import check_invariants, render_layout, InvariantViolation
+from repro.kcursor.layout import materialize, element_positions, Slot, SlotKind
+
+__all__ = [
+    "Params",
+    "CostCounter",
+    "OpStats",
+    "RebuildRecord",
+    "Chunk",
+    "KCursorSparseTable",
+    "check_invariants",
+    "render_layout",
+    "InvariantViolation",
+    "materialize",
+    "element_positions",
+    "Slot",
+    "SlotKind",
+]

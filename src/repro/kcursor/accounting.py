@@ -1,0 +1,162 @@
+"""Executable form of the paper's accounting argument (Section 4.3).
+
+The conference version only sketches Theorem 18's proof: level-``i``
+dollars are worth
+
+    $_i 1  =  (H + 1 - i) * (1 + 4/(H+1))^(H+1-i)        (Equation 1)
+
+plain dollars, every chunk ``c_i`` must hold at least
+``$_i |B_hat(c_i) - B(c_i)|`` (``B_hat`` = its buffer size right after its
+last rebuild), and the conversion rate
+
+    $_i 1  >=  $1 + $_{i+1} (1 + 4/(H+1))                 (Equation 2)
+
+lets a rebuilt chunk pay for its own rebuild and compensate its parent.
+
+This module *audits* that argument numerically on a live structure:
+
+* every operation is charged the money needed to keep the per-chunk
+  account invariant (each unit of new buffer drift at level ``i`` costs
+  ``$_i 1`` plain dollars);
+* a rebuild resets the rebuilt chunk's account (the released money is what
+  pays for the rebuild);
+* the auditor reports cumulative machine-model cost vs cumulative charged
+  money -- the implied *work-per-dollar* ratio, which Theorem 18 predicts
+  is ``O(1/tau^2)`` -- and the per-op charge, predicted ``O(H * $_0 1)``.
+
+Instrumentation only; never influences the data structure.  Used by
+experiment E13 and tests/test_kcursor_accounting.py.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kcursor.chunk import Chunk
+from repro.kcursor.table import KCursorSparseTable
+
+
+def dollar_value(level: int, H: int) -> float:
+    """Plain-dollar value of one level-``level`` dollar (Equation 1)."""
+    r = H + 1 - level
+    return r * (1.0 + 4.0 / (H + 1)) ** r
+
+
+def conversion_gap(level: int, H: int) -> float:
+    """Slack in Equation 2 at this level (the paper needs >= 0)."""
+    return dollar_value(level, H) - (
+        1.0 + dollar_value(level + 1, H) * (1.0 + 4.0 / (H + 1))
+    )
+
+
+@dataclass
+class AuditReport:
+    """Potential-method audit of Theorem 18.
+
+    Per operation we record the *amortized charge*
+
+        a_op = dPhi + cost_op * tau^2
+
+    where ``Phi = sum_c $_level(c) * |B_hat(c) - B(c)|`` is the paper's
+    account potential (in plain dollars) and ``tau^2`` converts machine
+    work to dollars (Theorem 18 charges ``Theta(1/tau^2)`` work per
+    dollar).  The theorem's statement is exactly: ``a_op`` is bounded by
+    ``O((H+1) * $_0 1) = O(log^2 k)`` dollars for every operation.
+    """
+
+    H: int = 0
+    ops: int = 0
+    total_cost: int = 0
+    total_amortized: float = 0.0
+    max_amortized: float = 0.0
+    final_potential: float = 0.0
+    amortized: list[float] = field(default_factory=list)
+
+    @property
+    def mean_amortized(self) -> float:
+        return self.total_amortized / self.ops if self.ops else 0.0
+
+    @property
+    def theorem_bound_unit(self) -> float:
+        """The predicted per-op scale: (H+1) * $_0 1."""
+        return (self.H + 1) * dollar_value(0, self.H)
+
+
+class AccountingAuditor:
+    """Shadow-tracks ``B_hat`` per chunk and audits the potential method."""
+
+    def __init__(self, table: KCursorSparseTable):
+        self.table = table
+        self.H = table.root.level
+        self._b_hat: dict[int, int] = {}
+        for c in table.iter_chunks():
+            self._b_hat[id(c)] = c.buf
+        self._tau_sq = 1.0 / (table.root.it**2)
+        self._phi = 0.0
+        self._last_cost = table.counter.total_cost
+        self.report = AuditReport(H=self.H)
+
+    def _cascade_chunks(self) -> dict[int, Chunk]:
+        """The last op's rebuild cascade: ancestors of its district by level."""
+        op = self.table.last_op
+        if op is None or op.district < 0:
+            return {}
+        node = self.table.leaves[op.district]
+        chain: dict[int, Chunk] = {}
+        while node is not None:
+            chain[node.level] = node
+            node = node.parent
+        return chain
+
+    def potential(self) -> float:
+        return self._phi
+
+    def observe(self) -> float:
+        """Call after each table operation; returns the amortized charge."""
+        op = self.table.last_op
+        if op is not None:
+            chain = self._cascade_chunks()
+            for rec in op.rebuilds:
+                node = chain.get(rec.level)
+                if node is not None:
+                    # Rebuild: the account is released and B_hat resets.
+                    self._b_hat[id(node)] = node.buf
+        phi = 0.0
+        for c in self.table.iter_chunks():
+            key = id(c)
+            if key not in self._b_hat:  # chunk added by append_district
+                self._b_hat[key] = c.buf
+                continue
+            phi += dollar_value(c.level, self.H) * abs(c.buf - self._b_hat[key])
+        cost_now = self.table.counter.total_cost
+        cost_op = cost_now - self._last_cost
+        self._last_cost = cost_now
+        amortized = (phi - self._phi) + cost_op * self._tau_sq
+        self._phi = phi
+        rep = self.report
+        rep.ops += 1
+        rep.total_cost = cost_now
+        rep.total_amortized += amortized
+        rep.max_amortized = max(rep.max_amortized, amortized)
+        rep.final_potential = phi
+        rep.amortized.append(amortized)
+        return amortized
+
+
+def audit_run(k: int, ops: int, *, factor: int = 2, seed: int = 0) -> AuditReport:
+    """Drive a random workload under audit; returns the report."""
+    import random
+
+    from repro.kcursor.params import Params
+
+    table = KCursorSparseTable(k, params=Params.explicit(k, factor))
+    auditor = AccountingAuditor(table)
+    rng = random.Random(seed)
+    for _ in range(ops):
+        j = rng.randrange(k)
+        if rng.random() < 0.55 or table.district_len(j) == 0:
+            table.insert(j)
+        else:
+            table.delete(j)
+        auditor.observe()
+    return auditor.report

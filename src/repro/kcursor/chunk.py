@@ -1,0 +1,151 @@
+"""Chunk-tree nodes of the k-cursor sparse table.
+
+A *level-i chunk* (Section 4.1) corresponds to a height-``i`` subtree of
+cursor districts.  A level-0 chunk is a single district plus its buffer; a
+level-(i+1) chunk is [left level-i chunk][right level-i chunk, with
+level-(i+1) gaps interleaved][level-(i+1) buffer].
+
+Space bookkeeping per chunk ``c`` (paper notation):
+
+* ``B(c)`` -- buffer slots (empty, at the chunk's right end),
+* ``G(c)`` -- gap slots (empty, interleaved through the *right child*),
+* ``S(c)`` -- total slots: ``S = S_L + S_R + G + B`` (leaf: elements + B),
+* ``N(c) = S(c) - B(c)`` -- nonbuffer space.
+
+Invariant 10 (space): ``0 <= B(c) <= tau * N(c)`` and
+``0 <= G(c) <= tau * S(c_R)``.
+
+Invariant 11 (gaps): the leftmost present level-(i+1) gap lies after at
+least ``2/tau^2 + S(c_L)/tau`` slots of the right child and consecutive
+gaps are exactly ``1/tau`` right-child slots apart.  We store the pair
+``(gap_offset, gaps)``: gap ``m`` (0-indexed) sits after
+``gap_offset + m * inv_tau`` right-child slots.
+
+The conference paper leaves the post-consumption form of Invariant 11 to
+the (unpublished) full version; we maintain the *at-least* direction for
+``gap_offset`` -- consumed leftmost gaps simply vanish and the offset
+advances -- which preserves the prefix-density proof (fewer gaps in any
+prefix can only make it denser) and the insert-cost argument (the offset
+grows exactly in step with ``S(c_L)/tau``; see ``table._grow``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Chunk:
+    """One node of the chunk tree.  Leaves are cursor districts."""
+
+    __slots__ = (
+        "level",
+        "index",
+        "parent",
+        "left",
+        "right",
+        "is_right_child",
+        "buffered",
+        "buf",
+        "gaps",
+        "gap_offset",
+        "count",
+        "S",
+        "it",
+    )
+
+    def __init__(self, level: int, index: int, parent: Optional["Chunk"] = None):
+        self.level = level
+        self.index = index
+        self.parent = parent
+        self.left: Optional[Chunk] = None
+        self.right: Optional[Chunk] = None
+        self.is_right_child = False
+        self.buffered = False  # chunks start empty, hence UNBUFFERED
+        self.buf = 0  # B(c)
+        self.gaps = 0  # G(c); always 0 for leaves
+        self.gap_offset = 0  # right-child slots before the first present gap
+        self.count = 0  # leaf only: number of stored elements
+        self.S = 0  # cached total space
+        self.it = 0  # 1/tau for this chunk (set by the owning table)
+
+    # ------------------------------------------------------------------
+    # Derived space quantities
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    @property
+    def N(self) -> int:
+        """Nonbuffer space: total space minus own buffer."""
+        return self.S - self.buf
+
+    def recompute_S(self) -> int:
+        """Recompute total space bottom-up (debug/validation only)."""
+        if self.is_leaf:
+            return self.count + self.buf
+        assert self.left is not None and self.right is not None
+        return self.left.recompute_S() + self.right.recompute_S() + self.gaps + self.buf
+
+    # ------------------------------------------------------------------
+    # Gap geometry (Invariant 11), all in integer right-child-slot units.
+
+    def min_gap_offset(self, inv_tau: int) -> int:
+        """Canonical minimum offset of the first gap: 2/tau^2 + S(c_L)/tau."""
+        assert self.left is not None
+        return 2 * inv_tau * inv_tau + self.left.S * inv_tau
+
+    def gaps_fitting(self, s_right: int, inv_tau: int) -> int:
+        """Number of canonical gap positions inside a right child of size
+        ``s_right``, starting from the canonical minimum offset."""
+        o0 = self.min_gap_offset(inv_tau)
+        if s_right < o0:
+            return 0
+        return (s_right - o0) // inv_tau + 1
+
+    def gap_position(self, m: int) -> int:
+        """Right-child slots preceding present gap ``m`` (0-indexed)."""
+        return self.gap_offset  # adjusted by caller with + m * inv_tau
+
+    def gaps_before_slot(self, s: int, inv_tau: int) -> int:
+        """How many of this chunk's present gaps precede right-child slot
+        index ``s`` (i.e. gaps with position <= s)."""
+        if self.gaps == 0 or s < self.gap_offset:
+            return 0
+        return min(self.gaps, (s - self.gap_offset) // inv_tau + 1)
+
+    def last_gap_offset(self, inv_tau: int) -> int:
+        """Offset of the last present gap; caller must ensure gaps > 0."""
+        assert self.gaps > 0
+        return self.gap_offset + (self.gaps - 1) * inv_tau
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else f"lvl{self.level}"
+        state = "B" if self.buffered else "U"
+        extra = f" count={self.count}" if self.is_leaf else f" G={self.gaps}@{self.gap_offset}"
+        return f"<Chunk {kind}#{self.index} {state} S={self.S} B={self.buf}{extra}>"
+
+
+def build_tree(height: int) -> tuple[Chunk, list[Chunk]]:
+    """Build a complete chunk tree of the given height.
+
+    Returns ``(root, leaves)`` where ``leaves`` are the ``2**height``
+    level-0 chunks in left-to-right (district) order.
+    """
+    root = Chunk(level=height, index=0)
+    leaves: list[Chunk] = []
+
+    def expand(node: Chunk) -> None:
+        if node.level == 0:
+            leaves.append(node)
+            return
+        node.left = Chunk(node.level - 1, node.index * 2, parent=node)
+        node.right = Chunk(node.level - 1, node.index * 2 + 1, parent=node)
+        node.right.is_right_child = True
+        expand(node.left)
+        expand(node.right)
+
+    expand(root)
+    return root, leaves

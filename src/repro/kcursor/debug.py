@@ -1,0 +1,157 @@
+"""Invariant checking and ASCII visualisation for the k-cursor table.
+
+``check_invariants`` verifies, on the live structure:
+
+* cached-space consistency (``S`` equals the bottom-up recomputation),
+* Invariant 10 (space): ``0 <= B(c) <= tau N(c)`` and
+  ``0 <= G(c) <= tau S(c_R)``,
+* Invariant 11 (gaps, at-least form): first present gap at offset
+  ``>= 2/tau^2 + S(c_L)/tau``; all present gaps inside the right child's
+  extent; exact ``1/tau`` spacing is structural (we store offset+count),
+* rest-state discipline: UNBUFFERED chunks hold no buffer and no chunk
+  with ``N >= 2/tau^2`` is UNBUFFERED / ``N < 1/tau^2`` is BUFFERED,
+* Theorem 16 (prefix density): the earliest ``x`` elements lie within the
+  first ``(1 + 9 delta') x`` slots, for every ``x``,
+* position consistency: the table's O(H) position arithmetic agrees with
+  the materialized layout.
+
+These checks are O(total span); tests call them after every operation on
+small structures and at checkpoints on larger ones.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kcursor.table import KCursorSparseTable
+
+from repro.kcursor.layout import SlotKind, materialize
+
+
+class InvariantViolation(AssertionError):
+    """Raised when the k-cursor structure violates a paper invariant."""
+
+
+def _fail(msg: str) -> None:
+    raise InvariantViolation(msg)
+
+
+def check_invariants(
+    table: "KCursorSparseTable",
+    *,
+    density: bool = True,
+    positions: bool = True,
+) -> None:
+    """Validate the full invariant suite; raises :class:`InvariantViolation`."""
+    for c in table.iter_chunks():
+        # Cached space consistency.
+        expect = c.recompute_S()
+        if c.S != expect:
+            _fail(f"{c!r}: cached S={c.S} != recomputed {expect}")
+        if c.buf < 0:
+            _fail(f"{c!r}: negative buffer")
+        if c.gaps < 0:
+            _fail(f"{c!r}: negative gap count")
+        it = c.it
+        # Invariant 10, buffer part: B <= tau * N.
+        if c.buf * it > c.N:
+            _fail(f"{c!r}: B={c.buf} > tau*N (N={c.N}, 1/tau={it})")
+        # State discipline.
+        if not c.buffered and c.buf != 0:
+            _fail(f"{c!r}: UNBUFFERED chunk holds buffer {c.buf}")
+        if c.N >= 2 * it * it and not c.buffered:
+            _fail(f"{c!r}: N={c.N} >= 2/tau^2 but UNBUFFERED")
+        if c.N < it * it and c.buffered and c.N > 0:
+            _fail(f"{c!r}: N={c.N} < 1/tau^2 but BUFFERED")
+        if c.is_leaf:
+            if c.gaps:
+                _fail(f"{c!r}: leaf has gaps")
+            continue
+        # Invariant 10, gap part: G <= tau * S(c_R).
+        if c.gaps * it > c.right.S:
+            _fail(f"{c!r}: G={c.gaps} > tau*S_R (S_R={c.right.S})")
+        if c.gaps:
+            # Invariant 11: first gap no earlier than the canonical offset;
+            # last gap within the right child's extent.
+            o0 = c.min_gap_offset(it)
+            if c.gap_offset < o0:
+                _fail(f"{c!r}: gap_offset={c.gap_offset} < canonical minimum {o0}")
+            if c.last_gap_offset(it) > c.right.S:
+                _fail(
+                    f"{c!r}: last gap offset {c.last_gap_offset(it)} beyond "
+                    f"right child extent {c.right.S}"
+                )
+
+    if density:
+        check_prefix_density(table)
+    if positions:
+        check_position_consistency(table)
+
+
+def check_prefix_density(table: "KCursorSparseTable") -> None:
+    """Theorem 16: earliest x elements within (1 + 9 delta') x slots."""
+    bound = table.params.density_bound
+    positions = [
+        i for i, s in enumerate(materialize(table)) if s.kind is SlotKind.ELEMENT
+    ]
+    for x, pos in enumerate(positions, start=1):
+        if pos + 1 > bound * x:
+            _fail(
+                f"prefix density violated: element #{x} at slot {pos} "
+                f"(allowed {bound * x:.1f} = (1+9*delta')*{x})"
+            )
+
+
+def max_prefix_density(table: "KCursorSparseTable") -> float:
+    """max over x of (slots used by the first x elements) / x."""
+    worst = 1.0
+    positions = [
+        i for i, s in enumerate(materialize(table)) if s.kind is SlotKind.ELEMENT
+    ]
+    for x, pos in enumerate(positions, start=1):
+        worst = max(worst, (pos + 1) / x)
+    return worst
+
+
+def check_position_consistency(table: "KCursorSparseTable") -> None:
+    """O(H) position arithmetic must agree with the materialized layout."""
+    slots = materialize(table)
+    by_district: dict[int, list[int]] = {}
+    for i, s in enumerate(slots):
+        if s.kind is SlotKind.ELEMENT:
+            by_district.setdefault(s.district, []).append(i)
+    for j in range(table.k):
+        want = by_district.get(j, [])
+        count = table.district_len(j)
+        if len(want) != count:
+            _fail(f"district {j}: layout has {len(want)} elements, tree says {count}")
+        for i, pos in enumerate(want):
+            got = table.element_position(j, i)
+            if got != pos:
+                _fail(f"district {j} element {i}: position arithmetic {got} != layout {pos}")
+        start, end = table.district_extent(j)
+        if count:
+            if start != want[0] or end != want[-1] + 1:
+                _fail(
+                    f"district {j}: extent ({start},{end}) != layout "
+                    f"({want[0]},{want[-1] + 1})"
+                )
+
+
+def render_layout(table: "KCursorSparseTable", width: int = 100) -> str:
+    """Compact ASCII rendering: digits = district (mod 10), '.' buffer,
+    '_' gap.  Truncated to ``width`` characters with a summary suffix."""
+    parts = []
+    for s in materialize(table):
+        if s.kind is SlotKind.ELEMENT:
+            parts.append(str(s.district % 10))
+        elif s.kind is SlotKind.BUFFER:
+            parts.append(".")
+        else:
+            parts.append("_")
+    text = "".join(parts)
+    suffix = f"  [{len(text)} slots, {len(table)} elements]"
+    if len(text) > width:
+        text = text[: width - 1] + "~"
+    return text + suffix

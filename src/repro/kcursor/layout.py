@@ -1,0 +1,106 @@
+"""Materialization of the k-cursor array layout.
+
+The physical array is a pure function of the chunk tree's bookkeeping
+(Figures 2 and 5 of the paper).  This module renders it explicitly --
+O(total span) work, intended for tests, invariant checks and small-scale
+visualisation, while the table itself never materializes anything.
+
+Layout of a level-(i+1) chunk::
+
+    [ left level-i chunk ][ right level-i chunk, with level-(i+1) gaps
+      interleaved after gap_offset, gap_offset + 1/tau, ... of its own
+      slots ][ level-(i+1) buffer ]
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kcursor.table import KCursorSparseTable
+
+from repro.kcursor.chunk import Chunk
+
+
+class SlotKind(enum.Enum):
+    ELEMENT = "element"
+    BUFFER = "buffer"
+    GAP = "gap"
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One materialized array slot."""
+
+    kind: SlotKind
+    level: int  # owning chunk's level (buffer/gap) or 0 (element)
+    district: int = -1  # for elements: the owning district
+    ordinal: int = -1  # for elements: index within the district
+
+
+def _materialize_chunk(node: Chunk) -> list[Slot]:
+    if node.is_leaf:
+        slots = [
+            Slot(SlotKind.ELEMENT, 0, district=node.index, ordinal=i) for i in range(node.count)
+        ]
+        slots.extend(Slot(SlotKind.BUFFER, 0, district=node.index) for _ in range(node.buf))
+        return slots
+
+    left = _materialize_chunk(node.left)
+    right = _materialize_chunk(node.right)
+
+    # Interleave this chunk's gaps through the right child's slots: gap m
+    # sits after gap_offset + m * (1/tau) right-child slots.
+    if node.gaps:
+        it = node.it
+        merged: list[Slot] = []
+        next_gap = node.gap_offset
+        placed = 0
+        for pos, slot in enumerate(right):
+            while placed < node.gaps and next_gap == pos:
+                merged.append(Slot(SlotKind.GAP, node.level))
+                placed += 1
+                next_gap += it
+            merged.append(slot)
+        while placed < node.gaps:  # gaps at/after the right child's end
+            merged.append(Slot(SlotKind.GAP, node.level))
+            placed += 1
+        right = merged
+
+    out = left
+    out.extend(right)
+    out.extend(Slot(SlotKind.BUFFER, node.level) for _ in range(node.buf))
+    return out
+
+
+def materialize(table: "KCursorSparseTable") -> list[Slot]:
+    """Render the full array (elements, buffers, gaps) in order."""
+    return _materialize_chunk(table.root)
+
+
+def element_positions(table: "KCursorSparseTable") -> list[int]:
+    """Absolute positions of all elements in array order.
+
+    Equals the sorted positions of every element of every district; used
+    by the prefix-density check (Theorem 16).
+    """
+    return [i for i, slot in enumerate(materialize(table)) if slot.kind is SlotKind.ELEMENT]
+
+
+def occupancy_profile(table: "KCursorSparseTable", resolution: int = 64) -> list[float]:
+    """Fraction of element slots per bucket of the array span (for plots)."""
+    slots = materialize(table)
+    if not slots:
+        return []
+    n = len(slots)
+    buckets = min(resolution, n)
+    out = []
+    for b in range(buckets):
+        lo = b * n // buckets
+        hi = (b + 1) * n // buckets
+        seg = slots[lo:hi]
+        full = sum(1 for s in seg if s.kind is SlotKind.ELEMENT)
+        out.append(full / max(1, len(seg)))
+    return out

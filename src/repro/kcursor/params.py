@@ -1,0 +1,140 @@
+"""Parameter derivation for the k-cursor sparse table.
+
+The paper (Section 4.3) fixes the parameters as follows:
+
+* ``H = ceil(lg k)`` -- height of the (complete binary) chunk tree.
+* ``delta`` -- the user-facing space parameter: the structure must keep the
+  first ``x`` elements within ``(1 + delta) * x`` slots.
+* ``delta' = 1 / ceil(9 / delta)`` -- chosen so Theorem 16's bound
+  ``(1 + 9 delta')`` is at most ``(1 + delta)`` *and* so that ``1/tau``
+  is an integer.
+* ``tau = delta' / (H + 1)`` -- the per-level slack parameter; buffers obey
+  ``B(c) <= tau * N(c)`` (Invariant 10).
+* state thresholds: a chunk becomes BUFFERED when its nonbuffer space
+  reaches ``2 / tau^2`` and reverts to UNBUFFERED when it drops below
+  ``1 / tau^2``.
+
+All quantities are kept as exact integers: we store ``inv_tau = 1/tau``
+and replace every ``tau * z`` by ``z // inv_tau`` (paper floors these
+quantities anyway).
+
+For unit tests it is convenient to exercise the BUFFERED machinery with
+tiny structures, so :meth:`Params.explicit` allows a caller to pin
+``inv_tau`` directly (still subject to the paper's integrality constraint
+``inv_tau >= H + 1``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def _ceil_lg(k: int) -> int:
+    """ceil(log2(k)) for k >= 1, exactly."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return (k - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class Params:
+    """Resolved parameters of a k-cursor sparse table.
+
+    Attributes
+    ----------
+    k:
+        number of cursor districts (as requested by the caller).
+    capacity:
+        number of leaves in the chunk tree, ``2**H`` (>= k).
+    H:
+        tree height, ``ceil(lg k)``.
+    delta:
+        user-facing space parameter (prefix density ``1 + delta``).
+    delta_prime_inv:
+        ``1/delta'`` as an integer (``ceil(9/delta)`` in the paper's
+        derivation, or ``inv_tau / (H+1)`` when pinned explicitly).
+    inv_tau:
+        ``1/tau`` as an integer; equals ``delta_prime_inv * (H + 1)``.
+    buffered_on:
+        nonbuffer-space threshold ``2/tau^2`` at which a chunk turns
+        BUFFERED.
+    buffered_off:
+        threshold ``1/tau^2`` below which a chunk turns UNBUFFERED.
+    """
+
+    k: int
+    capacity: int
+    H: int
+    delta: float
+    delta_prime_inv: int
+    inv_tau: int
+
+    @property
+    def tau(self) -> float:
+        return 1.0 / self.inv_tau
+
+    @property
+    def delta_prime(self) -> float:
+        return 1.0 / self.delta_prime_inv
+
+    @property
+    def buffered_on(self) -> int:
+        return 2 * self.inv_tau * self.inv_tau
+
+    @property
+    def buffered_off(self) -> int:
+        return self.inv_tau * self.inv_tau
+
+    @property
+    def density_bound(self) -> float:
+        """Theorem 16: first ``x`` elements fit in ``density_bound * x`` slots."""
+        return 1.0 + 9.0 * self.delta_prime
+
+    @classmethod
+    def from_delta(cls, k: int, delta: float = 0.5) -> "Params":
+        """Derive parameters exactly as the paper does (Theorem 16 setup)."""
+        if not (0.0 < delta <= 1.0):
+            raise ValueError(f"delta must be in (0, 1], got {delta}")
+        H = _ceil_lg(k)
+        dpi = math.ceil(9.0 / delta)
+        return cls(
+            k=k,
+            capacity=1 << H,
+            H=H,
+            delta=delta,
+            delta_prime_inv=dpi,
+            inv_tau=dpi * (H + 1),
+        )
+
+    @classmethod
+    def explicit(cls, k: int, inv_tau_factor: int) -> "Params":
+        """Pin ``delta_prime_inv`` directly (testing/experimentation knob).
+
+        ``inv_tau_factor`` plays the role of ``1/delta'``; must be >= 2 so
+        that ``delta' <= 1/2`` keeps the structure meaningful.  The
+        corresponding user-facing ``delta`` is ``9 * delta'`` (may exceed 1
+        for very small factors; density guarantees degrade accordingly and
+        this constructor intentionally permits that for experiments).
+        """
+        if inv_tau_factor < 2:
+            raise ValueError(f"inv_tau_factor must be >= 2, got {inv_tau_factor}")
+        H = _ceil_lg(k)
+        return cls(
+            k=k,
+            capacity=1 << H,
+            H=H,
+            delta=min(1.0, 9.0 / inv_tau_factor),
+            delta_prime_inv=inv_tau_factor,
+            inv_tau=inv_tau_factor * (H + 1),
+        )
+
+    def validate(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.capacity != 1 << self.H or self.capacity < self.k:
+            raise ValueError("capacity must equal 2**H and cover k")
+        if self.inv_tau < self.H + 1:
+            raise ValueError("1/tau must be an integer >= H + 1 (paper, Section 4.1)")
+        if self.inv_tau != self.delta_prime_inv * (self.H + 1):
+            raise ValueError("inv_tau must equal delta_prime_inv * (H + 1)")

@@ -1,0 +1,14 @@
+"""General sparse table (packed-memory array) substrate.
+
+The paper contrasts its k-cursor structure against *general* sparse tables
+[21, 35-37], which support insertion/deletion at arbitrary ranks but pay
+``Theta(log^2 n)`` amortized slot moves per update (tight by [11]).  This
+package implements the classical PMA with per-level density thresholds so
+the contrast (experiment E8) and the lower-bound shape (E6 vs. PMA) can be
+measured under the same slot-move cost model.
+"""
+
+from repro.pma.pma import PackedMemoryArray, PMACounter
+from repro.pma.adaptive import AdaptivePackedMemoryArray
+
+__all__ = ["PackedMemoryArray", "PMACounter", "AdaptivePackedMemoryArray"]

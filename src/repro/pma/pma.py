@@ -1,0 +1,321 @@
+"""Classical packed-memory array (general sparse table).
+
+Maintains ``n`` integer-valued elements in rank order inside an array of
+capacity ``2^m`` with empty slots interleaved, supporting ``insert(rank,
+value)`` / ``delete(rank)`` in amortized ``O(log^2 n)`` slot moves -- the
+bound the paper cites for general sparse tables (Itai-Konheim-Rodeh [21];
+Willard [35-37]; lower bound Bulanek-Koucky-Saks [11]).
+
+Design (textbook):
+
+* the array is split into segments of size ``Theta(log2 capacity)``;
+* a conceptual binary tree over segments defines *windows* (1, 2, 4, ...
+  segments); window densities must stay within thresholds that interpolate
+  from strict at the root (``[l_root, u_root]``) to loose at the leaves
+  (``[l_leaf, u_leaf]``);
+* an update first shifts within one segment; if the segment leaves its
+  threshold band, the smallest in-band enclosing window is rebalanced by
+  spreading its elements evenly;
+* if even the root is out of band, the capacity is doubled/halved.
+
+Storage is a NumPy ``int64`` array (-1 = empty slot) so rebalances are
+vectorized; the slot-move cost (the paper's machine model) is counted
+explicitly in :class:`PMACounter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+EMPTY = -1
+
+
+@dataclass
+class PMACounter:
+    """Cumulative cost accounting (same units as the k-cursor counter)."""
+
+    ops: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    slots_moved: int = 0
+    rebalances: int = 0
+    resizes: int = 0
+
+    @property
+    def total_cost(self) -> int:
+        return self.slots_moved
+
+    @property
+    def amortized_cost(self) -> float:
+        return self.slots_moved / self.ops if self.ops else 0.0
+
+
+class PackedMemoryArray:
+    """Rank-addressed packed-memory array over int64 values (>= 0).
+
+    Parameters
+    ----------
+    initial_capacity:
+        starting array size (rounded up to a power of two, >= 8).
+    u_root, u_leaf:
+        max density at the root / leaf window levels (0 < u_root < u_leaf <= 1).
+    l_root, l_leaf:
+        min density at the root / leaf window levels (0 <= l_leaf < l_root < u_root).
+    """
+
+    def __init__(
+        self,
+        initial_capacity: int = 64,
+        *,
+        u_root: float = 0.75,
+        u_leaf: float = 1.0,
+        l_root: float = 0.30,
+        l_leaf: float = 0.10,
+    ):
+        if not (0.0 <= l_leaf < l_root < u_root < u_leaf <= 1.0):
+            raise ValueError("density thresholds must satisfy l_leaf < l_root < u_root < u_leaf")
+        self._u_root, self._u_leaf = u_root, u_leaf
+        self._l_root, self._l_leaf = l_root, l_leaf
+        cap = 8
+        while cap < initial_capacity:
+            cap *= 2
+        self._n = 0
+        self.counter = PMACounter()
+        self._alloc(cap)
+
+    # ------------------------------------------------------------------
+
+    def _alloc(self, capacity: int) -> None:
+        self._capacity = capacity
+        # Segment size ~ log2(capacity), rounded to a power of two so the
+        # window tree is aligned.
+        seg = 1
+        target = max(2, int(np.log2(capacity)))
+        while seg < target:
+            seg *= 2
+        self._seg_size = seg
+        self._n_segs = capacity // seg
+        self._height = int(np.log2(self._n_segs)) if self._n_segs > 1 else 0
+        self._slots = np.full(capacity, EMPTY, dtype=np.int64)
+        self._seg_counts = np.zeros(self._n_segs, dtype=np.int64)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def segment_size(self) -> int:
+        return self._seg_size
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def density(self) -> float:
+        return self._n / self._capacity
+
+    # ------------------------------------------------------------------
+    # Thresholds
+
+    def _bounds(self, level: int) -> tuple[float, float]:
+        """(lower, upper) density bounds for a window ``level`` steps above
+        a leaf segment (level 0 = single segment)."""
+        h = max(1, self._height)
+        frac = min(1.0, level / h)
+        upper = self._u_leaf + (self._u_root - self._u_leaf) * frac
+        lower = self._l_leaf + (self._l_root - self._l_leaf) * frac
+        return lower, upper
+
+    # ------------------------------------------------------------------
+    # Rank <-> position
+
+    def position_of(self, rank: int) -> int:
+        """Array index of the element with the given rank (0-indexed)."""
+        if not (0 <= rank < self._n):
+            raise IndexError(f"rank {rank} out of range [0, {self._n})")
+        cum = np.cumsum(self._seg_counts)
+        seg = int(np.searchsorted(cum, rank, side="right"))
+        before = int(cum[seg - 1]) if seg else 0
+        base = seg * self._seg_size
+        window = self._slots[base : base + self._seg_size]
+        occ = np.flatnonzero(window != EMPTY)
+        return base + int(occ[rank - before])
+
+    def get(self, rank: int) -> int:
+        return int(self._slots[self.position_of(rank)])
+
+    def to_list(self) -> list[int]:
+        return [int(v) for v in self._slots[self._slots != EMPTY]]
+
+    # ------------------------------------------------------------------
+    # Updates
+
+    def insert(self, rank: int, value: int) -> None:
+        """Insert ``value`` so it becomes the element of rank ``rank``."""
+        if value < 0:
+            raise ValueError("values must be >= 0 (EMPTY = -1 is reserved)")
+        if not (0 <= rank <= self._n):
+            raise IndexError(f"insert rank {rank} out of range [0, {self._n}]")
+        self.counter.ops += 1
+        self.counter.inserts += 1
+
+        cum = np.cumsum(self._seg_counts)
+        seg = int(np.searchsorted(cum, rank, side="right"))
+        if seg >= self._n_segs:
+            seg = self._n_segs - 1
+        before = int(cum[seg - 1]) if seg else 0
+        self._note_insert(seg)
+
+        base = seg * self._seg_size
+        window = self._slots[base : base + self._seg_size]
+        count = int(self._seg_counts[seg])
+        occ = np.flatnonzero(window != EMPTY)
+        local_rank = rank - before  # 0..count: hole goes before occ[local_rank]
+
+        if count < self._seg_size:
+            # Make a hole inside the segment by shifting the smaller side.
+            vals = window[occ]
+            new_vals = np.concatenate([vals[:local_rank], [value], vals[local_rank:]])
+            window[: count + 1] = new_vals
+            window[count + 1 :] = EMPTY
+            self.counter.slots_moved += count + 1
+            self._seg_counts[seg] = count + 1
+            self._n += 1
+            self._rebalance_after_insert(seg)
+        else:
+            # Segment full: rebalance first (guaranteed to free room unless
+            # the whole array is at capacity, which triggers a resize).
+            self._rebalance_after_insert(seg, force=True)
+            self.insert(rank, value)
+            self.counter.ops -= 1  # the recursive call double-counted
+            self.counter.inserts -= 1
+
+    def delete(self, rank: int) -> int:
+        """Delete and return the element of rank ``rank``."""
+        if not (0 <= rank < self._n):
+            raise IndexError(f"rank {rank} out of range [0, {self._n})")
+        self.counter.ops += 1
+        self.counter.deletes += 1
+
+        pos = self.position_of(rank)
+        seg = pos // self._seg_size
+        value = int(self._slots[pos])
+        base = seg * self._seg_size
+        window = self._slots[base : base + self._seg_size]
+        occ = np.flatnonzero(window != EMPTY)
+        vals = window[occ]
+        keep = np.delete(vals, np.searchsorted(occ, pos - base))
+        window[: len(keep)] = keep
+        window[len(keep) :] = EMPTY
+        self.counter.slots_moved += len(keep)
+        self._seg_counts[seg] -= 1
+        self._n -= 1
+        self._rebalance_after_delete(seg)
+        return value
+
+    def append(self, value: int) -> None:
+        self.insert(self._n, value)
+
+    def _note_insert(self, seg: int) -> None:
+        """Hook for adaptive variants: called with the target segment of
+        every insert (before any rebalancing)."""
+
+    # ------------------------------------------------------------------
+    # Rebalancing
+
+    def _window_bounds_ok(self, seg_lo: int, seg_hi: int, level: int, grow: bool) -> bool:
+        slots = (seg_hi - seg_lo) * self._seg_size
+        cnt = int(self._seg_counts[seg_lo:seg_hi].sum())
+        lower, upper = self._bounds(level)
+        if grow:
+            return cnt + 1 <= upper * slots  # room for the pending insert
+        return cnt >= lower * slots
+
+    def _find_window(self, seg: int, grow: bool) -> tuple[int, int] | None:
+        """Smallest enclosing window whose density is within bounds;
+        None if even the root window fails."""
+        lo, hi, level = seg, seg + 1, 0
+        while True:
+            if self._window_bounds_ok(lo, hi, level, grow):
+                return lo, hi
+            if hi - lo >= self._n_segs:
+                return None
+            size = (hi - lo) * 2
+            lo = (seg // size) * size
+            hi = lo + size
+            level += 1
+
+    def _spread(self, seg_lo: int, seg_hi: int) -> None:
+        """Evenly redistribute all elements of the window."""
+        base = seg_lo * self._seg_size
+        end = seg_hi * self._seg_size
+        window = self._slots[base:end]
+        vals = window[window != EMPTY]
+        m = len(vals)
+        window[:] = EMPTY
+        if m:
+            size = end - base
+            positions = (np.arange(m, dtype=np.int64) * size) // m
+            window[positions] = vals
+        self.counter.slots_moved += m
+        self.counter.rebalances += 1
+        # Recompute per-segment counts for the window.
+        counts = (window.reshape(seg_hi - seg_lo, self._seg_size) != EMPTY).sum(axis=1)
+        self._seg_counts[seg_lo:seg_hi] = counts
+
+    def _rebalance_after_insert(self, seg: int, force: bool = False) -> None:
+        level0_ok = self._seg_counts[seg] <= self._bounds(0)[1] * self._seg_size
+        if level0_ok and not force:
+            return
+        win = self._find_window(seg, grow=True)
+        if win is None:
+            self._resize(self._capacity * 2)
+            return
+        lo, hi = win
+        if hi - lo == 1 and not force:
+            return
+        self._spread(lo, hi)
+
+    def _rebalance_after_delete(self, seg: int) -> None:
+        if self._n == 0:
+            return
+        lower0, _ = self._bounds(0)
+        if self._seg_counts[seg] >= lower0 * self._seg_size:
+            return
+        win = self._find_window(seg, grow=False)
+        if win is None:
+            if self._capacity > 8:
+                self._resize(self._capacity // 2)
+            return
+        lo, hi = win
+        if hi - lo > 1:
+            self._spread(lo, hi)
+
+    def _resize(self, new_capacity: int) -> None:
+        vals = self._slots[self._slots != EMPTY]
+        self._alloc(max(8, new_capacity))
+        m = len(vals)
+        if m:
+            positions = (np.arange(m, dtype=np.int64) * self._capacity) // m
+            self._slots[positions] = vals
+            counts = (self._slots.reshape(self._n_segs, self._seg_size) != EMPTY).sum(axis=1)
+            self._seg_counts[:] = counts
+        self.counter.slots_moved += m
+        self.counter.resizes += 1
+
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Validate counts, ordering of slots, and root density band."""
+        occ_mask = self._slots != EMPTY
+        if int(occ_mask.sum()) != self._n:
+            raise AssertionError("element count mismatch")
+        counts = occ_mask.reshape(self._n_segs, self._seg_size).sum(axis=1)
+        if not np.array_equal(counts, self._seg_counts):
+            raise AssertionError("segment count cache mismatch")
+        # Global density can temporarily exceed u_root (a resize only fires
+        # once no window is in-band), but never the hard leaf bound.
+        if self._n > self._capacity * self._u_leaf + 1e-9:
+            raise AssertionError("array overfull")

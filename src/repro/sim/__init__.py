@@ -1,0 +1,20 @@
+"""Simulation harness: drive schedulers through traces, collect metrics,
+and regenerate every experiment in DESIGN.md's per-experiment index."""
+
+from repro.sim.runner import RunResult, run_trace
+from repro.sim.report import ascii_table, markdown_table
+from repro.sim.gantt import render_gantt, schedule_summary
+from repro.sim.plots import ascii_chart, sparkline
+from repro.sim import experiments
+
+__all__ = [
+    "RunResult",
+    "run_trace",
+    "ascii_table",
+    "markdown_table",
+    "render_gantt",
+    "schedule_summary",
+    "ascii_chart",
+    "sparkline",
+    "experiments",
+]

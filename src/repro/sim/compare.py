@@ -1,0 +1,75 @@
+"""Head-to-head scheduler comparison harness.
+
+Runs a set of scheduler factories over a set of traces and produces one
+uniform result grid (ratio + competitiveness per cost function) -- the
+library form of ``examples/adversarial_showdown.py``, reused by tests and
+ad-hoc analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.analysis.opt import opt_sum_completion
+from repro.core.costfn import CostFunction
+from repro.workloads.trace import Trace, replay
+
+
+@dataclass(frozen=True)
+class CompareCell:
+    scheduler: str
+    trace: str
+    ratio: float
+    competitiveness: dict[str, float]
+    jobs_moved: int
+    migrations: int
+
+    def row(self) -> list:
+        return [
+            self.trace,
+            self.scheduler,
+            round(self.ratio, 3),
+            *(round(v, 3) for v in self.competitiveness.values()),
+        ]
+
+
+def compare(
+    contenders: Mapping[str, Callable[[], object]],
+    traces: Mapping[str, Trace],
+    cost_functions: Mapping[str, CostFunction],
+    *,
+    p: int = 1,
+) -> list[CompareCell]:
+    """Cartesian run; returns one cell per (trace, scheduler)."""
+    cells: list[CompareCell] = []
+    for tlabel, trace in traces.items():
+        for slabel, make in contenders.items():
+            sched = make()
+            replay(trace, sched)
+            sizes = [pj.size for pj in sched.jobs()]
+            opt = opt_sum_completion(sizes, p) if sizes else 0
+            ratio = sched.sum_completion_times() / opt if opt else 1.0
+            cells.append(
+                CompareCell(
+                    scheduler=slabel,
+                    trace=tlabel,
+                    ratio=ratio,
+                    competitiveness={
+                        fl: sched.ledger.competitiveness(f)
+                        for fl, f in cost_functions.items()
+                    },
+                    jobs_moved=sched.ledger.moved_jobs_total(),
+                    migrations=sched.ledger.total_migrations,
+                )
+            )
+    return cells
+
+
+def grid_table(cells: list[CompareCell]) -> tuple[list[str], list[list]]:
+    """(headers, rows) ready for the report renderers."""
+    if not cells:
+        return ["trace", "scheduler", "ratio"], []
+    fn_labels = list(cells[0].competitiveness)
+    headers = ["trace", "scheduler", "sumCj/OPT"] + [f"b({f})" for f in fn_labels]
+    return headers, [c.row() for c in cells]

@@ -1,0 +1,49 @@
+"""Export experiment reports and run series to CSV/JSON.
+
+The ASCII tables are for humans; these exporters feed external plotting
+pipelines (every report dict from :mod:`repro.sim.experiments` round-trips
+through them).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Sequence
+
+
+def report_to_csv(report: dict) -> str:
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(report["headers"])
+    for row in report["rows"]:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def report_to_json(report: dict) -> str:
+    clean = {k: v for k, v in report.items() if k != "chart"}
+    return json.dumps(clean, sort_keys=True, default=str)
+
+
+def series_to_csv(xs: Sequence, series: dict[str, Sequence]) -> str:
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["x"] + list(series))
+    for i, x in enumerate(xs):
+        writer.writerow([x] + [ys[i] for ys in series.values()])
+    return buf.getvalue()
+
+
+def save_report(report: dict, path: str) -> None:
+    """Write ``<path>.csv`` and ``<path>.json``."""
+    with open(path + ".csv", "w") as fh:
+        fh.write(report_to_csv(report))
+    with open(path + ".json", "w") as fh:
+        fh.write(report_to_json(report))
+
+
+def load_report_json(path: str) -> dict:
+    with open(path) as fh:
+        return json.loads(fh.read())

@@ -1,0 +1,60 @@
+"""ASCII Gantt rendering of schedules (single- and multi-server)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.jobs import PlacedJob
+
+
+def render_gantt(
+    jobs: Sequence[PlacedJob],
+    *,
+    width: int = 90,
+    label_width: int = 8,
+    max_servers: int = 16,
+) -> str:
+    """One row per server: '#' = busy, '.' = idle, '|' marks job starts.
+
+    The timeline is scaled so the latest completion fits in ``width``
+    columns; sub-column jobs may collapse into their start marker.
+    """
+    if not jobs:
+        return "(empty schedule)"
+    horizon = max(pj.end for pj in jobs)
+    servers = sorted({pj.server for pj in jobs})[:max_servers]
+    scale = width / horizon
+    lines = [f"timeline: 0 .. {horizon} slots ({len(jobs)} jobs)"]
+    for s in servers:
+        row = ["."] * width
+        for pj in jobs:
+            if pj.server != s:
+                continue
+            a = min(width - 1, int(pj.start * scale))
+            b = min(width, max(a + 1, int(pj.end * scale)))
+            for c in range(a, b):
+                row[c] = "#"
+            row[a] = "|"
+        lines.append(f"{f's{s}':>{label_width}} {''.join(row)}")
+    if len({pj.server for pj in jobs}) > max_servers:
+        lines.append(f"{'':>{label_width}} ... ({len({pj.server for pj in jobs})} servers total)")
+    return "\n".join(lines)
+
+
+def schedule_summary(jobs: Sequence[PlacedJob]) -> dict:
+    """Quick numbers for a schedule: jobs, volume, horizon, idle fraction."""
+    if not jobs:
+        return {"jobs": 0, "volume": 0, "horizon": 0, "idle_fraction": 0.0}
+    by_server: dict[int, int] = {}
+    horizon_by_server: dict[int, int] = {}
+    for pj in jobs:
+        by_server[pj.server] = by_server.get(pj.server, 0) + pj.size
+        horizon_by_server[pj.server] = max(horizon_by_server.get(pj.server, 0), pj.end)
+    volume = sum(by_server.values())
+    span = sum(horizon_by_server.values())
+    return {
+        "jobs": len(jobs),
+        "volume": volume,
+        "horizon": max(horizon_by_server.values()),
+        "idle_fraction": 1.0 - volume / span if span else 0.0,
+    }

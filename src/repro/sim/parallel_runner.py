@@ -1,0 +1,44 @@
+"""Multiprocess experiment execution.
+
+Experiments in the registry are independent, pure functions of
+``quick`` -- ideal for process-level parallelism (the Python-HPC
+playbook: parallelize at the outermost embarrassingly-parallel loop).
+``run_experiments_parallel`` fans the registry out over a process pool;
+``python -m repro.sim.write_experiments --jobs N`` uses it.
+
+Processes (not threads): the workloads are pure-Python CPU-bound.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Optional
+
+
+def _run_one(args: tuple[str, bool]) -> tuple[str, dict]:
+    eid, quick = args
+    from repro.sim.experiments import EXPERIMENTS
+
+    return eid, EXPERIMENTS[eid](quick=quick)
+
+
+def run_experiments_parallel(
+    ids: Optional[Iterable[str]] = None,
+    *,
+    quick: bool = True,
+    jobs: int = 4,
+) -> dict[str, dict]:
+    """Run experiments concurrently; returns {id: report} in registry order."""
+    from repro.sim.experiments import EXPERIMENTS
+
+    wanted = list(ids) if ids is not None else list(EXPERIMENTS)
+    for eid in wanted:
+        if eid not in EXPERIMENTS:
+            raise KeyError(f"unknown experiment {eid!r}")
+    if jobs <= 1 or len(wanted) == 1:
+        return {eid: EXPERIMENTS[eid](quick=quick) for eid in wanted}
+    results: dict[str, dict] = {}
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for eid, report in pool.map(_run_one, [(e, quick) for e in wanted]):
+            results[eid] = report
+    return {eid: results[eid] for eid in wanted}

@@ -1,0 +1,90 @@
+"""Terminal plotting: ASCII line/scatter charts for experiment series.
+
+No plotting dependency exists in the offline environment, so experiment
+reports render series as compact ASCII charts (log-x aware), good enough
+to eyeball growth laws directly in EXPERIMENTS.md code blocks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 14,
+    logx: bool = False,
+    logy: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (x, y) series as an ASCII chart.
+
+    Each series gets a marker character; points are plotted on a
+    ``width x height`` grid with linear or log axes.
+    """
+    if not xs or not series:
+        return "(no data)"
+    markers = "ox+*#@%&"
+
+    def tx(v: float) -> float:
+        return math.log10(max(v, 1e-12)) if logx else v
+
+    def ty(v: float) -> float:
+        return math.log10(max(v, 1e-12)) if logy else v
+
+    all_y = [y for ys in series.values() for y in ys]
+    x0, x1 = tx(min(xs)), tx(max(xs))
+    y0, y1 = ty(min(all_y)), ty(max(all_y))
+    if x1 - x0 < 1e-12:
+        x1 = x0 + 1.0
+    if y1 - y0 < 1e-12:
+        y1 = y0 + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (label, ys) in enumerate(series.items()):
+        m = markers[si % len(markers)]
+        for x, y in zip(xs, ys):
+            cx = round((tx(x) - x0) / (x1 - x0) * (width - 1))
+            cy = round((ty(y) - y0) / (y1 - y0) * (height - 1))
+            grid[height - 1 - cy][cx] = m
+
+    lines = []
+    top = f"{max(all_y):.3g}"
+    bot = f"{min(all_y):.3g}"
+    pad = max(len(top), len(bot))
+    for r, row in enumerate(grid):
+        prefix = top if r == 0 else (bot if r == height - 1 else "")
+        lines.append(f"{prefix:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    xl = f"{min(xs):.3g}"
+    xr = f"{max(xs):.3g}"
+    axis = xl + " " * max(1, width - len(xl) - len(xr)) + xr
+    lines.append(" " * pad + "  " + axis)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {label}" for i, label in enumerate(series)
+    )
+    scales = f"[{'log' if logx else 'lin'}-x / {'log' if logy else 'lin'}-y]"
+    lines.append(" " * pad + f"  {x_label} vs {y_label}  {scales}   {legend}")
+    return "\n".join(lines)
+
+
+def sparkline(ys: Sequence[float], width: Optional[int] = None) -> str:
+    """One-line trend: resamples ``ys`` to ``width`` buckets of block glyphs."""
+    if not ys:
+        return ""
+    blocks = " .:-=+*#%@"
+    width = width or min(len(ys), 60)
+    lo, hi = min(ys), max(ys)
+    span = (hi - lo) or 1.0
+    out = []
+    n = len(ys)
+    for b in range(width):
+        seg = ys[b * n // width : (b + 1) * n // width] or [ys[-1]]
+        v = sum(seg) / len(seg)
+        out.append(blocks[min(len(blocks) - 1, int((v - lo) / span * (len(blocks) - 1)))])
+    return "".join(out)

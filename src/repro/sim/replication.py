@@ -1,0 +1,73 @@
+"""Replication across seeds: mean/std/extremes for any seeded metric.
+
+Single-run numbers can mislead; key experiment metrics should be stable
+across workload seeds.  ``replicate`` evaluates a ``seed -> float`` metric
+over several seeds and aggregates; ``ratio_stability`` packages the most
+important one (the Lemma-4 ratio)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+@dataclass(frozen=True)
+class Replication:
+    values: tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n
+
+    @property
+    def std(self) -> float:
+        m = self.mean
+        return math.sqrt(sum((v - m) ** 2 for v in self.values) / self.n)
+
+    @property
+    def lo(self) -> float:
+        return min(self.values)
+
+    @property
+    def hi(self) -> float:
+        return max(self.values)
+
+    @property
+    def rel_spread(self) -> float:
+        """(max - min) / mean: a unitless stability indicator."""
+        return (self.hi - self.lo) / self.mean if self.mean else 0.0
+
+    def row(self, label: str) -> list:
+        return [label, self.n, round(self.mean, 4), round(self.std, 4),
+                round(self.lo, 4), round(self.hi, 4)]
+
+
+def replicate(metric: Callable[[int], float], seeds: Sequence[int]) -> Replication:
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return Replication(tuple(float(metric(seed)) for seed in seeds))
+
+
+def ratio_stability(
+    delta: float = 0.5,
+    ops: int = 1000,
+    max_size: int = 512,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+) -> Replication:
+    """Worst Lemma-4 ratio across seeds for one configuration."""
+    from repro.core import SingleServerScheduler
+    from repro.sim.runner import run_trace
+    from repro.workloads import generators
+
+    def metric(seed: int) -> float:
+        sched = SingleServerScheduler(max_size, delta=delta)
+        trace = generators.mixed(ops, max_size, seed=seed)
+        res = run_trace(sched, trace, checkpoint_every=max(1, ops // 20))
+        return res.max_ratio
+
+    return replicate(metric, seeds)

@@ -1,0 +1,53 @@
+"""Tiny table renderers for experiment reports (terminal + EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    cells = [[_fmt(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for ri, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if ri == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    out = ["| " + " | ".join(_fmt(h) for h in headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        out.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def render_report(report: dict, markdown: bool = False) -> str:
+    """Render an experiment report dict produced by repro.sim.experiments."""
+    table = markdown_table if markdown else ascii_table
+    lines = [
+        f"== {report['id']}: {report['title']} ==",
+        f"claim: {report['claim']}",
+        "",
+        table(report["headers"], report["rows"]),
+    ]
+    if report.get("chart"):
+        if markdown:
+            lines += ["", "```", report["chart"], "```"]
+        else:
+            lines += ["", report["chart"]]
+    if report.get("conclusion"):
+        lines += ["", f"conclusion: {report['conclusion']}"]
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Trace runner: replay a trace against a scheduler, validating and
+collecting per-operation metrics along the way."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.workloads.trace import INSERT, Trace
+
+
+@dataclass
+class RunResult:
+    """Everything a benchmark needs from one (scheduler, trace) run."""
+
+    label: str = ""
+    ops: int = 0
+    wall_seconds: float = 0.0
+    max_ratio: float = 0.0  # worst approximation ratio at checkpoints
+    final_ratio: float = 0.0
+    ratios: list[float] = field(default_factory=list)
+    objective_series: list[int] = field(default_factory=list)
+    checkpoints: list[int] = field(default_factory=list)
+    scheduler: object = None
+
+    @property
+    def ledger(self):
+        return self.scheduler.ledger
+
+
+def run_trace(
+    scheduler,
+    trace: Trace,
+    *,
+    p: int = 1,
+    checkpoint_every: int = 0,
+    validate_every: int = 0,
+    on_checkpoint: Optional[Callable[[object, int], None]] = None,
+    label: str = "",
+) -> RunResult:
+    """Replay ``trace`` on ``scheduler``.
+
+    ``checkpoint_every`` > 0 records the approximation ratio every that
+    many requests (always once more at the end); ``validate_every`` > 0
+    additionally runs the scheduler's ``check_schedule`` (slow, tests only).
+    """
+    from repro.analysis.metrics import approximation_ratio
+
+    result = RunResult(label=label or trace.label, scheduler=scheduler)
+    start = time.perf_counter()
+    for i, req in enumerate(trace):
+        if req.kind == INSERT:
+            scheduler.insert(req.name, req.size)
+        else:
+            scheduler.delete(req.name)
+        result.ops += 1
+        step = i + 1
+        if checkpoint_every and (step % checkpoint_every == 0 or step == len(trace)):
+            ratio = approximation_ratio(scheduler, p=p)
+            result.ratios.append(ratio)
+            result.checkpoints.append(step)
+            result.objective_series.append(scheduler.sum_completion_times())
+            if on_checkpoint is not None:
+                on_checkpoint(scheduler, step)
+        if validate_every and step % validate_every == 0:
+            if hasattr(scheduler, "check_schedule"):
+                scheduler.check_schedule()
+    result.wall_seconds = time.perf_counter() - start
+    if not result.ratios:
+        result.ratios.append(approximation_ratio(scheduler, p=p))
+        result.checkpoints.append(result.ops)
+    result.max_ratio = max(result.ratios)
+    result.final_ratio = result.ratios[-1]
+    return result

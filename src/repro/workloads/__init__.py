@@ -1,0 +1,19 @@
+"""Workload generation: online insert/delete request traces.
+
+The paper's model is an online sequence of <INSERTJOB, name, length> /
+<DELETEJOB, name> requests with integral lengths in [1, Delta].  This
+package provides:
+
+* :class:`~repro.workloads.trace.Trace` -- a serializable request
+  sequence (record/replay so every scheduler sees identical inputs);
+* :mod:`~repro.workloads.generators` -- stochastic families (uniform,
+  zipf, bimodal sizes; churn, grow/shrink, phase mixtures);
+* :mod:`~repro.workloads.adversary` -- targeted worst-case patterns
+  (eviction-cascade sawtooth for footnote 1, smallest-class hammering for
+  lost-slot accounting, sorted fronts for the optimal baseline).
+"""
+
+from repro.workloads.trace import Request, Trace
+from repro.workloads import generators, adversary, cluster, transform
+
+__all__ = ["Request", "Trace", "generators", "adversary", "cluster", "transform"]

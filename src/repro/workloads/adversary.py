@@ -1,0 +1,116 @@
+"""Targeted worst-case request patterns.
+
+These traces drive specific analyses rather than average behaviour:
+
+* :func:`cascade_sawtooth` -- the footnote-1 killer (experiment E9): seed
+  one job per power-of-two class packed tightly, then stream unit jobs.
+  Each time the unit-job group reaches the next class's job it evicts it,
+  which cascades upward; with ``f(w) = w`` the amortized cost of the
+  simple gap scheduler is Theta(log Delta), while the cost-oblivious
+  scheduler stays polyloglog.
+* :func:`hammer_smallest` -- fills every class, then hammers class 0 with
+  insert/delete pairs: every boundary between class 0 and the rest is
+  under maximal pressure (lost-slot accounting, E7).
+* :func:`sorted_front_attack` -- repeatedly inserts the *current smallest*
+  job: in the exactly-optimal schedule every other job shifts on each
+  insert, exhibiting the Omega(n) reallocations the paper's introduction
+  warns about (E10).
+* :func:`class_sweep` -- ramps volume through classes left to right and
+  back, maximizing boundary traffic at every scale of the chunk tree.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.trace import Trace
+
+
+def cascade_sawtooth(max_size: int, stream: int, *, unit: int = 1, seed: int = 0) -> Trace:
+    """One job per power-of-two class (largest first), then ``stream``
+    unit-size insertions that repeatedly trigger eviction cascades."""
+    if max_size < 2:
+        raise ValueError("max_size must be >= 2")
+    trace = Trace(max_size=max_size, label="cascade-sawtooth")
+    top = max_size.bit_length() - 1
+    for i in range(top, -1, -1):
+        trace.append_insert(f"seed{i}", 1 << i)
+    for s in range(stream):
+        trace.append_insert(f"u{s}", unit)
+    trace.validate()
+    return trace
+
+
+def hammer_smallest(
+    max_size: int,
+    *,
+    backdrop: int = 20,
+    hammer_ops: int = 2000,
+    seed: int = 0,
+) -> Trace:
+    """Backdrop of jobs in every class, then insert/delete pairs of size-1
+    jobs: all pressure lands on the leftmost district's boundaries."""
+    rng = random.Random(seed)
+    trace = Trace(max_size=max_size, label="hammer-smallest")
+    counter = 0
+    sizes = []
+    s = 1
+    while s <= max_size:
+        sizes.append(s)
+        s *= 2
+    for _ in range(backdrop):
+        for w in sizes:
+            trace.append_insert(f"b{counter}", w)
+            counter += 1
+    live: list[str] = []
+    for h in range(hammer_ops):
+        if len(live) < 4 or rng.random() < 0.5:
+            name = f"h{h}"
+            trace.append_insert(name, 1)
+            live.append(name)
+        else:
+            trace.append_delete(live.pop(rng.randrange(len(live))))
+    trace.validate()
+    return trace
+
+
+def sorted_front_attack(n: int, max_size: int) -> Trace:
+    """Insert jobs in strictly *decreasing* size order: each new job is the
+    global minimum, so the exactly-optimal schedule shifts every existing
+    job on every insert."""
+    trace = Trace(max_size=max_size, label="sorted-front")
+    step = max(1, max_size // n)
+    size = max_size
+    for i in range(n):
+        trace.append_insert(f"j{i}", max(1, size))
+        size -= step
+    trace.validate()
+    return trace
+
+
+def class_sweep(max_size: int, per_class: int, *, rounds: int = 2, seed: int = 0) -> Trace:
+    """Grow each power-of-two class in turn (left to right), then shrink
+    them right to left; repeat.  Every size-class boundary moves through
+    its full range each round."""
+    trace = Trace(max_size=max_size, label="class-sweep")
+    sizes = []
+    s = 1
+    while s <= max_size:
+        sizes.append(s)
+        s *= 2
+    counter = 0
+    for r in range(rounds):
+        batch: list[list[str]] = []
+        for w in sizes:
+            names = []
+            for _ in range(per_class):
+                name = f"s{counter}"
+                trace.append_insert(name, w)
+                names.append(name)
+                counter += 1
+            batch.append(names)
+        for names in reversed(batch):
+            for name in names:
+                trace.append_delete(name)
+    trace.validate()
+    return trace

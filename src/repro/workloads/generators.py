@@ -1,0 +1,188 @@
+"""Stochastic workload families.
+
+Each generator returns a validated :class:`~repro.workloads.trace.Trace`.
+All randomness flows through an explicit seed so traces are reproducible.
+
+Size distributions:
+
+* ``uniform`` -- sizes uniform on [1, Delta]: exercises every size class
+  evenly (the generic stress for E1-E4);
+* ``zipf`` -- heavy-tailed small-job mass with rare giants: the shape of
+  real batch-system job mixes, stresses cross-class imbalance (gaps!);
+* ``bimodal`` -- mice and elephants only: maximal per-class asymmetry;
+* ``powers`` -- exact powers of two: aligns with the footnote-1 baseline's
+  classes for clean E9 comparisons.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.workloads.trace import Trace
+
+SizeSampler = Callable[[random.Random], int]
+
+
+def uniform_sampler(max_size: int) -> SizeSampler:
+    return lambda rng: rng.randint(1, max_size)
+
+
+def zipf_sampler(max_size: int, alpha: float = 1.3) -> SizeSampler:
+    def sample(rng: random.Random) -> int:
+        # Inverse-CDF sampling on a truncated zeta distribution.
+        while True:
+            u = rng.random()
+            w = int((u ** (-1.0 / (alpha - 1.0))) if alpha > 1.0 else max_size * u + 1)
+            if 1 <= w <= max_size:
+                return w
+
+    return sample
+
+
+def bimodal_sampler(max_size: int, p_large: float = 0.1, small_frac: float = 0.01) -> SizeSampler:
+    small_hi = max(1, int(max_size * small_frac))
+
+    def sample(rng: random.Random) -> int:
+        if rng.random() < p_large:
+            return rng.randint(max(1, max_size // 2), max_size)
+        return rng.randint(1, small_hi)
+
+    return sample
+
+
+def powers_sampler(max_size: int) -> SizeSampler:
+    top = max_size.bit_length() - 1
+
+    def sample(rng: random.Random) -> int:
+        return 1 << rng.randint(0, top)
+
+    return sample
+
+
+SAMPLERS: dict[str, Callable[[int], SizeSampler]] = {
+    "uniform": uniform_sampler,
+    "zipf": zipf_sampler,
+    "bimodal": bimodal_sampler,
+    "powers": powers_sampler,
+}
+
+
+def mixed(
+    ops: int,
+    max_size: int,
+    *,
+    p_insert: float = 0.55,
+    dist: str = "uniform",
+    seed: int = 0,
+    label: str = "",
+) -> Trace:
+    """Random insert/delete mix; deletes pick a uniformly random active job."""
+    rng = random.Random(seed)
+    sampler = SAMPLERS[dist](max_size)
+    trace = Trace(max_size=max_size, label=label or f"mixed-{dist}")
+    active: list[str] = []
+    for step in range(ops):
+        if rng.random() < p_insert or not active:
+            name = f"j{step}"
+            trace.append_insert(name, sampler(rng))
+            active.append(name)
+        else:
+            i = rng.randrange(len(active))
+            active[i], active[-1] = active[-1], active[i]
+            trace.append_delete(active.pop())
+    trace.validate()
+    return trace
+
+
+def grow_then_shrink(
+    n: int,
+    max_size: int,
+    *,
+    dist: str = "uniform",
+    order: str = "random",
+    seed: int = 0,
+) -> Trace:
+    """Insert ``n`` jobs, then delete all of them (order: random/lifo/fifo)."""
+    rng = random.Random(seed)
+    sampler = SAMPLERS[dist](max_size)
+    trace = Trace(max_size=max_size, label=f"grow-shrink-{order}")
+    names = [f"j{i}" for i in range(n)]
+    for name in names:
+        trace.append_insert(name, sampler(rng))
+    if order == "lifo":
+        victims = list(reversed(names))
+    elif order == "fifo":
+        victims = list(names)
+    elif order == "random":
+        victims = list(names)
+        rng.shuffle(victims)
+    else:
+        raise ValueError(f"unknown order {order!r}")
+    for name in victims:
+        trace.append_delete(name)
+    trace.validate()
+    return trace
+
+
+def churn(
+    ops: int,
+    working_set: int,
+    max_size: int,
+    *,
+    dist: str = "uniform",
+    seed: int = 0,
+) -> Trace:
+    """Fill to ``working_set`` jobs, then alternate delete+insert forever:
+    constant load with maximal turnover (the steady-state regime)."""
+    rng = random.Random(seed)
+    sampler = SAMPLERS[dist](max_size)
+    trace = Trace(max_size=max_size, label="churn")
+    active: list[str] = []
+    counter = 0
+    while len(active) < working_set and counter < ops:
+        name = f"j{counter}"
+        trace.append_insert(name, sampler(rng))
+        active.append(name)
+        counter += 1
+    while counter < ops:
+        i = rng.randrange(len(active))
+        active[i], active[-1] = active[-1], active[i]
+        trace.append_delete(active.pop())
+        counter += 1
+        if counter >= ops:
+            break
+        name = f"j{counter}"
+        trace.append_insert(name, sampler(rng))
+        active.append(name)
+        counter += 1
+    trace.validate()
+    return trace
+
+
+def phases(
+    max_size: int,
+    *,
+    phase_specs: list[tuple[str, int]],
+    seed: int = 0,
+) -> Trace:
+    """Concatenate distribution phases, e.g. [("uniform", 500),
+    ("bimodal", 500)]: regime changes stress boundary migration."""
+    rng = random.Random(seed)
+    trace = Trace(max_size=max_size, label="phases")
+    active: list[str] = []
+    step = 0
+    for dist, ops in phase_specs:
+        sampler = SAMPLERS[dist](max_size)
+        for _ in range(ops):
+            if rng.random() < 0.55 or not active:
+                name = f"j{step}"
+                trace.append_insert(name, sampler(rng))
+                active.append(name)
+            else:
+                i = rng.randrange(len(active))
+                active[i], active[-1] = active[-1], active[i]
+                trace.append_delete(active.pop())
+            step += 1
+    trace.validate()
+    return trace

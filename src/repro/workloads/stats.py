@@ -1,0 +1,68 @@
+"""Trace statistics: characterize a workload before running it.
+
+Experiments report these alongside results so readers can judge what the
+input looked like (peak concurrency, size skew, churn intensity).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.workloads.trace import INSERT, Trace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    requests: int
+    inserts: int
+    deletes: int
+    peak_active: int
+    final_active: int
+    total_volume: int
+    max_size: int
+    mean_size: float
+    median_size: float
+    p99_size: float
+    size_cv: float  # coefficient of variation (skew indicator)
+    churn: float  # deletes / inserts
+
+    def rows(self) -> list[list]:
+        return [[k, getattr(self, k)] for k in self.__dataclass_fields__]
+
+
+def trace_stats(trace: Trace) -> TraceStats:
+    sizes = sorted(r.size for r in trace if r.kind == INSERT)
+    n = len(sizes)
+    if n == 0:
+        raise ValueError("trace has no insertions")
+    total = sum(sizes)
+    mean = total / n
+    var = sum((s - mean) ** 2 for s in sizes) / n
+    return TraceStats(
+        requests=len(trace),
+        inserts=n,
+        deletes=trace.deletes,
+        peak_active=trace.peak_active(),
+        final_active=trace.final_active(),
+        total_volume=total,
+        max_size=max(sizes),
+        mean_size=round(mean, 2),
+        median_size=sizes[n // 2],
+        p99_size=sizes[min(n - 1, int(0.99 * n))],
+        size_cv=round(math.sqrt(var) / mean, 3) if mean else 0.0,
+        churn=round(trace.deletes / n, 3),
+    )
+
+
+def size_histogram(trace: Trace, buckets: int = 12) -> list[tuple[str, int]]:
+    """Power-of-two bucketed size histogram [(label, count), ...]."""
+    counts: dict[int, int] = {}
+    for r in trace:
+        if r.kind == INSERT:
+            b = r.size.bit_length() - 1
+            counts[b] = counts.get(b, 0) + 1
+    out = []
+    for b in sorted(counts):
+        out.append((f"[{1 << b},{(1 << (b + 1)) - 1}]", counts[b]))
+    return out[:buckets] if buckets else out

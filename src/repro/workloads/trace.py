@@ -1,0 +1,141 @@
+"""Request traces: the online input to every scheduler.
+
+A :class:`Trace` is an immutable-ish list of :class:`Request` objects plus
+metadata.  Traces serialize to a compact text format (one request per
+line) so experiments are reproducible byte-for-byte across schedulers and
+runs.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+INSERT = "i"
+DELETE = "d"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One online request; ``size`` is meaningful only for inserts."""
+
+    kind: str  # INSERT or DELETE
+    name: str
+    size: int = 0
+
+    def __post_init__(self):
+        if self.kind not in (INSERT, DELETE):
+            raise ValueError(f"kind must be '{INSERT}' or '{DELETE}'")
+        if self.kind == INSERT and self.size < 1:
+            raise ValueError("insert requests need a positive size")
+
+
+@dataclass
+class Trace:
+    """A replayable sequence of requests."""
+
+    requests: list[Request] = field(default_factory=list)
+    max_size: int = 1
+    label: str = ""
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def __getitem__(self, i):
+        return self.requests[i]
+
+    @property
+    def inserts(self) -> int:
+        return sum(1 for r in self.requests if r.kind == INSERT)
+
+    @property
+    def deletes(self) -> int:
+        return sum(1 for r in self.requests if r.kind == DELETE)
+
+    def append_insert(self, name: str, size: int) -> None:
+        self.requests.append(Request(INSERT, name, size))
+        self.max_size = max(self.max_size, size)
+
+    def append_delete(self, name: str) -> None:
+        self.requests.append(Request(DELETE, name))
+
+    def validate(self) -> None:
+        """Every delete must target a currently-active job."""
+        active: set[str] = set()
+        for r in self.requests:
+            if r.kind == INSERT:
+                if r.name in active:
+                    raise ValueError(f"double insert of {r.name}")
+                active.add(r.name)
+            else:
+                if r.name not in active:
+                    raise ValueError(f"delete of inactive {r.name}")
+                active.remove(r.name)
+
+    def peak_active(self) -> int:
+        active = peak = 0
+        for r in self.requests:
+            active += 1 if r.kind == INSERT else -1
+            peak = max(peak, active)
+        return peak
+
+    def final_active(self) -> int:
+        return self.inserts - self.deletes
+
+    # ------------------------------------------------------------------
+    # Serialization
+
+    def dumps(self) -> str:
+        out = io.StringIO()
+        out.write(f"# trace label={self.label or '-'} max_size={self.max_size}\n")
+        for r in self.requests:
+            if r.kind == INSERT:
+                out.write(f"i {r.name} {r.size}\n")
+            else:
+                out.write(f"d {r.name}\n")
+        return out.getvalue()
+
+    @classmethod
+    def loads(cls, text: str) -> "Trace":
+        trace = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for tok in line[1:].split():
+                    if tok.startswith("label="):
+                        trace.label = tok[6:] if tok[6:] != "-" else ""
+                    elif tok.startswith("max_size="):
+                        trace.max_size = int(tok[9:])
+                continue
+            parts = line.split()
+            if parts[0] == "i":
+                trace.append_insert(parts[1], int(parts[2]))
+            elif parts[0] == "d":
+                trace.append_delete(parts[1])
+            else:
+                raise ValueError(f"bad trace line: {line!r}")
+        return trace
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.dumps())
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        with open(path) as fh:
+            return cls.loads(fh.read())
+
+
+def replay(trace: Iterable[Request], scheduler) -> None:
+    """Feed a trace to any object with insert/delete methods."""
+    for r in trace:
+        if r.kind == INSERT:
+            scheduler.insert(r.name, r.size)
+        else:
+            scheduler.delete(r.name)

@@ -1,0 +1,108 @@
+"""Trace transformations: compose, thin, slice, and stress-amplify traces.
+
+Useful for building experiment variants out of recorded traces without
+regenerating them (e.g. replay the same airline day at double churn, or
+interleave two tenant workloads onto one scheduler).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.trace import DELETE, INSERT, Request, Trace
+
+
+def rename(trace: Trace, prefix: str) -> Trace:
+    """Prefix every job name (for collision-free interleaving)."""
+    out = Trace(max_size=trace.max_size, label=f"{trace.label}+{prefix}")
+    for r in trace:
+        if r.kind == INSERT:
+            out.append_insert(prefix + r.name, r.size)
+        else:
+            out.append_delete(prefix + r.name)
+    return out
+
+
+def interleave(a: Trace, b: Trace, *, seed: int = 0) -> Trace:
+    """Random interleaving of two traces (names are auto-prefixed)."""
+    a2, b2 = rename(a, "a:"), rename(b, "b:")
+    rng = random.Random(seed)
+    out = Trace(max_size=max(a2.max_size, b2.max_size), label="interleaved")
+    ia = ib = 0
+    while ia < len(a2) or ib < len(b2):
+        take_a = ib >= len(b2) or (ia < len(a2) and rng.random() < 0.5)
+        if take_a:
+            out.requests.append(a2[ia])
+            ia += 1
+        else:
+            out.requests.append(b2[ib])
+            ib += 1
+    out.validate()
+    return out
+
+
+def prefix(trace: Trace, n: int) -> Trace:
+    """First ``n`` requests, with dangling deletes dropped (always valid)."""
+    out = Trace(max_size=1, label=f"{trace.label}[:{n}]")
+    active: set[str] = set()
+    for r in trace.requests[:n]:
+        if r.kind == INSERT:
+            out.append_insert(r.name, r.size)
+            active.add(r.name)
+        elif r.name in active:
+            out.append_delete(r.name)
+            active.remove(r.name)
+    out.validate()
+    return out
+
+
+def thin(trace: Trace, keep: float, *, seed: int = 0) -> Trace:
+    """Keep each *job* (its insert and matching delete) with prob ``keep``."""
+    if not (0.0 < keep <= 1.0):
+        raise ValueError("keep must be in (0, 1]")
+    rng = random.Random(seed)
+    kept: set[str] = set()
+    out = Trace(max_size=1, label=f"{trace.label}~{keep:g}")
+    for r in trace:
+        if r.kind == INSERT:
+            if rng.random() < keep:
+                kept.add(r.name)
+                out.append_insert(r.name, r.size)
+        elif r.name in kept:
+            out.append_delete(r.name)
+    out.validate()
+    return out
+
+
+def close_open_jobs(trace: Trace, *, order: str = "lifo") -> Trace:
+    """Append deletes for every job still active at the end of the trace
+    (turns any trace into a volume-neutral one)."""
+    out = Trace(max_size=trace.max_size, label=f"{trace.label}+closed")
+    out.requests = list(trace.requests)
+    active: list[str] = []
+    seen: set[str] = set()
+    for r in trace:
+        if r.kind == INSERT:
+            active.append(r.name)
+            seen.add(r.name)
+        else:
+            active.remove(r.name)
+    victims = list(reversed(active)) if order == "lifo" else list(active)
+    for name in victims:
+        out.append_delete(name)
+    out.validate()
+    return out
+
+
+def scale_sizes(trace: Trace, factor: int) -> Trace:
+    """Multiply every job size by an integer factor (Delta scales too)."""
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    out = Trace(max_size=1, label=f"{trace.label}x{factor}")
+    for r in trace:
+        if r.kind == INSERT:
+            out.append_insert(r.name, r.size * factor)
+        else:
+            out.append_delete(r.name)
+    out.validate()
+    return out

@@ -1,0 +1,64 @@
+"""The ablation switches degrade cost, never correctness."""
+
+import random
+
+from repro.core import SingleServerScheduler
+from repro.kcursor import KCursorSparseTable, Params, check_invariants
+from repro.kcursor.debug import check_prefix_density
+from tests.conftest import drive_scheduler, drive_table
+
+
+def test_gapless_table_stays_correct():
+    t = KCursorSparseTable(8, params=Params.explicit(8, 2), gaps_enabled=False)
+    drive_table(t, 3000, seed=1)
+    # No gaps ever exist...
+    assert all(c.gaps == 0 for c in t.iter_chunks())
+    # ...and all other invariants (incl. density) still hold.
+    check_invariants(t)
+    check_prefix_density(t)
+
+
+def test_gapless_lifo_semantics():
+    t = KCursorSparseTable(4, params=Params.explicit(4, 2), gaps_enabled=False,
+                           track_values=True)
+    t.extend(3, 2000)
+    for i in range(40):
+        t.insert(0, value=i)
+    for i in reversed(range(40)):
+        assert t.delete(0) == i
+    check_invariants(t)
+
+
+def test_gapless_costs_more_when_lopsided():
+    def cost(gaps_enabled):
+        t = KCursorSparseTable(4, params=Params.explicit(4, 2), gaps_enabled=gaps_enabled)
+        t.extend(3, 10_000)
+        base = t.counter.total_cost
+        for _ in range(500):
+            t.insert(0)
+        return t.counter.total_cost - base
+
+    assert cost(False) > cost(True)
+
+
+def test_unpadded_scheduler_stays_correct():
+    s = SingleServerScheduler(128, delta=0.5, padding_enabled=False)
+    drive_scheduler(s, 500, 128, seed=2)
+    s.check_schedule()
+    assert all(l.padding == 0 for l in s.layouts)
+
+
+def test_unpadded_costs_at_least_as_much_on_jiggle():
+    def cost(padding_enabled):
+        s = SingleServerScheduler(1024, delta=1.0, padding_enabled=padding_enabled)
+        for i in range(4):
+            s.insert(f"big{i}", 1024)
+        from repro.core.costfn import ConstantCost
+
+        base = s.ledger.reallocation_cost(ConstantCost())
+        for _ in range(300):
+            s.insert("jiggle", 1)
+            s.delete("jiggle")
+        return s.ledger.reallocation_cost(ConstantCost()) - base
+
+    assert cost(False) >= cost(True)

@@ -1,0 +1,102 @@
+"""Analysis layer: exact optima (vs brute force), metrics, growth fits."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.analysis.fitting import GROWTH_MODELS, compare_growth, doubling_ratios, fit_growth
+from repro.analysis.metrics import amortized_series, approximation_ratio, windowed_mean
+from repro.analysis.opt import opt_schedule, opt_sum_completion, opt_sum_completion_single
+
+
+def brute_force_opt(sizes, p):
+    """Exhaustive assignment + SPT per machine (tiny instances only)."""
+    best = None
+    n = len(sizes)
+    for assign in itertools.product(range(p), repeat=n):
+        per = [[] for _ in range(p)]
+        for w, m in zip(sizes, assign):
+            per[m].append(w)
+        total = sum(opt_sum_completion_single(machine) for machine in per)
+        best = total if best is None else min(best, total)
+    return best
+
+
+def test_single_opt_formula():
+    assert opt_sum_completion_single([]) == 0
+    assert opt_sum_completion_single([5]) == 5
+    assert opt_sum_completion_single([3, 1]) == 1 + 4
+    assert opt_sum_completion_single([2, 2, 2]) == 2 + 4 + 6
+
+
+def test_multi_matches_single_for_p1():
+    rng = random.Random(0)
+    sizes = [rng.randint(1, 50) for _ in range(20)]
+    assert opt_sum_completion(sizes, 1) == opt_sum_completion_single(sizes)
+
+
+@pytest.mark.parametrize("p", [2, 3])
+def test_multi_opt_matches_brute_force(p):
+    rng = random.Random(1)
+    for _ in range(10):
+        sizes = [rng.randint(1, 9) for _ in range(6)]
+        assert opt_sum_completion(sizes, p) == brute_force_opt(sizes, p)
+
+
+def test_opt_schedule_consistent_with_value():
+    rng = random.Random(2)
+    sizes = [rng.randint(1, 30) for _ in range(15)]
+    for p in (1, 2, 4):
+        sched = opt_schedule(sizes, p)
+        total = sum(start + w for (_, start, w) in sched)
+        assert total == opt_sum_completion(sizes, p)
+
+
+def test_opt_p_monotone():
+    sizes = [5, 9, 1, 7, 3, 3]
+    vals = [opt_sum_completion(sizes, p) for p in (1, 2, 3, 6, 10)]
+    assert vals == sorted(vals, reverse=True)
+
+
+def test_approximation_ratio_empty_is_one():
+    from repro.baselines import AppendOnlyScheduler
+
+    assert approximation_ratio(AppendOnlyScheduler()) == 1.0
+
+
+def test_amortized_series():
+    assert amortized_series([2, 4, 6]) == [2.0, 3.0, 4.0]
+    assert windowed_mean([1, 1, 4, 4], 2) == [1.0, 1.0, 2.5, 4.0]
+
+
+def test_fit_recovers_known_models():
+    xs = [2**e for e in range(4, 14)]
+    # pure log^2 data
+    ys = [3.0 * GROWTH_MODELS["log^2"](x) + 5 for x in xs]
+    fit = fit_growth(xs, ys, models=("constant", "log", "log^2", "log^3", "linear"))
+    assert fit.model == "log^2"
+    assert fit.r2 > 0.999
+    assert fit.a == pytest.approx(3.0, rel=1e-6)
+    # constant data
+    flat = fit_growth(xs, [7.0] * len(xs), models=("constant", "log", "linear"))
+    assert flat.model == "constant"
+    assert flat.predict(100) == pytest.approx(7.0)
+
+
+def test_fit_rejects_degenerate_input():
+    with pytest.raises(ValueError):
+        fit_growth([1, 2], [1, 2])
+
+
+def test_compare_growth_sorted_by_r2():
+    xs = [2**e for e in range(4, 12)]
+    ys = [2.0 * GROWTH_MODELS["log"](x) for x in xs]
+    fits = compare_growth(xs, ys, models=("constant", "log", "linear"))
+    assert fits[0].model == "log"
+    assert fits[0].r2 >= fits[-1].r2
+
+
+def test_doubling_ratios():
+    assert doubling_ratios([1, 2, 4]) == [2.0, 2.0]
+    assert doubling_ratios([5, 5]) == [1.0]

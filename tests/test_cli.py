@@ -1,0 +1,54 @@
+"""CLI entry points (smoke level: each command runs and reports)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_generated(capsys):
+    assert main(["run", "--ops", "150", "--max-size", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "approximation ratio" in out
+    assert "competitiveness" in out
+
+
+@pytest.mark.parametrize("sched", ["optimal", "simple-gap", "pma", "append"])
+def test_run_each_scheduler(sched, capsys):
+    assert main(["run", "--scheduler", sched, "--ops", "80", "--max-size", "16"]) == 0
+    assert "active jobs" in capsys.readouterr().out
+
+
+def test_run_parallel(capsys):
+    assert main(["run", "--p", "3", "--ops", "120", "--max-size", "32"]) == 0
+
+
+def test_gen_and_replay(tmp_path, capsys):
+    path = str(tmp_path / "t.trace")
+    assert main(["gen", "mixed", path, "--ops", "100", "--max-size", "16"]) == 0
+    assert main(["run", "--trace", path]) == 0
+    out = capsys.readouterr().out
+    assert "wrote 100 requests" in out
+
+
+@pytest.mark.parametrize("kind", ["churn", "grow-shrink", "cascade", "sorted-front"])
+def test_gen_kinds(kind, tmp_path):
+    path = str(tmp_path / f"{kind}.trace")
+    assert main(["gen", kind, path, "--ops", "60", "--max-size", "32"]) == 0
+
+
+def test_inspect(capsys):
+    assert main(["inspect", "--k", "4", "--ops", "400"]) == 0
+    out = capsys.readouterr().out
+    assert "max prefix density" in out
+    assert "rebuilds by level" in out
+
+
+def test_costs(capsys):
+    assert main(["costs"]) == 0
+    out = capsys.readouterr().out
+    assert "strongly subadditive" in out
+
+
+def test_unknown_scheduler():
+    with pytest.raises(SystemExit):
+        main(["run", "--scheduler", "nope"])

@@ -1,0 +1,50 @@
+"""Cluster-style diurnal workload generator."""
+
+import statistics
+
+from repro.workloads.cluster import bounded_pareto, diurnal
+import random
+
+
+def test_bounded_pareto_range():
+    rng = random.Random(0)
+    xs = [bounded_pareto(rng, 1.5, 1, 1000) for _ in range(5000)]
+    assert all(1 <= x <= 1000 for x in xs)
+    # heavy tail: mean far above median
+    assert statistics.mean(xs) > 2 * statistics.median(xs)
+
+
+def test_diurnal_valid_and_neutral():
+    t = diurnal(days=1, steps_per_day=800, max_size=512, seed=1)
+    t.validate()
+    assert t.final_active() == 0
+    assert t.max_size <= 512
+
+
+def test_diurnal_load_oscillates():
+    t = diurnal(days=2, steps_per_day=1000, max_size=256, seed=2)
+    # Insert density in the "noon" third should beat the "night" third.
+    def inserts_between(frac_lo, frac_hi):
+        lo, hi = int(len(t) * frac_lo), int(len(t) * frac_hi)
+        return sum(1 for r in t.requests[lo:hi] if r.kind == "i")
+
+    noon = inserts_between(0.05, 0.2)  # rising phase of day 1
+    night = inserts_between(0.3, 0.45)  # falling phase of day 1
+    assert noon > night
+
+
+def test_diurnal_deterministic():
+    a = diurnal(days=1, steps_per_day=300, seed=3)
+    b = diurnal(days=1, steps_per_day=300, seed=3)
+    assert a.dumps() == b.dumps()
+
+
+def test_diurnal_drives_scheduler():
+    from repro.core import SingleServerScheduler
+    from repro.workloads.trace import replay
+
+    t = diurnal(days=1, steps_per_day=600, max_size=512, seed=4)
+    s = SingleServerScheduler(512, delta=0.5)
+    replay(t, s)
+    assert len(s) == 0
+    s.check_schedule()

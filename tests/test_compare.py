@@ -1,0 +1,35 @@
+"""Comparison harness."""
+
+from repro.baselines import AppendOnlyScheduler, OptimalRescheduler
+from repro.core import SingleServerScheduler
+from repro.core.costfn import ConstantCost, LinearCost
+from repro.sim.compare import compare, grid_table
+from repro.workloads import generators
+
+
+def test_compare_grid():
+    traces = {
+        "mixed": generators.mixed(200, 32, seed=1),
+        "gs": generators.grow_then_shrink(60, 32, seed=2),
+    }
+    contenders = {
+        "ours": lambda: SingleServerScheduler(32, delta=0.5),
+        "optimal": lambda: OptimalRescheduler(),
+        "append": lambda: AppendOnlyScheduler(),
+    }
+    fns = {"const": ConstantCost(), "linear": LinearCost()}
+    cells = compare(contenders, traces, fns)
+    assert len(cells) == 6
+    by_key = {(c.trace, c.scheduler): c for c in cells}
+    # Optimal is exact; append pays nothing.
+    assert by_key[("mixed", "optimal")].ratio == 1.0
+    assert by_key[("mixed", "append")].competitiveness["linear"] == 0.0
+    assert by_key[("mixed", "ours")].ratio <= 1 + 17 * 0.5
+    headers, rows = grid_table(cells)
+    assert headers == ["trace", "scheduler", "sumCj/OPT", "b(const)", "b(linear)"]
+    assert len(rows) == 6
+
+
+def test_compare_empty():
+    headers, rows = grid_table([])
+    assert rows == []

@@ -1,0 +1,80 @@
+"""Cost-function library and structural property checkers."""
+
+import pytest
+
+from repro.core.costfn import (
+    STANDARD_FAMILY,
+    AffineCost,
+    CappedLinearCost,
+    ConstantCost,
+    LinearCost,
+    LogCost,
+    PowerCost,
+    classify,
+    evaluate_total,
+    is_monotone,
+    is_strongly_subadditive,
+    is_subadditive,
+    strong_subadditivity_gamma,
+)
+
+
+def test_constant_values():
+    f = ConstantCost(3.0)
+    assert f(1) == f(1000) == 3.0
+
+
+def test_linear_values():
+    f = LinearCost(2.0)
+    assert f(5) == 10.0
+
+
+def test_power_validation():
+    with pytest.raises(ValueError):
+        PowerCost(1.5)
+    assert PowerCost(0.5)(4) == 2.0
+
+
+def test_affine_and_capped():
+    assert AffineCost(1.0, 2.0)(3) == 7.0
+    f = CappedLinearCost(1.0, 10.0)
+    assert f(5) == 5.0
+    assert f(100) == 10.0
+    with pytest.raises(ValueError):
+        AffineCost(-1.0, 1.0)
+
+
+def test_all_standard_functions_monotone_subadditive():
+    for label, f in STANDARD_FAMILY.items():
+        assert is_monotone(f, 512), label
+        assert is_subadditive(f, 128), label
+
+
+def test_strong_subadditivity_classification():
+    assert is_strongly_subadditive(ConstantCost())
+    assert is_strongly_subadditive(PowerCost(0.5))
+    assert not is_strongly_subadditive(LinearCost())
+    # log is subadditive but f(2)/f(1) = 2 kills the gamma at x=1
+    assert not is_strongly_subadditive(LogCost())
+
+
+def test_gamma_values():
+    assert strong_subadditivity_gamma(ConstantCost()) == pytest.approx(1.0)
+    assert strong_subadditivity_gamma(PowerCost(0.5), 256) == pytest.approx(2 - 2**0.5, abs=1e-9)
+    assert strong_subadditivity_gamma(LinearCost()) == pytest.approx(0.0)
+
+
+def test_classify_labels():
+    assert classify(ConstantCost()) == "strongly subadditive"
+    assert classify(LinearCost()) == "subadditive"
+    assert classify(lambda w: w * w) == "not subadditive"
+    assert classify(lambda w: -float(w)) == "non-monotone"
+
+
+def test_not_subadditive_detected():
+    assert not is_subadditive(lambda w: float(w) ** 2, 64)
+
+
+def test_evaluate_total():
+    assert evaluate_total(LinearCost(), [1, 2, 3]) == 6.0
+    assert evaluate_total(ConstantCost(), [5, 5, 5]) == 3.0

@@ -1,0 +1,24 @@
+"""Collect doctests from the pure-function modules."""
+
+import doctest
+
+import repro.analysis.fitting
+import repro.analysis.opt
+import repro.analysis.theory
+import repro.core.costfn
+
+MODULES = [
+    repro.analysis.opt,
+    repro.analysis.fitting,
+    repro.analysis.theory,
+    repro.core.costfn,
+]
+
+
+def test_doctests_pass():
+    total = 0
+    for mod in MODULES:
+        result = doctest.testmod(mod, verbose=False)
+        assert result.failed == 0, mod.__name__
+        total += result.attempted
+    assert total >= 5  # the docs actually contain examples

@@ -1,0 +1,98 @@
+"""Elastic server count (extension; related work [31])."""
+
+import random
+
+import pytest
+
+from repro.analysis.opt import opt_sum_completion
+from repro.core import ParallelScheduler
+
+
+def populated(p=3, n=120, max_size=64, seed=41):
+    s = ParallelScheduler(p, max_size, delta=0.5)
+    rng = random.Random(seed)
+    for i in range(n):
+        s.insert(f"j{i}", rng.randint(1, max_size))
+    return s
+
+
+def test_add_server_restores_balance():
+    s = populated()
+    s.check_invariant5()
+    new_id = s.add_server()
+    assert new_id == 3
+    assert s.p == 4
+    s.check_schedule()  # includes Invariant 5 across all 4 servers
+    assert len(s.servers[3]) > 0  # the newcomer actually received work
+
+
+def test_add_server_migration_count_near_minimum():
+    s = populated(p=3, n=300)
+    before = s.ledger.total_migrations
+    s.add_server()
+    migs = s.ledger.total_migrations - before
+    # Minimum is about sum_c floor(n_c/(p+1)); a generous cap: n/(p+1) + classes
+    assert migs <= 300 // 4 + s.servers[0].num_classes + 5
+
+
+def test_add_server_preserves_jobs():
+    s = populated(n=80)
+    names_before = {pj.name for pj in s.jobs()}
+    s.add_server()
+    assert {pj.name for pj in s.jobs()} == names_before
+    for name in names_before:
+        assert s.placement(name).name == name
+
+
+def test_remove_server_evacuates():
+    s = populated(p=4, n=100)
+    names_before = {pj.name for pj in s.jobs()}
+    s.remove_server(1)
+    assert s.p == 3
+    assert {pj.name for pj in s.jobs()} == names_before
+    s.check_schedule()
+    # where-map renumbering is consistent.
+    for pj in s.jobs():
+        assert s.placement(pj.name).server == pj.server
+
+
+def test_remove_last_server_rejected():
+    s = populated(p=1, n=10)
+    with pytest.raises(ValueError):
+        s.remove_server(0)
+    with pytest.raises(IndexError):
+        populated(p=2).remove_server(5)
+
+
+def test_elastic_cycle_keeps_quality():
+    s = populated(p=2, n=150, max_size=128)
+    rng = random.Random(42)
+    active = [pj.name for pj in s.jobs()]
+    for round_ in range(3):
+        s.add_server()
+        for step in range(60):
+            if rng.random() < 0.5 or not active:
+                name = f"r{round_}s{step}"
+                s.insert(name, rng.randint(1, 128))
+                active.append(name)
+            else:
+                i = rng.randrange(len(active))
+                active[i], active[-1] = active[-1], active[i]
+                s.delete(active.pop())
+        s.check_schedule()
+    s.remove_server(0)
+    s.check_schedule()
+    sizes = [pj.size for pj in s.jobs()]
+    if sizes:
+        ratio = s.sum_completion_times() / opt_sum_completion(sizes, s.p)
+        assert ratio <= 4.0
+
+
+def test_operations_continue_after_resize():
+    s = populated(p=2, n=50)
+    s.add_server()
+    s.insert("after", 10)
+    s.delete("after")
+    s.remove_server(2)
+    s.insert("after2", 10)
+    s.check_schedule()

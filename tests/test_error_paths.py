@@ -1,0 +1,98 @@
+"""Error-path coverage: every public API rejects bad input loudly and
+leaves state untouched."""
+
+import pytest
+
+from repro.core import SingleServerScheduler
+from repro.core.placement import ClassLayout
+from repro.core.segments import SegmentManager
+from repro.kcursor import KCursorSparseTable
+from repro.sim.report import render_report
+from repro.workloads.trace import Trace
+
+
+def test_trace_loads_bad_line():
+    with pytest.raises(ValueError):
+        Trace.loads("i a 5\nq bogus\n")
+
+
+def test_trace_loads_metadata():
+    t = Trace.loads("# trace label=xyz max_size=77\ni a 5\n")
+    assert t.label == "xyz"
+    assert t.max_size == 77
+
+
+def test_trace_loads_blank_label():
+    t = Trace.loads("# trace label=- max_size=3\n")
+    assert t.label == ""
+
+
+def test_render_report_without_conclusion():
+    out = render_report({"id": "X", "title": "t", "claim": "c",
+                         "headers": ["h"], "rows": [[1]]})
+    assert "conclusion" not in out
+
+
+def test_segment_manager_bad_class_index():
+    sm = SegmentManager(2, 0.5)
+    with pytest.raises(IndexError):
+        sm.extent(5)
+
+
+def test_property1_failure_detected():
+    sm = SegmentManager(2, 0.5)
+    sm.apply_volume_change(0, 10)
+    sm.volumes[0] = 1000  # corrupt the bookkeeping deliberately
+    with pytest.raises(AssertionError):
+        sm.check_property1()
+
+
+def test_layout_remove_unknown_job():
+    from repro.core.jobs import Job, PlacedJob
+
+    lay = ClassLayout(0, 1, 0.5)
+    ghost = PlacedJob(job=Job("g", 1), klass=0, start=5)
+    with pytest.raises(KeyError):
+        lay.remove(ghost)
+
+
+def test_kcursor_check_invariants_detects_corruption():
+    from repro.kcursor.debug import InvariantViolation, check_invariants
+
+    t = KCursorSparseTable(4)
+    for i in range(20):
+        t.insert(i % 4)
+    t.root.S += 5  # corrupt the cached total space
+    with pytest.raises(InvariantViolation):
+        check_invariants(t)
+
+
+def test_kcursor_negative_buffer_detected():
+    from repro.kcursor.debug import InvariantViolation, check_invariants
+
+    t = KCursorSparseTable(4)
+    t.insert(0)
+    leaf = t.leaves[0]
+    leaf.buf -= 1
+    leaf.S -= 1
+    with pytest.raises(InvariantViolation):
+        check_invariants(t)
+
+
+def test_scheduler_state_intact_after_failed_ops():
+    s = SingleServerScheduler(16, delta=0.5)
+    s.insert("a", 8)
+    snapshot = [(pj.name, pj.start) for pj in s.jobs()]
+    for bad in (lambda: s.insert("a", 2), lambda: s.delete("zz")):
+        with pytest.raises(KeyError):
+            bad()
+        assert [(pj.name, pj.start) for pj in s.jobs()] == snapshot
+    s.check_schedule()
+
+
+def test_params_validate_catches_inconsistency():
+    from repro.kcursor import Params
+
+    p = Params(k=4, capacity=4, H=2, delta=0.5, delta_prime_inv=18, inv_tau=7)
+    with pytest.raises(ValueError):
+        p.validate()

@@ -1,0 +1,61 @@
+"""Report/series exporters."""
+
+import csv
+import io
+import json
+
+from repro.sim.export import (
+    load_report_json,
+    report_to_csv,
+    report_to_json,
+    save_report,
+    series_to_csv,
+)
+
+REPORT = {
+    "id": "EX",
+    "title": "t",
+    "claim": "c",
+    "headers": ["a", "b"],
+    "rows": [[1, 2.5], ["x", 3]],
+    "chart": "....",
+    "conclusion": "done",
+}
+
+
+def test_report_to_csv_roundtrip():
+    text = report_to_csv(REPORT)
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == ["a", "b"]
+    assert rows[1] == ["1", "2.5"]
+
+
+def test_report_to_json_strips_chart():
+    data = json.loads(report_to_json(REPORT))
+    assert "chart" not in data
+    assert data["id"] == "EX"
+    assert data["rows"][1] == ["x", 3]
+
+
+def test_series_to_csv():
+    text = series_to_csv([1, 2], {"y1": [10, 20], "y2": [30, 40]})
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == ["x", "y1", "y2"]
+    assert rows[2] == ["2", "20", "40"]
+
+
+def test_save_and_load(tmp_path):
+    base = str(tmp_path / "out")
+    save_report(REPORT, base)
+    back = load_report_json(base + ".json")
+    assert back["conclusion"] == "done"
+    assert (tmp_path / "out.csv").exists()
+
+
+def test_live_experiment_exports(tmp_path):
+    from repro.sim.experiments import e01_layout
+
+    rep = e01_layout(quick=True)
+    save_report(rep, str(tmp_path / "e01"))
+    back = load_report_json(str(tmp_path / "e01.json"))
+    assert back["id"] == "E1"

@@ -1,0 +1,47 @@
+"""ASCII Gantt rendering."""
+
+from repro.core.jobs import Job, PlacedJob
+from repro.sim.gantt import render_gantt, schedule_summary
+
+
+def pj(name, size, start, server=0):
+    return PlacedJob(job=Job(name, size), klass=0, start=start, server=server)
+
+
+def test_empty():
+    assert render_gantt([]) == "(empty schedule)"
+    assert schedule_summary([])["jobs"] == 0
+
+
+def test_single_server_rows():
+    jobs = [pj("a", 10, 0), pj("b", 10, 20)]
+    out = render_gantt(jobs, width=40)
+    lines = out.splitlines()
+    assert len(lines) == 2  # header + one server row
+    assert "#" in lines[1] and "." in lines[1]
+    assert lines[1].count("|") == 2
+
+
+def test_multi_server_rows():
+    jobs = [pj("a", 5, 0, 0), pj("b", 5, 0, 1), pj("c", 5, 5, 1)]
+    out = render_gantt(jobs, width=30)
+    assert "s0" in out and "s1" in out
+
+
+def test_summary_numbers():
+    jobs = [pj("a", 10, 0), pj("b", 10, 30)]
+    s = schedule_summary(jobs)
+    assert s["jobs"] == 2
+    assert s["volume"] == 20
+    assert s["horizon"] == 40
+    assert s["idle_fraction"] == 0.5
+
+
+def test_live_scheduler_render():
+    from repro.core import ParallelScheduler
+
+    sched = ParallelScheduler(3, 32, delta=0.5)
+    for i in range(12):
+        sched.insert(f"j{i}", (i % 8) + 1)
+    out = render_gantt(sched.jobs())
+    assert "s0" in out and "s2" in out

@@ -1,0 +1,104 @@
+"""Cross-module integration: every scheduler on shared traces, with the
+relationships the paper predicts between them."""
+
+import pytest
+
+from repro.analysis.opt import opt_sum_completion_single
+from repro.baselines import (
+    AppendOnlyScheduler,
+    OptimalRescheduler,
+    PMABackedScheduler,
+    SimpleGapScheduler,
+)
+from repro.core import ParallelScheduler, SingleServerScheduler
+from repro.core.costfn import LinearCost
+from repro.workloads import generators
+from repro.workloads.trace import replay
+
+MAX_SIZE = 64
+
+
+def all_schedulers():
+    return {
+        "ours": SingleServerScheduler(MAX_SIZE, delta=0.5),
+        "ours-p4": ParallelScheduler(4, MAX_SIZE, delta=0.5),
+        "optimal": OptimalRescheduler(),
+        "simple": SimpleGapScheduler(MAX_SIZE),
+        "pma": PMABackedScheduler(MAX_SIZE, delta=0.5),
+        "append": AppendOnlyScheduler(),
+    }
+
+
+@pytest.fixture(scope="module")
+def shared_run():
+    trace = generators.mixed(600, MAX_SIZE, seed=42)
+    scheds = all_schedulers()
+    for s in scheds.values():
+        replay(trace, s)
+    return trace, scheds
+
+
+def test_all_agree_on_active_set(shared_run):
+    trace, scheds = shared_run
+    expected = trace.final_active()
+    volumes = set()
+    for label, s in scheds.items():
+        assert len(s) == expected, label
+        volumes.add(sum(pj.size for pj in s.jobs()))
+    assert len(volumes) == 1  # identical multisets of active jobs
+
+
+def test_objective_ordering(shared_run):
+    _, scheds = shared_run
+    sizes = [pj.size for pj in scheds["optimal"].jobs()]
+    opt = opt_sum_completion_single(sizes)
+    assert scheds["optimal"].sum_completion_times() == opt
+    # Single-server schedulers can't beat OPT.
+    for label in ("ours", "simple", "pma", "append"):
+        assert scheds[label].sum_completion_times() >= opt, label
+    # Ours is within its guarantee; append-only is the worst of the set.
+    assert scheds["ours"].sum_completion_times() <= (1 + 17 * 0.5) * opt
+
+
+def test_reallocation_cost_ordering(shared_run):
+    _, scheds = shared_run
+    f = LinearCost()
+    b = {label: s.ledger.competitiveness(f) for label, s in scheds.items()}
+    assert b["append"] == 0.0
+    assert b["optimal"] > b["ours"]  # exactness is expensive
+    assert all(v >= 0 for v in b.values())
+
+
+def test_every_job_placed_disjointly(shared_run):
+    _, scheds = shared_run
+    for label, s in scheds.items():
+        if label == "ours-p4":
+            by_server = {}
+            for pj in s.jobs():
+                by_server.setdefault(pj.server, []).append(pj)
+            groups = by_server.values()
+        else:
+            groups = [s.jobs()]
+        for group in groups:
+            ordered = sorted(group, key=lambda pj: pj.start)
+            for a, b2 in zip(ordered, ordered[1:]):
+                assert a.end <= b2.start, label
+
+
+def test_grow_then_shrink_all_schedulers():
+    trace = generators.grow_then_shrink(120, MAX_SIZE, order="random", seed=3)
+    for label, s in all_schedulers().items():
+        replay(trace, s)
+        assert len(s) == 0, label
+        assert s.sum_completion_times() == 0
+
+
+def test_deterministic_replay():
+    trace = generators.mixed(300, MAX_SIZE, seed=9)
+    a = SingleServerScheduler(MAX_SIZE, delta=0.5)
+    b = SingleServerScheduler(MAX_SIZE, delta=0.5)
+    replay(trace, a)
+    replay(trace, b)
+    assert a.sum_completion_times() == b.sum_completion_times()
+    assert [(pj.name, pj.start) for pj in a.jobs()] == [(pj.name, pj.start) for pj in b.jobs()]
+    assert a.ledger.realloc_hist == b.ledger.realloc_hist

@@ -1,0 +1,39 @@
+"""Every scheduler satisfies the common Scheduler protocol."""
+
+import pytest
+
+from repro.baselines import (
+    AppendOnlyScheduler,
+    OptimalRescheduler,
+    PMABackedScheduler,
+    SimpleGapScheduler,
+)
+from repro.core import ParallelScheduler, SingleServerScheduler
+from repro.core.interface import Scheduler
+
+ALL = [
+    SingleServerScheduler(16),
+    ParallelScheduler(2, 16),
+    OptimalRescheduler(),
+    SimpleGapScheduler(16),
+    PMABackedScheduler(16),
+    AppendOnlyScheduler(),
+]
+
+
+@pytest.mark.parametrize("sched", ALL, ids=lambda s: type(s).__name__)
+def test_satisfies_protocol(sched):
+    assert isinstance(sched, Scheduler)
+
+
+@pytest.mark.parametrize("sched", ALL, ids=lambda s: type(s).__name__)
+def test_uniform_driveability(sched):
+    sched.insert("proto-a", 3)
+    sched.insert("proto-b", 9)
+    assert len(sched) >= 2
+    assert sched.sum_completion_times() > 0
+    jobs = sched.jobs()
+    assert {j.name for j in jobs} >= {"proto-a", "proto-b"}
+    sched.delete("proto-a")
+    assert "proto-b" in {j.name for j in sched.jobs()}
+    sched.delete("proto-b")

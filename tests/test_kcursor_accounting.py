@@ -1,0 +1,74 @@
+"""The Section-4.3 accounting machinery, audited numerically."""
+
+import math
+
+import pytest
+
+from repro.kcursor.accounting import (
+    AccountingAuditor,
+    audit_run,
+    conversion_gap,
+    dollar_value,
+)
+from repro.kcursor import KCursorSparseTable, Params
+
+
+def test_dollar_values_decrease_with_level():
+    H = 5
+    vals = [dollar_value(i, H) for i in range(H + 2)]
+    assert all(a > b for a, b in zip(vals, vals[1:]))
+    assert vals[H + 1] == 0.0  # "level H+1" dollars are worthless
+
+
+def test_equation1_form():
+    H = 4
+    assert dollar_value(H, H) == pytest.approx(1 * (1 + 4 / 5) ** 1)
+    assert dollar_value(0, H) == pytest.approx(5 * (1 + 4 / 5) ** 5)
+
+
+def test_equation2_conversion_nonnegative_all_levels():
+    """The paper's constant 4 was 'specifically chosen' to make this work."""
+    for H in range(0, 12):
+        for i in range(H + 1):
+            assert conversion_gap(i, H) >= -1e-9, (H, i)
+
+
+def test_zero_dollar_value_cap():
+    # $_0 1 <= (H+1) e^4: the paper's Theta(log k) cap.
+    for H in range(1, 16):
+        assert dollar_value(0, H) <= (H + 1) * math.e**4 + 1e-9
+
+
+def test_audit_run_respects_theorem_bound():
+    for k in (4, 16):
+        rep = audit_run(k, 8000, factor=2, seed=3)
+        # Every operation's amortized charge within the theorem's budget
+        # (constant 1 suffices empirically; the theorem allows O(1)).
+        assert rep.max_amortized <= rep.theorem_bound_unit
+        assert rep.mean_amortized < rep.theorem_bound_unit / 10
+
+
+def test_potential_nonnegative_and_telescopes():
+    t = KCursorSparseTable(4, params=Params.explicit(4, 2))
+    aud = AccountingAuditor(t)
+    total_am = 0.0
+    for i in range(2000):
+        t.insert(i % 4)
+        total_am += aud.observe()
+    # sum of amortized = final potential + tau^2 * total cost (telescoping).
+    expect = aud.potential() + t.counter.total_cost / (t.root.it**2)
+    assert total_am == pytest.approx(expect, rel=1e-9)
+    assert aud.potential() >= 0.0
+
+
+def test_auditor_handles_deletes():
+    t = KCursorSparseTable(4, params=Params.explicit(4, 2))
+    aud = AccountingAuditor(t)
+    for i in range(500):
+        t.insert(i % 4)
+        aud.observe()
+    for i in range(400):
+        t.delete(i % 4)
+        aud.observe()
+    assert aud.report.ops == 900
+    assert aud.report.max_amortized <= aud.report.theorem_bound_unit

@@ -1,0 +1,67 @@
+"""Theorem 16: constant prefix density, across fill patterns and params."""
+
+import random
+
+import pytest
+
+from repro.kcursor import KCursorSparseTable, Params
+from repro.kcursor.debug import check_prefix_density, max_prefix_density
+from tests.conftest import drive_table
+
+
+@pytest.mark.parametrize("factor", [2, 3, 6])
+@pytest.mark.parametrize("pattern", ["balanced", "left", "right", "churn"])
+def test_density_bound_patterns(factor, pattern):
+    k = 8
+    t = KCursorSparseTable(k, params=Params.explicit(k, factor))
+    rng = random.Random(42)
+    for step in range(3000):
+        if pattern == "balanced":
+            j = step % k
+        elif pattern == "left":
+            j = rng.randrange(2)
+        elif pattern == "right":
+            j = k - 1 - rng.randrange(2)
+        else:
+            j = rng.randrange(k)
+        if pattern == "churn" and rng.random() < 0.45 and t.district_len(j):
+            t.delete(j)
+        else:
+            t.insert(j)
+    check_prefix_density(t)
+
+
+def test_density_with_paper_derived_params():
+    t = KCursorSparseTable(8, delta=0.5)
+    drive_table(t, 4000, seed=1)
+    check_prefix_density(t)
+    assert max_prefix_density(t) <= t.params.density_bound + 1e-9
+
+
+def test_density_after_total_churn():
+    """Grow, fully drain, regrow: density must hold at every stage."""
+    t = KCursorSparseTable(4, params=Params.explicit(4, 2))
+    for j in range(4):
+        t.extend(j, 300)
+    check_prefix_density(t)
+    for j in range(4):
+        t.shrink(j, 300)
+    for j in range(4):
+        t.extend(3 - j, 150)
+    check_prefix_density(t)
+
+
+def test_density_measured_strictly_tighter_for_larger_factor():
+    """Bigger 1/tau factor => less slack => tighter measured density."""
+    worst = {}
+    for factor in (2, 6):
+        t = KCursorSparseTable(8, params=Params.explicit(8, factor))
+        drive_table(t, 3000, seed=2)
+        worst[factor] = max_prefix_density(t)
+    assert worst[6] <= worst[2] + 1e-9
+
+
+def test_overall_space_blowup_bounded():
+    t = KCursorSparseTable(16, params=Params.explicit(16, 2))
+    drive_table(t, 8000, seed=3)
+    assert t.total_span <= t.params.density_bound * len(t) + 1

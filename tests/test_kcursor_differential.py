@@ -1,0 +1,92 @@
+"""Differential validation of the virtual representation.
+
+The table never materializes its array; rebuild costs are computed
+analytically.  These tests drive a small table while diffing *physically
+materialized* layouts before and after every operation, establishing:
+
+* the analytic ``slots_moved`` is an upper bound on actual element
+  relocations (it also counts slid empty slots, as a memmove would);
+* elements never reorder, merge, or vanish across slides;
+* untouched districts' elements stay at identical absolute positions
+  (the physical form of one-directionality).
+"""
+
+import random
+
+from repro.kcursor import KCursorSparseTable, Params
+from repro.kcursor.layout import SlotKind, materialize
+
+
+def element_map(table):
+    """(district, ordinal) -> absolute position."""
+    return {
+        (s.district, s.ordinal): i
+        for i, s in enumerate(materialize(table))
+        if s.kind is SlotKind.ELEMENT
+    }
+
+
+def drive_with_diffs(k, factor, ops, seed, skew=None):
+    t = KCursorSparseTable(k, params=Params.explicit(k, factor))
+    rng = random.Random(seed)
+    before = element_map(t)
+    for step in range(ops):
+        j = skew(rng) if skew else rng.randrange(k)
+        deleted = None
+        if rng.random() < 0.55 or t.district_len(j) == 0:
+            t.insert(j)
+        else:
+            deleted = (j, t.district_len(j) - 1)
+            t.delete(j)
+        after = element_map(t)
+        moved = 0
+        for key, pos in before.items():
+            if key == deleted:
+                continue
+            assert key in after, f"element {key} vanished (step {step})"
+            if after[key] != pos:
+                moved += 1
+                d = key[0]
+                assert d >= j, f"op on district {j} moved element of district {d}"
+        analytic = t.last_op.slots_moved
+        assert moved <= analytic, (
+            f"step {step}: physically moved {moved} elements but analytic "
+            f"cost counted only {analytic}"
+        )
+        before = after
+    return t
+
+
+def test_diff_balanced():
+    drive_with_diffs(4, 2, 600, seed=1)
+
+
+def test_diff_lopsided_with_gaps():
+    t = KCursorSparseTable(4, params=Params.explicit(4, 2))
+    t.extend(3, 3000)
+    rng = random.Random(2)
+    before = element_map(t)
+    for step in range(300):
+        t.insert(0)
+        after = element_map(t)
+        moved = sum(1 for key, pos in before.items() if after.get(key) != pos)
+        assert moved <= t.last_op.slots_moved
+        before = after
+
+
+def test_diff_heavy_skew():
+    drive_with_diffs(8, 2, 400, seed=3, skew=lambda rng: rng.randrange(2))
+
+
+def test_elements_keep_relative_order():
+    t = KCursorSparseTable(4, params=Params.explicit(4, 2))
+    rng = random.Random(4)
+    for step in range(500):
+        j = rng.randrange(4)
+        if rng.random() < 0.6 or t.district_len(j) == 0:
+            t.insert(j)
+        else:
+            t.delete(j)
+        slots = [s for s in materialize(t) if s.kind is SlotKind.ELEMENT]
+        for a, b in zip(slots, slots[1:]):
+            assert (a.district, a.ordinal) < (b.district, b.ordinal)

@@ -1,0 +1,70 @@
+"""Layout materialization and debugging views."""
+
+from repro.kcursor import KCursorSparseTable, Params, materialize, render_layout
+from repro.kcursor.layout import SlotKind, element_positions, occupancy_profile
+from tests.conftest import drive_table
+
+
+def test_materialize_counts_match_bookkeeping():
+    t = KCursorSparseTable(8, params=Params.explicit(8, 2))
+    drive_table(t, 2500, seed=11)
+    slots = materialize(t)
+    assert len(slots) == t.total_span
+    n_elem = sum(1 for s in slots if s.kind is SlotKind.ELEMENT)
+    assert n_elem == len(t)
+    gap_count = sum(1 for s in slots if s.kind is SlotKind.GAP)
+    assert gap_count == sum(c.gaps for c in t.iter_chunks())
+    buf_count = sum(1 for s in slots if s.kind is SlotKind.BUFFER)
+    assert buf_count == sum(c.buf for c in t.iter_chunks())
+
+
+def test_elements_in_district_order():
+    t = KCursorSparseTable(8, params=Params.explicit(8, 2))
+    drive_table(t, 2000, seed=12)
+    slots = materialize(t)
+    last_district = -1
+    for s in slots:
+        if s.kind is SlotKind.ELEMENT:
+            assert s.district >= last_district
+            last_district = max(last_district, s.district)
+
+
+def test_element_ordinals_sequential_within_district():
+    t = KCursorSparseTable(4, params=Params.explicit(4, 2))
+    drive_table(t, 1000, seed=13)
+    seen = {}
+    for s in materialize(t):
+        if s.kind is SlotKind.ELEMENT:
+            expected = seen.get(s.district, 0)
+            assert s.ordinal == expected
+            seen[s.district] = expected + 1
+
+
+def test_element_positions_helper():
+    t = KCursorSparseTable(4, params=Params.explicit(4, 2))
+    drive_table(t, 800, seed=14)
+    pos = element_positions(t)
+    assert len(pos) == len(t)
+    assert pos == sorted(pos)
+
+
+def test_render_layout_truncates():
+    t = KCursorSparseTable(4, params=Params.explicit(4, 2))
+    t.extend(0, 500)
+    text = render_layout(t, width=50)
+    line = text.split("  [")[0]
+    assert len(line) <= 50
+
+
+def test_occupancy_profile_bounds():
+    t = KCursorSparseTable(4, params=Params.explicit(4, 2))
+    drive_table(t, 1500, seed=15)
+    prof = occupancy_profile(t, resolution=32)
+    assert all(0.0 <= x <= 1.0 for x in prof)
+    assert len(prof) <= 32
+
+
+def test_empty_table_materializes_empty():
+    t = KCursorSparseTable(4)
+    assert materialize(t) == []
+    assert occupancy_profile(t) == []

@@ -1,0 +1,72 @@
+"""Theorem 19 / Property 2: one-directional rebalances and lost slots."""
+
+import random
+
+from repro.kcursor import KCursorSparseTable, Params
+
+
+def test_ops_never_move_left_districts():
+    k = 8
+    t = KCursorSparseTable(k, params=Params.explicit(k, 2))
+    rng = random.Random(21)
+    for step in range(5000):
+        j = rng.randrange(k)
+        before = [t.district_extent(i) for i in range(j)]
+        if rng.random() < 0.55 or t.district_len(j) == 0:
+            t.insert(j)
+        else:
+            t.delete(j)
+        after = [t.district_extent(i) for i in range(j)]
+        assert before == after, f"op on district {j} moved a left district (step {step})"
+
+
+def test_no_op_on_untouched_district_positions():
+    """Inserting into the last district never moves anything else."""
+    k = 8
+    t = KCursorSparseTable(k, params=Params.explicit(k, 2))
+    for j in range(k):
+        t.extend(j, 100)
+    before = [t.district_extent(i) for i in range(k - 1)]
+    for _ in range(500):
+        t.insert(k - 1)
+    after = [t.district_extent(i) for i in range(k - 1)]
+    assert before == after
+
+
+def test_lost_slots_bounded_per_op_amortized():
+    """Sum over ops of lost slots stays within a polylog(k) multiple of ops
+    (the Theorem 19 shape; constants absorbed generously)."""
+    k = 8
+    t = KCursorSparseTable(k, params=Params.explicit(k, 2))
+    rng = random.Random(22)
+    for j in range(k):
+        t.extend(j, 200)
+    total_lost = 0
+    ops = 3000
+    for _ in range(ops):
+        j = rng.randrange(k)
+        before = t.district_extents()
+        if rng.random() < 0.5 or t.district_len(j) == 0:
+            t.insert(j)
+        else:
+            t.delete(j)
+        after = t.district_extents()
+        for (b0, b1), (a0, a1) in zip(before, after):
+            overlap = max(0, min(b1, a1) - max(b0, a0))
+            total_lost += (b1 - b0) - overlap
+    H1 = 4  # ceil(lg 8) + 1
+    assert total_lost / ops <= 50 * H1**3  # generous constant, shape check
+
+
+def test_rebuild_records_one_per_level_max():
+    """A single op rebuilds each level at most once (insert path)."""
+    t = KCursorSparseTable(8, params=Params.explicit(8, 2))
+    rng = random.Random(23)
+    for step in range(4000):
+        j = rng.randrange(8)
+        if rng.random() < 0.55 or t.district_len(j) == 0:
+            t.insert(j)
+        else:
+            t.delete(j)
+        levels = [r.level for r in t.last_op.rebuilds if r.grow]
+        assert len(levels) == len(set(levels))

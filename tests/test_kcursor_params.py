@@ -1,0 +1,83 @@
+"""Parameter derivation (Section 4.1 / Theorem 16 setup)."""
+
+import math
+
+import pytest
+
+from repro.kcursor import Params
+
+
+def test_from_delta_basic():
+    p = Params.from_delta(16, 0.5)
+    assert p.k == 16
+    assert p.H == 4
+    assert p.capacity == 16
+    assert p.delta_prime_inv == math.ceil(9 / 0.5) == 18
+    assert p.inv_tau == 18 * 5
+    p.validate()
+
+
+def test_delta_prime_in_paper_range():
+    # Theorem 16 requires 0 < delta' <= 1/6; the derivation gives <= 1/9.
+    for delta in (0.05, 0.1, 0.3, 0.5, 1.0):
+        p = Params.from_delta(4, delta)
+        assert 0 < p.delta_prime <= 1 / 9 + 1e-12
+
+
+def test_density_bound_within_delta():
+    for delta in (0.1, 0.25, 0.5, 1.0):
+        p = Params.from_delta(8, delta)
+        # (1 + 9*delta') <= 1 + delta: the user-facing guarantee.
+        assert p.density_bound <= 1 + delta + 1e-12
+
+
+def test_integrality_of_inv_tau():
+    for k in (1, 2, 3, 7, 16, 100):
+        p = Params.from_delta(k, 0.37)
+        assert isinstance(p.inv_tau, int)
+        assert p.inv_tau >= p.H + 1  # paper: 1/tau integer >= H (+1)
+
+
+def test_capacity_rounds_up_to_power_of_two():
+    assert Params.from_delta(1, 0.5).capacity == 1
+    assert Params.from_delta(3, 0.5).capacity == 4
+    assert Params.from_delta(5, 0.5).capacity == 8
+    assert Params.from_delta(8, 0.5).capacity == 8
+
+
+def test_thresholds_hysteresis():
+    p = Params.from_delta(8, 0.5)
+    assert p.buffered_on == 2 * p.inv_tau**2
+    assert p.buffered_off == p.inv_tau**2
+    assert p.buffered_on == 2 * p.buffered_off
+
+
+def test_explicit_params():
+    p = Params.explicit(8, 2)
+    assert p.inv_tau == 2 * (p.H + 1)
+    p.validate()
+
+
+@pytest.mark.parametrize("bad", [0, -1, 1.5, 2.0])
+def test_bad_delta_rejected(bad):
+    if bad in (1.5, 2.0):
+        with pytest.raises(ValueError):
+            Params.from_delta(4, bad)
+    else:
+        with pytest.raises(ValueError):
+            Params.from_delta(4, bad)
+
+
+def test_bad_k_rejected():
+    with pytest.raises(ValueError):
+        Params.from_delta(0, 0.5)
+
+
+def test_explicit_factor_too_small_rejected():
+    with pytest.raises(ValueError):
+        Params.explicit(4, 1)
+
+
+def test_tau_property_is_inverse():
+    p = Params.from_delta(32, 0.25)
+    assert abs(p.tau * p.inv_tau - 1.0) < 1e-12

@@ -1,0 +1,114 @@
+"""Property-based (hypothesis) tests for the k-cursor structure.
+
+Random operation sequences must preserve every structural invariant, the
+prefix-density theorem, LIFO semantics, and equivalence with a trivial
+reference model (per-district python lists).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.kcursor import KCursorSparseTable, Params, check_invariants
+
+K = 4
+
+
+def ops_strategy(max_ops=120):
+    # op: (district, is_insert)
+    return st.lists(
+        st.tuples(st.integers(0, K - 1), st.booleans()),
+        min_size=1,
+        max_size=max_ops,
+    )
+
+
+def apply_ops(t, ops, ref):
+    tracked = t._values is not None
+    serial = 0
+    for j, is_insert in ops:
+        if is_insert or not ref[j]:
+            t.insert(j, value=serial)
+            ref[j].append(serial)
+            serial += 1
+        else:
+            got = t.delete(j)
+            want = ref[j].pop()
+            if tracked:
+                assert got == want
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops_strategy())
+def test_random_ops_keep_invariants(ops):
+    t = KCursorSparseTable(K, params=Params.explicit(K, 2), track_values=True)
+    ref = [[] for _ in range(K)]
+    apply_ops(t, ops, ref)
+    check_invariants(t)
+    for j in range(K):
+        assert t.district_values(j) == ref[j]
+        assert t.district_len(j) == len(ref[j])
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=ops_strategy())
+def test_random_ops_density(ops):
+    t = KCursorSparseTable(K, params=Params.explicit(K, 2))
+    ref = [[] for _ in range(K)]
+    apply_ops(t, ops, ref)
+    from repro.kcursor.debug import check_prefix_density
+
+    check_prefix_density(t)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=ops_strategy(),
+    factor=st.integers(2, 8),
+)
+def test_invariants_across_factors(ops, factor):
+    t = KCursorSparseTable(K, params=Params.explicit(K, factor), track_values=True)
+    ref = [[] for _ in range(K)]
+    apply_ops(t, ops, ref)
+    check_invariants(t)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    batches=st.lists(
+        st.tuples(st.integers(0, K - 1), st.integers(1, 40), st.booleans()),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_batched_ops_equiv_counts(batches):
+    """extend/shrink must track exactly like repeated insert/delete."""
+    t = KCursorSparseTable(K, params=Params.explicit(K, 2))
+    counts = [0] * K
+    for j, m, grow in batches:
+        if grow:
+            t.extend(j, m)
+            counts[j] += m
+        else:
+            m = min(m, counts[j])
+            t.shrink(j, m)
+            counts[j] -= m
+    assert [t.district_len(j) for j in range(K)] == counts
+    check_invariants(t)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=ops_strategy(80))
+def test_one_directionality_property(ops):
+    t = KCursorSparseTable(K, params=Params.explicit(K, 2))
+    ref = [[] for _ in range(K)]
+    serial = 0
+    for j, is_insert in ops:
+        before = [t.district_extent(i) for i in range(j)]
+        if is_insert or not ref[j]:
+            t.insert(j, value=serial)
+            ref[j].append(serial)
+            serial += 1
+        else:
+            t.delete(j)
+            ref[j].pop()
+        assert [t.district_extent(i) for i in range(j)] == before

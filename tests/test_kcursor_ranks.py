@@ -1,0 +1,70 @@
+"""Global-rank view of the k-cursor table."""
+
+import pytest
+
+from repro.kcursor import KCursorSparseTable, Params
+from tests.conftest import drive_table
+
+
+def build():
+    t = KCursorSparseTable(4, params=Params.explicit(4, 2), track_values=True)
+    for j, vals in enumerate((["a", "b"], [], ["c"], ["d", "e", "f"])):
+        for v in vals:
+            t.insert(j, value=v)
+    return t
+
+
+def test_rank_of_and_locate_roundtrip():
+    t = build()
+    assert t.rank_of(0, 0) == 0
+    assert t.rank_of(2, 0) == 2
+    assert t.rank_of(3, 2) == 5
+    for r in range(len(t)):
+        j, i = t.locate(r)
+        assert t.rank_of(j, i) == r
+
+
+def test_value_at_and_iter():
+    t = build()
+    assert [t.value_at(r) for r in range(len(t))] == ["a", "b", "c", "d", "e", "f"]
+    assert list(t) == ["a", "b", "c", "d", "e", "f"]
+
+
+def test_rank_bounds():
+    t = build()
+    with pytest.raises(IndexError):
+        t.locate(6)
+    with pytest.raises(IndexError):
+        t.locate(-1)
+    with pytest.raises(IndexError):
+        t.rank_of(1, 0)  # district 1 is empty
+
+
+def test_untracked_table_rejects_value_access():
+    t = KCursorSparseTable(2)
+    t.insert(0)
+    with pytest.raises(RuntimeError):
+        t.value_at(0)
+    with pytest.raises(RuntimeError):
+        list(t)
+    assert t.locate(0) == (0, 0)  # positional queries still fine
+
+
+def test_ranks_consistent_under_churn():
+    t = KCursorSparseTable(8, params=Params.explicit(8, 2), track_values=True)
+    drive_table(t, 2000, seed=3)
+    vals = list(t)
+    assert len(vals) == len(t)
+    for r in (0, len(t) // 2, len(t) - 1):
+        assert t.value_at(r) == vals[r]
+
+
+def test_rank_positions_monotone_with_array_positions():
+    """Rank order must equal array-position order."""
+    t = KCursorSparseTable(4, params=Params.explicit(4, 2))
+    drive_table(t, 800, seed=4)
+    positions = []
+    for r in range(len(t)):
+        j, i = t.locate(r)
+        positions.append(t.element_position(j, i))
+    assert positions == sorted(positions)

@@ -1,0 +1,174 @@
+"""k-cursor sparse table: core update/query semantics (Section 4)."""
+
+import pytest
+
+from repro.kcursor import KCursorSparseTable, Params, check_invariants
+from tests.conftest import drive_table
+
+
+def test_empty_table():
+    t = KCursorSparseTable(4)
+    assert len(t) == 0
+    assert t.total_span == 0
+    assert t.district_len(0) == 0
+    check_invariants(t)
+
+
+def test_single_insert_delete():
+    t = KCursorSparseTable(4, track_values=True)
+    t.insert(2, value="a")
+    assert len(t) == 1
+    assert t.district_len(2) == 1
+    assert t.district_values(2) == ["a"]
+    check_invariants(t)
+    assert t.delete(2) == "a"
+    assert len(t) == 0
+    check_invariants(t)
+
+
+def test_lifo_order_per_district():
+    t = KCursorSparseTable(2, track_values=True)
+    for v in "abc":
+        t.insert(0, value=v)
+    assert t.delete(0) == "c"
+    assert t.delete(0) == "b"
+    t.insert(0, value="d")
+    assert t.district_values(0) == ["a", "d"]
+
+
+def test_delete_from_empty_district_raises():
+    t = KCursorSparseTable(2)
+    with pytest.raises(IndexError):
+        t.delete(0)
+
+
+def test_district_index_bounds():
+    t = KCursorSparseTable(3)
+    with pytest.raises(IndexError):
+        t.insert(3)
+    with pytest.raises(IndexError):
+        t.district_len(-1)
+
+
+def test_extents_ordered_and_disjoint():
+    t = KCursorSparseTable(8, params=Params.explicit(8, 2))
+    drive_table(t, 3000, seed=5)
+    prev_end = 0
+    for j in range(8):
+        start, end = t.district_extent(j)
+        assert start >= prev_end
+        assert end - start >= t.district_len(j)
+        if t.district_len(j):
+            prev_end = end
+
+
+def test_element_positions_strictly_increasing():
+    t = KCursorSparseTable(4, params=Params.explicit(4, 2))
+    drive_table(t, 1500, seed=6)
+    prev = -1
+    for j in range(4):
+        for i in range(t.district_len(j)):
+            pos = t.element_position(j, i)
+            assert pos > prev
+            prev = pos
+
+
+def test_invariants_after_every_op_small():
+    t = KCursorSparseTable(4, params=Params.explicit(4, 2), track_values=True)
+    drive_table(t, 400, seed=7, check_every=1)
+
+
+def test_invariants_paper_params():
+    t = KCursorSparseTable(8, delta=0.5, track_values=True)
+    drive_table(t, 2000, seed=8, check_every=50)
+    check_invariants(t)
+
+
+def test_batch_extend_equals_repeated_inserts():
+    """extend(j, m) must leave identical structure state to m inserts."""
+    a = KCursorSparseTable(4, params=Params.explicit(4, 2))
+    b = KCursorSparseTable(4, params=Params.explicit(4, 2))
+    plan = [(0, 5), (1, 37), (0, 120), (3, 64), (1, 3)]
+    for j, m in plan:
+        for _ in range(m):
+            a.insert(j)
+        b.extend(j, m)
+    # Same element counts and same density discipline; spans may differ
+    # slightly (batching takes space in one request) but both obey bounds.
+    for j in range(4):
+        assert a.district_len(j) == b.district_len(j)
+    check_invariants(a)
+    check_invariants(b)
+    assert b.counter.total_cost <= a.counter.total_cost
+
+
+def test_batch_shrink_equals_repeated_deletes():
+    a = KCursorSparseTable(4, params=Params.explicit(4, 2))
+    b = KCursorSparseTable(4, params=Params.explicit(4, 2))
+    for t in (a, b):
+        t.extend(0, 300)
+        t.extend(2, 150)
+    for _ in range(120):
+        a.delete(0)
+    b.shrink(0, 120)
+    assert a.district_len(0) == b.district_len(0) == 180
+    check_invariants(a)
+    check_invariants(b)
+
+
+def test_extend_zero_and_negative():
+    t = KCursorSparseTable(2)
+    t.extend(0, 0)
+    assert len(t) == 0
+    with pytest.raises(ValueError):
+        t.extend(0, -1)
+    with pytest.raises(IndexError):
+        t.shrink(0, 5)
+
+
+def test_counter_tracks_ops():
+    t = KCursorSparseTable(2)
+    for _ in range(10):
+        t.insert(0)
+    for _ in range(4):
+        t.delete(0)
+    assert t.counter.ops == 14
+    assert t.counter.inserts == 10
+    assert t.counter.deletes == 4
+    t.extend(1, 7)
+    assert t.counter.ops == 21
+
+
+def test_total_span_at_least_elements():
+    t = KCursorSparseTable(8, params=Params.explicit(8, 3))
+    drive_table(t, 2000, seed=9)
+    assert t.total_span >= len(t)
+    # and bounded by the density guarantee overall
+    assert t.total_span <= t.params.density_bound * max(1, len(t)) + t.params.inv_tau
+
+
+def test_drain_to_empty_reclaims_space():
+    t = KCursorSparseTable(4, params=Params.explicit(4, 2))
+    for j in range(4):
+        t.extend(j, 200)
+    for j in range(4):
+        t.shrink(j, 200)
+    assert len(t) == 0
+    check_invariants(t)
+    # All buffers returned: UNBUFFERED chunks hold no space.
+    assert t.total_span == 0
+
+
+def test_tau_mode_validation():
+    with pytest.raises(ValueError):
+        KCursorSparseTable(4, tau_mode="bogus")
+
+
+def test_k_equals_one():
+    t = KCursorSparseTable(1, track_values=True)
+    for i in range(50):
+        t.insert(0, value=i)
+    check_invariants(t)
+    for i in reversed(range(50)):
+        assert t.delete(0) == i
+    check_invariants(t)

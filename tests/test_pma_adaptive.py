@@ -1,0 +1,101 @@
+"""Adaptive PMA: correctness identical to the base PMA, better on skew."""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.pma import AdaptivePackedMemoryArray, PackedMemoryArray
+
+
+def test_mirror_reference_mixed():
+    pma = AdaptivePackedMemoryArray()
+    ref = []
+    rng = random.Random(0)
+    for step in range(3000):
+        if rng.random() < 0.6 or not ref:
+            r = rng.randrange(len(ref) + 1)
+            pma.insert(r, step)
+            ref.insert(r, step)
+        else:
+            r = rng.randrange(len(ref))
+            assert pma.delete(r) == ref.pop(r)
+        if step % 500 == 0:
+            pma.check_invariants()
+            assert pma.to_list() == ref
+    assert pma.to_list() == ref
+
+
+def test_front_hammer_correct():
+    pma = AdaptivePackedMemoryArray()
+    for i in range(2000):
+        pma.insert(0, i)
+    assert pma.to_list() == list(reversed(range(2000)))
+    pma.check_invariants()
+
+
+def test_adaptive_beats_uniform_on_hammer():
+    """The point of [9]: skewed insertion patterns cost less."""
+    def hammer(cls):
+        pma = cls()
+        for i in range(6000):
+            pma.insert(0, i)
+        return pma.counter.amortized_cost
+
+    assert hammer(AdaptivePackedMemoryArray) < hammer(PackedMemoryArray)
+
+
+def test_adaptive_comparable_on_uniform():
+    def uniform(cls):
+        pma = cls()
+        rng = random.Random(1)
+        for i in range(6000):
+            pma.insert(rng.randrange(len(pma) + 1), i)
+        return pma.counter.amortized_cost
+
+    a = uniform(AdaptivePackedMemoryArray)
+    u = uniform(PackedMemoryArray)
+    assert a <= 3 * u  # no pathological regression on the easy case
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        AdaptivePackedMemoryArray(decay=1.5)
+    with pytest.raises(ValueError):
+        AdaptivePackedMemoryArray(headroom_bias=-0.1)
+
+
+def test_heat_decays_on_rebalance():
+    pma = AdaptivePackedMemoryArray(decay=0.0)
+    for i in range(500):
+        pma.insert(0, i)
+    # decay=0 wipes heat at every rebalance; structure must stay correct.
+    assert pma.to_list() == list(reversed(range(500)))
+    pma.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 10_000), st.booleans()),
+        min_size=1,
+        max_size=120,
+    ),
+    bias=st.sampled_from([0.0, 0.5, 1.0]),
+)
+def test_adaptive_matches_list_model(ops, bias):
+    pma = AdaptivePackedMemoryArray(initial_capacity=8, headroom_bias=bias)
+    ref: list[int] = []
+    serial = 0
+    for pos, is_insert in ops:
+        if is_insert or not ref:
+            r = pos % (len(ref) + 1)
+            pma.insert(r, serial)
+            ref.insert(r, serial)
+            serial += 1
+        else:
+            r = pos % len(ref)
+            assert pma.delete(r) == ref.pop(r)
+    assert pma.to_list() == ref
+    pma.check_invariants()

@@ -1,0 +1,58 @@
+"""Property-based tests for the PMA against a list reference model."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.pma import PackedMemoryArray
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 10_000), st.booleans()),
+        min_size=1,
+        max_size=150,
+    )
+)
+def test_pma_matches_list_model(ops):
+    pma = PackedMemoryArray(initial_capacity=8)
+    ref: list[int] = []
+    serial = 0
+    for pos, is_insert in ops:
+        if is_insert or not ref:
+            r = pos % (len(ref) + 1)
+            pma.insert(r, serial)
+            ref.insert(r, serial)
+            serial += 1
+        else:
+            r = pos % len(ref)
+            assert pma.delete(r) == ref.pop(r)
+    assert pma.to_list() == ref
+    pma.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 300))
+def test_pma_sequential_fill_order(n):
+    pma = PackedMemoryArray(initial_capacity=8)
+    for i in range(n):
+        pma.append(i)
+    assert pma.to_list() == list(range(n))
+    assert len(pma) == n
+    pma.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 200),
+    deletes=st.integers(0, 200),
+)
+def test_pma_fill_then_drain(n, deletes):
+    pma = PackedMemoryArray(initial_capacity=8)
+    for i in range(n):
+        pma.append(i)
+    d = min(n, deletes)
+    for _ in range(d):
+        pma.delete(len(pma) - 1)
+    assert pma.to_list() == list(range(n - d))
+    pma.check_invariants()

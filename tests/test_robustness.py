@@ -1,0 +1,89 @@
+"""Robustness: astronomical sizes, validation atomicity, extreme deltas.
+
+The virtual (bookkeeping-only) representation means "volume" is just an
+integer -- the structures must handle jobs of billions of slots without
+materializing anything.
+"""
+
+import pytest
+
+from repro.core import ParallelScheduler, SingleServerScheduler
+from repro.kcursor import KCursorSparseTable, check_invariants
+
+
+def test_kcursor_astronomical_batches():
+    t = KCursorSparseTable(4, delta=0.5)
+    t.extend(0, 1 << 30)
+    t.extend(3, 1 << 28)
+    assert len(t) == (1 << 30) + (1 << 28)
+    check_invariants(t, density=False, positions=False)  # materializing 2^30 slots: no
+    s0, e0 = t.district_extent(0)
+    assert e0 - s0 >= 1 << 30
+    t.shrink(0, 1 << 29)
+    check_invariants(t, density=False, positions=False)
+
+
+def test_scheduler_huge_jobs():
+    s = SingleServerScheduler(1 << 30, delta=0.5)
+    s.insert("huge", 1 << 30)
+    s.insert("tiny", 1)
+    s.insert("mid", 1 << 15)
+    assert s.placement("tiny").start < s.placement("mid").start < s.placement("huge").start
+    # Objective arithmetic stays exact (Python ints).
+    assert s.sum_completion_times() > 1 << 30
+    s.delete("huge")
+    assert s.total_volume() == (1 << 15) + 1
+
+
+def test_parallel_huge_jobs():
+    s = ParallelScheduler(3, 1 << 24, delta=0.5)
+    for i in range(6):
+        s.insert(f"big{i}", 1 << 24)
+    s.check_invariant5()
+    assert s.total_volume() == 6 * (1 << 24)
+
+
+def test_insert_validation_is_atomic():
+    """Failed validation must leave no trace in scheduler or ledger."""
+    s = SingleServerScheduler(64, delta=0.5)
+    s.insert("a", 10)
+    before_ops = s.ledger.ops
+    before_vol = s.total_volume()
+    with pytest.raises(KeyError):
+        s.insert("a", 5)  # duplicate
+    with pytest.raises(ValueError):
+        s.insert("zero", 0)  # bad size
+    with pytest.raises(ValueError):
+        s.insert("toobig", 65)  # beyond Delta (static mode)
+    with pytest.raises(KeyError):
+        s.delete("ghost")
+    assert s.ledger.ops == before_ops
+    assert s.total_volume() == before_vol
+    # The ledger is not left open: a normal operation still works.
+    s.insert("b", 3)
+    s.check_schedule()
+
+
+def test_many_classes_tiny_delta():
+    s = SingleServerScheduler(1 << 16, delta=0.05)
+    assert s.num_classes > 200
+    s.insert("x", 1)
+    s.insert("y", 1 << 16)
+    s.check_schedule()
+
+
+def test_delta_floor_clamp_via_epsilon():
+    s = SingleServerScheduler(16, epsilon=0.001)
+    assert s.delta >= 1e-3  # documented clamp
+    s.insert("a", 7)
+    s.check_schedule()
+
+
+def test_single_job_lifecycle_extremes():
+    s = SingleServerScheduler(1, delta=1.0)
+    for _ in range(30):
+        s.insert("only", 1)
+        assert s.sum_completion_times() >= 1
+        s.delete("only")
+    assert len(s) == 0
+    assert s.total_volume() == 0

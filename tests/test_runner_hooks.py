@@ -1,0 +1,50 @@
+"""Runner hooks and edge cases; randomized cost-function properties."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import SingleServerScheduler
+from repro.core.costfn import is_monotone, is_subadditive
+from repro.sim.runner import run_trace
+from repro.workloads import generators
+
+
+def test_on_checkpoint_called():
+    trace = generators.mixed(100, 16, seed=1)
+    calls = []
+    s = SingleServerScheduler(16, delta=0.5)
+    run_trace(s, trace, checkpoint_every=25, on_checkpoint=lambda sched, step: calls.append(step))
+    assert calls == [25, 50, 75, 100]
+
+
+def test_checkpoint_final_always_included():
+    trace = generators.mixed(30, 8, seed=2)
+    s = SingleServerScheduler(8, delta=0.5)
+    res = run_trace(s, trace, checkpoint_every=7)
+    assert res.checkpoints[-1] == 30
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    coeffs=st.tuples(
+        st.floats(0.0, 5.0), st.floats(0.0, 3.0), st.floats(0.0, 1.0)
+    )
+)
+def test_random_concave_functions_are_subadditive(coeffs):
+    """Any f(w) = a + b*w^alpha (a,b >= 0, alpha <= 1) is monotone
+    subadditive -- the checkers must agree with the theorem."""
+    a, b, alpha = coeffs
+
+    def f(w: int) -> float:
+        return a + b * (float(w) ** alpha)
+
+    if a == 0 and b == 0:
+        return  # degenerate zero function
+    assert is_monotone(f, 128)
+    assert is_subadditive(f, 64)
+
+
+@settings(max_examples=30, deadline=None)
+@given(power=st.floats(1.05, 3.0))
+def test_superlinear_powers_not_subadditive(power):
+    assert not is_subadditive(lambda w: float(w) ** power, 64)

@@ -1,0 +1,74 @@
+"""Sim harness: runner, report rendering, experiment registry plumbing."""
+
+from repro.baselines import AppendOnlyScheduler
+from repro.core import SingleServerScheduler
+from repro.sim.report import ascii_table, markdown_table, render_report
+from repro.sim.runner import run_trace
+from repro.workloads import generators
+
+
+def test_run_trace_basic():
+    trace = generators.mixed(200, 32, seed=1)
+    s = SingleServerScheduler(32, delta=0.5)
+    res = run_trace(s, trace, checkpoint_every=50)
+    assert res.ops == 200
+    assert res.scheduler is s
+    assert res.max_ratio >= 1.0
+    assert len(res.ratios) == len(res.checkpoints)
+    assert res.ledger is s.ledger
+
+
+def test_run_trace_validation_hook():
+    trace = generators.mixed(100, 16, seed=2)
+    s = SingleServerScheduler(16, delta=0.5)
+    run_trace(s, trace, validate_every=20)  # raises on any violation
+
+
+def test_run_trace_without_checkpoints_still_reports_ratio():
+    trace = generators.mixed(50, 8, seed=3)
+    s = AppendOnlyScheduler()
+    res = run_trace(s, trace)
+    assert len(res.ratios) == 1
+    assert res.final_ratio >= 1.0
+
+
+def test_ascii_table_alignment():
+    out = ascii_table(["a", "bb"], [[1, 2.5], [30, 0.001]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert len(set(len(l) for l in lines)) == 1
+
+
+def test_markdown_table_shape():
+    out = markdown_table(["x", "y"], [[1, 2]])
+    assert out.splitlines()[0] == "| x | y |"
+    assert out.splitlines()[1] == "|---|---|"
+
+
+def test_render_report():
+    rep = {
+        "id": "EX",
+        "title": "t",
+        "claim": "c",
+        "headers": ["h"],
+        "rows": [[1]],
+        "conclusion": "done",
+    }
+    text = render_report(rep)
+    assert "EX" in text and "done" in text
+    md = render_report(rep, markdown=True)
+    assert "| h |" in md
+
+
+def test_experiment_registry_complete():
+    from repro.sim.experiments import EXPERIMENTS
+
+    assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 17)} | {
+        "A1",
+        "A2",
+        "A3",
+        "A4",
+        "A5",
+    }
+    for fn in EXPERIMENTS.values():
+        assert callable(fn)

@@ -1,0 +1,167 @@
+"""Single-server cost-oblivious reallocating scheduler (Theorem 1)."""
+
+import random
+
+import pytest
+
+from repro.analysis.opt import opt_sum_completion_single
+from repro.core import SingleServerScheduler
+from repro.core.costfn import ConstantCost, LinearCost
+from tests.conftest import drive_scheduler
+
+
+def test_insert_and_query():
+    s = SingleServerScheduler(100, delta=0.5)
+    pj = s.insert("a", 10)
+    assert "a" in s
+    assert len(s) == 1
+    assert s.placement("a") is pj
+    assert s.sum_completion_times() == pj.completion
+    s.check_schedule()
+
+
+def test_duplicate_insert_rejected():
+    s = SingleServerScheduler(100)
+    s.insert("a", 5)
+    with pytest.raises(KeyError):
+        s.insert("a", 7)
+
+
+def test_delete_returns_job():
+    s = SingleServerScheduler(100)
+    s.insert("a", 5)
+    job = s.delete("a")
+    assert job.size == 5
+    assert len(s) == 0
+    with pytest.raises(KeyError):
+        s.delete("a")
+    s.check_schedule()
+
+
+def test_jobs_sorted_by_start_and_disjoint():
+    s = SingleServerScheduler(64, delta=0.5)
+    drive_scheduler(s, 300, 64, seed=1)
+    jobs = s.jobs()
+    for a, b in zip(jobs, jobs[1:]):
+        assert a.end <= b.start
+
+
+def test_approximately_sorted_by_class():
+    """Jobs appear in nondecreasing size-class order (the approx-sort)."""
+    s = SingleServerScheduler(256, delta=0.5)
+    drive_scheduler(s, 400, 256, seed=2)
+    prev = -1
+    for pj in s.jobs():
+        assert pj.klass >= prev
+        prev = pj.klass
+
+
+def test_ratio_bound_lemma4():
+    for delta in (0.1, 0.5):
+        s = SingleServerScheduler(512, delta=delta)
+        rng = random.Random(3)
+        active = []
+        worst = 0.0
+        for step in range(600):
+            if rng.random() < 0.6 or not active:
+                name = f"j{step}"
+                s.insert(name, rng.randint(1, 512))
+                active.append(name)
+            else:
+                s.delete(active.pop(rng.randrange(len(active))))
+            opt = opt_sum_completion_single(pj.size for pj in s.jobs())
+            if opt:
+                worst = max(worst, s.sum_completion_times() / opt)
+        assert worst <= 1 + 17 * delta + 1e-9
+
+
+def test_torture_with_validation():
+    s = SingleServerScheduler(128, delta=0.5)
+    rng = random.Random(4)
+    active = []
+    for step in range(800):
+        if rng.random() < 0.55 or not active:
+            name = f"j{step}"
+            s.insert(name, rng.randint(1, 128))
+            active.append(name)
+        else:
+            s.delete(active.pop(rng.randrange(len(active))))
+        if step % 40 == 0:
+            s.check_schedule()
+    s.check_schedule()
+
+
+def test_ledger_alloc_counts_every_insert():
+    s = SingleServerScheduler(32)
+    drive_scheduler(s, 200, 32, seed=5)
+    led = s.ledger
+    assert led.inserts + led.deletes == 200
+    assert sum(led.alloc_hist.values()) == led.inserts
+
+
+def test_cost_obliviousness_structural():
+    """The scheduling core never imports the cost-function module."""
+    import repro.core.placement
+    import repro.core.segments
+    import repro.core.single
+
+    for mod in (repro.core.single, repro.core.placement, repro.core.segments):
+        source = open(mod.__file__).read()
+        assert "costfn" not in source, f"{mod.__name__} must stay cost-oblivious"
+
+
+def test_competitiveness_finite_and_positive():
+    s = SingleServerScheduler(64, delta=0.5)
+    drive_scheduler(s, 400, 64, seed=6)
+    b_lin = s.ledger.competitiveness(LinearCost())
+    b_const = s.ledger.competitiveness(ConstantCost())
+    assert 0 <= b_lin < 1000
+    assert 0 <= b_const < 1000
+
+
+def test_size_larger_than_delta_rejected_static():
+    s = SingleServerScheduler(16)
+    with pytest.raises(ValueError):
+        s.insert("big", 17)
+
+
+def test_dynamic_growth():
+    s = SingleServerScheduler(2, delta=0.5, dynamic=True)
+    s.insert("small", 2)
+    s.insert("big", 500)  # exceeds initial Delta: classes grow online
+    assert s.classer.max_size >= 500
+    s.check_schedule()
+    assert s.placement("big").klass > s.placement("small").klass
+
+
+def test_epsilon_parameterization():
+    s = SingleServerScheduler(100, epsilon=0.34)
+    assert s.delta == pytest.approx(0.02)
+    with pytest.raises(ValueError):
+        SingleServerScheduler(100, epsilon=1.5)
+    with pytest.raises(ValueError):
+        SingleServerScheduler(100, delta=2.0)
+
+
+def test_unit_jobs_only():
+    s = SingleServerScheduler(1, delta=0.5)
+    for i in range(50):
+        s.insert(f"u{i}", 1)
+    assert s.sum_completion_times() >= 50 * 51 // 2
+    s.check_schedule()
+
+
+def test_empty_scheduler_objective():
+    s = SingleServerScheduler(8)
+    assert s.sum_completion_times() == 0
+    assert s.makespan() == 0
+    assert s.jobs() == []
+
+
+def test_volume_accounting():
+    s = SingleServerScheduler(64)
+    s.insert("a", 10)
+    s.insert("b", 20)
+    assert s.total_volume() == 30
+    s.delete("a")
+    assert s.total_volume() == 20

@@ -1,0 +1,106 @@
+"""Snapshot/restore: the determinism contract."""
+
+import random
+
+import pytest
+
+from repro.core import ParallelScheduler, SingleServerScheduler
+from repro.core.snapshot import (
+    dumps,
+    loads,
+    restore_parallel,
+    restore_single,
+    snapshot_parallel,
+    snapshot_single,
+)
+from repro.workloads import generators
+from repro.workloads.trace import replay
+from tests.conftest import drive_scheduler
+
+
+def states_equal(a, b) -> bool:
+    ja = [(pj.name, pj.size, pj.klass, pj.start, pj.server) for pj in a.jobs()]
+    jb = [(pj.name, pj.size, pj.klass, pj.start, pj.server) for pj in b.jobs()]
+    if ja != jb:
+        return False
+    if hasattr(a, "segments"):
+        return a.segments.extents() == b.segments.extents()
+    return True
+
+
+def test_snapshot_roundtrip_empty():
+    s = SingleServerScheduler(64, delta=0.5)
+    r = restore_single(loads(dumps(snapshot_single(s))))
+    assert states_equal(s, r)
+
+
+def test_snapshot_roundtrip_populated():
+    s = SingleServerScheduler(128, delta=0.5)
+    drive_scheduler(s, 400, 128, seed=1)
+    r = restore_single(snapshot_single(s))
+    assert states_equal(s, r)
+    r.check_schedule()
+
+
+def test_determinism_after_restore():
+    """replay(T2) on original == replay(T2) on restored."""
+    s = SingleServerScheduler(64, delta=0.5)
+    drive_scheduler(s, 300, 64, seed=2)
+    r = restore_single(snapshot_single(s))
+    t2 = generators.mixed(200, 64, seed=3)
+    # Avoid name collisions with jobs already active.
+    rng = random.Random(4)
+    for sched in (s, r):
+        active = sorted(pj.name for pj in sched.jobs())
+        rng2 = random.Random(7)
+        for i in range(200):
+            if rng2.random() < 0.55 or not active:
+                sched.insert(f"t2-{i}", rng2.randint(1, 64))
+                active.append(f"t2-{i}")
+            else:
+                active.sort()
+                sched.delete(active.pop(rng2.randrange(len(active))))
+    assert states_equal(s, r)
+    assert s.sum_completion_times() == r.sum_completion_times()
+
+
+def test_snapshot_json_serializable(tmp_path):
+    from repro.core.snapshot import load, save
+
+    s = SingleServerScheduler(32, delta=0.5)
+    drive_scheduler(s, 150, 32, seed=5)
+    path = str(tmp_path / "snap.json")
+    save(snapshot_single(s), path)
+    r = restore_single(load(path))
+    assert states_equal(s, r)
+
+
+def test_dynamic_scheduler_snapshot():
+    s = SingleServerScheduler(2, delta=0.5, dynamic=True)
+    s.insert("small", 2)
+    s.insert("big", 300)
+    r = restore_single(snapshot_single(s))
+    assert states_equal(s, r)
+    r.insert("later", 250)
+    r.check_schedule()
+
+
+def test_parallel_snapshot_roundtrip():
+    p = ParallelScheduler(3, 64, delta=0.5)
+    trace = generators.mixed(300, 64, seed=6)
+    replay(trace, p)
+    r = restore_parallel(snapshot_parallel(p))
+    assert states_equal(p, r)
+    r.check_schedule()
+    # Continue identically on both.
+    for i in range(50):
+        p.insert(f"post{i}", (i % 60) + 1)
+        r.insert(f"post{i}", (i % 60) + 1)
+    assert states_equal(p, r)
+
+
+def test_bad_snapshot_rejected():
+    with pytest.raises(ValueError):
+        restore_single({"format": 99, "kind": "single"})
+    with pytest.raises(ValueError):
+        restore_parallel({"format": 1, "kind": "single"})

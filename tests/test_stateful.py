@@ -1,0 +1,103 @@
+"""Stateful (rule-based) hypothesis machines.
+
+These let hypothesis *search* for operation interleavings that break the
+structures, rather than sampling fixed-shape sequences: the k-cursor
+table against a per-district list model, and the single-server scheduler
+against a dict model with continuous invariant checking.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.analysis.opt import opt_sum_completion_single
+from repro.core import SingleServerScheduler
+from repro.kcursor import KCursorSparseTable, Params, check_invariants
+
+K = 3
+
+
+class KCursorMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.table = KCursorSparseTable(K, params=Params.explicit(K, 2), track_values=True)
+        self.model = [[] for _ in range(K)]
+        self.serial = 0
+
+    @rule(j=st.integers(0, K - 1))
+    def insert(self, j):
+        self.table.insert(j, value=self.serial)
+        self.model[j].append(self.serial)
+        self.serial += 1
+
+    @rule(j=st.integers(0, K - 1))
+    def delete(self, j):
+        if self.model[j]:
+            got = self.table.delete(j)
+            assert got == self.model[j].pop()
+
+    @rule(j=st.integers(0, K - 1), m=st.integers(1, 30))
+    def extend(self, j, m):
+        self.table.extend(j, m)
+        self.model[j].extend([None] * m)
+
+    @rule(j=st.integers(0, K - 1), m=st.integers(1, 30))
+    def shrink(self, j, m):
+        m = min(m, len(self.model[j]))
+        if m:
+            self.table.shrink(j, m)
+            del self.model[j][-m:]
+
+    @invariant()
+    def counts_match(self):
+        for j in range(K):
+            assert self.table.district_len(j) == len(self.model[j])
+
+    @invariant()
+    def structure_sound(self):
+        check_invariants(self.table, density=True, positions=False)
+
+
+class SchedulerMachine(RuleBasedStateMachine):
+    MAX = 32
+
+    def __init__(self):
+        super().__init__()
+        self.sched = SingleServerScheduler(self.MAX, delta=0.5)
+        self.model = {}
+        self.serial = 0
+
+    @rule(size=st.integers(1, MAX))
+    def insert(self, size):
+        name = f"j{self.serial}"
+        self.serial += 1
+        self.sched.insert(name, size)
+        self.model[name] = size
+
+    @rule(pick=st.integers(0, 10_000))
+    def delete(self, pick):
+        if self.model:
+            name = sorted(self.model)[pick % len(self.model)]
+            job = self.sched.delete(name)
+            assert job.size == self.model.pop(name)
+
+    @invariant()
+    def registry_matches(self):
+        assert len(self.sched) == len(self.model)
+        assert {pj.name: pj.size for pj in self.sched.jobs()} == self.model
+
+    @invariant()
+    def schedule_valid(self):
+        self.sched.check_schedule()
+
+    @invariant()
+    def ratio_within_lemma4(self):
+        if self.model:
+            opt = opt_sum_completion_single(self.model.values())
+            assert self.sched.sum_completion_times() <= (1 + 17 * 0.5) * opt
+
+
+TestKCursorMachine = KCursorMachine.TestCase
+TestKCursorMachine.settings = settings(max_examples=25, stateful_step_count=40, deadline=None)
+TestSchedulerMachine = SchedulerMachine.TestCase
+TestSchedulerMachine.settings = settings(max_examples=15, stateful_step_count=30, deadline=None)

@@ -1,0 +1,80 @@
+"""Closed-form bound evaluators, cross-checked against live structures."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis import theory
+from repro.analysis.opt import opt_sum_completion_single
+from repro.core import SingleServerScheduler
+from repro.kcursor import KCursorSparseTable, Params
+from repro.kcursor.debug import max_prefix_density
+
+
+def test_formula_values():
+    assert theory.lemma4_ratio_bound(0.5) == 9.5
+    assert theory.theorem16_density_bound(1 / 18) == pytest.approx(1.5)
+    assert theory.corollary13_space_bound(1 / 6) == 2.0
+    assert theory.theorem1_strong_shape(0.5) == 8.0
+    assert theory.pma_update_shape(1024) == 100.0
+    assert theory.footnote1_linear_shape(1024) == 10.0
+
+
+def test_num_size_classes_matches_classer():
+    from repro.core.jobs import SizeClasser
+
+    for delta in (0.1, 0.5, 1.0):
+        for Delta in (16, 1000, 1 << 16):
+            assert theory.num_size_classes(delta, Delta) == SizeClasser(delta, Delta).num_classes
+
+
+def test_parameter_sheet_consistent_with_live_structures():
+    sheet = theory.paper_parameter_sheet(0.5, 1024)
+    s = SingleServerScheduler(1024, delta=0.5)
+    assert sheet["size_classes_k"] == s.num_classes
+    t = s.segments.table
+    assert sheet["inv_tau"] == t.root.it
+    assert sheet["buffered_threshold"] == 2 * t.root.it**2
+
+
+def test_live_ratio_inside_lemma4_bound():
+    s = SingleServerScheduler(256, delta=0.25)
+    rng = random.Random(5)
+    for i in range(300):
+        s.insert(f"j{i}", rng.randint(1, 256))
+    measured = s.sum_completion_times() / opt_sum_completion_single(
+        pj.size for pj in s.jobs()
+    )
+    chk = theory.BoundCheck("lemma4", measured, theory.lemma4_ratio_bound(0.25))
+    assert chk.holds
+    assert chk.row()[-1] == "yes"
+
+
+def test_live_density_inside_theorem16_bound():
+    t = KCursorSparseTable(8, params=Params.explicit(8, 3))
+    rng = random.Random(6)
+    for _ in range(3000):
+        j = rng.randrange(8)
+        if rng.random() < 0.55 or t.district_len(j) == 0:
+            t.insert(j)
+        else:
+            t.delete(j)
+    measured = max_prefix_density(t)
+    assert measured <= theory.theorem16_density_bound(t.params.delta_prime) + 1e-9
+
+
+def test_theorem18_shape_monotone():
+    xs = [theory.theorem18_shape(k, 0.5) for k in (2, 8, 32, 128)]
+    assert xs == sorted(xs)
+    # delta' appears cubed
+    assert theory.theorem18_shape(16, 0.25) == pytest.approx(
+        8 * theory.theorem18_shape(16, 0.5)
+    )
+
+
+def test_theorem1_shapes():
+    # subadditive shape grows (slowly) with Delta; strong shape doesn't.
+    sub = [theory.theorem1_subadditive_shape(0.5, 1 << e) for e in (8, 16, 32)]
+    assert sub == sorted(sub)
+    assert theory.theorem1_strong_shape(0.5) == theory.theorem1_strong_shape(0.5)

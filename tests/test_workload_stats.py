@@ -1,0 +1,52 @@
+"""Trace statistics."""
+
+import pytest
+
+from repro.workloads import generators
+from repro.workloads.stats import size_histogram, trace_stats
+from repro.workloads.trace import Trace
+
+
+def test_stats_basic():
+    t = Trace()
+    t.append_insert("a", 4)
+    t.append_insert("b", 8)
+    t.append_delete("a")
+    s = trace_stats(t)
+    assert s.requests == 3
+    assert s.inserts == 2
+    assert s.total_volume == 12
+    assert s.peak_active == 2
+    assert s.final_active == 1
+    assert s.churn == 0.5
+    assert s.max_size == 8
+
+
+def test_stats_skew_indicator():
+    uniform = generators.mixed(2000, 256, dist="uniform", seed=1)
+    heavy = generators.mixed(2000, 256, dist="bimodal", seed=1)
+    assert trace_stats(heavy).size_cv > trace_stats(uniform).size_cv
+
+
+def test_stats_empty_rejected():
+    with pytest.raises(ValueError):
+        trace_stats(Trace())
+
+
+def test_histogram_buckets_cover_all_inserts():
+    t = generators.mixed(500, 128, dist="powers", seed=2)
+    hist = size_histogram(t, buckets=0)
+    assert sum(c for _, c in hist) == t.inserts
+    # powers-of-two sizes: every bucket label starts at a power of two
+    for label, _ in hist:
+        lo = int(label[1:].split(",")[0])
+        assert lo & (lo - 1) == 0
+
+
+def test_rows_renderable():
+    t = generators.mixed(100, 16, seed=3)
+    rows = trace_stats(t).rows()
+    from repro.sim.report import ascii_table
+
+    out = ascii_table(["metric", "value"], rows)
+    assert "peak_active" in out

@@ -1,0 +1,77 @@
+"""Trace transformations."""
+
+import pytest
+
+from repro.workloads import generators
+from repro.workloads.trace import INSERT
+from repro.workloads.transform import (
+    close_open_jobs,
+    interleave,
+    prefix,
+    rename,
+    scale_sizes,
+    thin,
+)
+
+
+@pytest.fixture
+def base():
+    return generators.mixed(300, 64, seed=1)
+
+
+def test_rename(base):
+    out = rename(base, "x:")
+    assert len(out) == len(base)
+    assert all(r.name.startswith("x:") for r in out)
+    out.validate()
+
+
+def test_interleave(base):
+    other = generators.mixed(200, 32, seed=2)
+    out = interleave(base, other, seed=3)
+    assert len(out) == len(base) + len(other)
+    assert out.max_size == 64
+    out.validate()
+
+
+def test_prefix_valid_even_mid_life(base):
+    out = prefix(base, 77)
+    out.validate()
+    assert len(out) <= 77
+
+
+def test_thin(base):
+    out = thin(base, 0.5, seed=4)
+    out.validate()
+    assert 0 < len(out) < len(base)
+    with pytest.raises(ValueError):
+        thin(base, 0.0)
+
+
+def test_close_open_jobs(base):
+    out = close_open_jobs(base)
+    out.validate()
+    assert out.final_active() == 0
+    assert out.inserts == base.inserts
+
+
+def test_scale_sizes(base):
+    out = scale_sizes(base, 3)
+    out.validate()
+    assert out.max_size == base.max_size * 3
+    for r0, r1 in zip(base, out):
+        if r0.kind == INSERT:
+            assert r1.size == r0.size * 3
+    with pytest.raises(ValueError):
+        scale_sizes(base, 0)
+
+
+def test_transforms_replayable(base):
+    from repro.core import SingleServerScheduler
+    from repro.workloads.trace import replay
+
+    trace = close_open_jobs(thin(interleave(base, generators.mixed(100, 16, seed=5)), 0.7))
+    s = SingleServerScheduler(trace.max_size, delta=0.5)
+    replay(trace, s)
+    assert len(s) == 0
+    s.check_schedule()

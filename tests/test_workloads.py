@@ -1,0 +1,125 @@
+"""Workload generators, adversarial traces, serialization."""
+
+import pytest
+
+from repro.workloads import adversary, generators
+from repro.workloads.trace import DELETE, INSERT, Request, Trace, replay
+
+
+def test_request_validation():
+    Request(INSERT, "a", 3)
+    Request(DELETE, "a")
+    with pytest.raises(ValueError):
+        Request("x", "a")
+    with pytest.raises(ValueError):
+        Request(INSERT, "a", 0)
+
+
+def test_trace_counters():
+    t = Trace()
+    t.append_insert("a", 5)
+    t.append_insert("b", 2)
+    t.append_delete("a")
+    assert t.inserts == 2
+    assert t.deletes == 1
+    assert t.max_size == 5
+    assert t.peak_active() == 2
+    assert t.final_active() == 1
+    t.validate()
+
+
+def test_trace_validate_rejects_bad_sequences():
+    t = Trace()
+    t.append_delete_ = None
+    t.requests.append(Request(DELETE, "ghost"))
+    with pytest.raises(ValueError):
+        t.validate()
+    t2 = Trace()
+    t2.append_insert("a", 1)
+    t2.requests.append(Request(INSERT, "a", 2))
+    with pytest.raises(ValueError):
+        t2.validate()
+
+
+def test_serialization_roundtrip(tmp_path):
+    t = generators.mixed(200, 64, seed=9, label="roundtrip")
+    path = tmp_path / "trace.txt"
+    t.save(str(path))
+    back = Trace.load(str(path))
+    assert back.label == "roundtrip"
+    assert back.max_size == t.max_size
+    assert len(back) == len(t)
+    assert all(a == b for a, b in zip(t, back))
+
+
+def test_mixed_generator_valid():
+    for dist in ("uniform", "zipf", "bimodal", "powers"):
+        t = generators.mixed(500, 128, dist=dist, seed=1)
+        t.validate()
+        assert len(t) == 500
+        assert all(r.size <= 128 for r in t if r.kind == INSERT)
+
+
+def test_mixed_deterministic_by_seed():
+    a = generators.mixed(100, 32, seed=7)
+    b = generators.mixed(100, 32, seed=7)
+    assert all(x == y for x, y in zip(a, b))
+    c = generators.mixed(100, 32, seed=8)
+    assert any(x != y for x, y in zip(a, c))
+
+
+def test_grow_then_shrink_orders():
+    for order in ("lifo", "fifo", "random"):
+        t = generators.grow_then_shrink(50, 16, order=order, seed=2)
+        t.validate()
+        assert t.inserts == t.deletes == 50
+        assert t.final_active() == 0
+
+
+def test_churn_holds_working_set():
+    t = generators.churn(400, 50, 32, seed=3)
+    t.validate()
+    assert t.peak_active() <= 51
+
+
+def test_phases_generator():
+    t = generators.phases(64, phase_specs=[("uniform", 100), ("bimodal", 100)], seed=4)
+    t.validate()
+    assert len(t) == 200
+
+
+def test_cascade_sawtooth():
+    t = adversary.cascade_sawtooth(64, 100)
+    t.validate()
+    seeds = [r for r in t if r.name.startswith("seed")]
+    assert len(seeds) == 7  # classes 0..6
+    assert seeds[0].size == 64  # largest first
+    assert all(r.size == 1 for r in t if r.name.startswith("u"))
+
+
+def test_hammer_smallest():
+    t = adversary.hammer_smallest(64, backdrop=3, hammer_ops=100)
+    t.validate()
+    assert any(r.size == 64 for r in t)
+
+
+def test_sorted_front_attack_decreasing():
+    t = adversary.sorted_front_attack(50, 1000)
+    t.validate()
+    sizes = [r.size for r in t]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_class_sweep_balanced():
+    t = adversary.class_sweep(32, per_class=3, rounds=2)
+    t.validate()
+    assert t.final_active() == 0
+
+
+def test_replay_drives_scheduler():
+    from repro.baselines import AppendOnlyScheduler
+
+    t = generators.mixed(100, 16, seed=5)
+    s = AppendOnlyScheduler()
+    replay(t, s)
+    assert len(s) == t.final_active()
