@@ -1,7 +1,13 @@
 #!/usr/bin/env python
 """Profile the hot paths (HPC workflow: measure before optimizing).
 
-Usage: python scripts/profile_hotpaths.py [scheduler|kcursor|pma]
+Usage: python scripts/profile_hotpaths.py [scheduler|kcursor|pma] [--metrics]
+
+With ``--metrics`` the run is also instrumented through the obs layer
+(:mod:`repro.obs`): machine-model counters (``kcursor.*`` / ``sched.*`` /
+``pma.*``) plus a ``profile.<target>.seconds`` timer are printed in the
+same snapshot format as ``repro report``, so profiling and benching share
+one output format.
 """
 
 import cProfile
@@ -18,7 +24,7 @@ def profile_scheduler():
 
     trace = generators.mixed(6000, 1024, seed=0)
     sched = SingleServerScheduler(1024, delta=0.5)
-    return lambda: replay(trace, sched)
+    return lambda: replay(trace, sched), sched
 
 
 def profile_kcursor():
@@ -35,7 +41,7 @@ def profile_kcursor():
             else:
                 t.delete(j)
 
-    return run
+    return run, t
 
 
 def profile_pma():
@@ -48,7 +54,7 @@ def profile_pma():
         for i in range(50_000):
             pma.insert(rng.randrange(len(pma) + 1), i)
 
-    return run
+    return run, pma
 
 
 TARGETS = {
@@ -59,16 +65,37 @@ TARGETS = {
 
 
 def main() -> int:
-    which = sys.argv[1] if len(sys.argv) > 1 else "scheduler"
-    run = TARGETS[which]()
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    with_metrics = "--metrics" in sys.argv[1:]
+    which = args[0] if args else "scheduler"
+    run, target = TARGETS[which]()
+
+    registry = attachment = None
+    if with_metrics:
+        from repro.obs import MetricsRegistry, attach
+
+        registry = MetricsRegistry()
+        attachment = attach(target, registry)
+
     pr = cProfile.Profile()
-    pr.enable()
-    run()
-    pr.disable()
+    if registry is not None:
+        with registry.timer(f"profile.{which}.seconds"):
+            pr.enable()
+            run()
+            pr.disable()
+    else:
+        pr.enable()
+        run()
+        pr.disable()
     buf = io.StringIO()
     stats = pstats.Stats(pr, stream=buf)
     stats.sort_stats("cumulative").print_stats(25)
     print(buf.getvalue())
+    if registry is not None:
+        from repro.obs import format_snapshot
+
+        attachment.detach()
+        print(format_snapshot(registry.snapshot(), title=f"metrics ({which}):"))
     return 0
 
 

@@ -2,12 +2,18 @@
 
 Commands
 --------
-run         replay a trace file (or a generated workload) on a scheduler
-            and print quality/cost metrics
+run         replay a workload file (or a generated workload) on a scheduler
+            and print quality/cost metrics; ``--trace out.jsonl`` records a
+            structured event trace, ``--metrics`` prints the registry
+report      pretty-print a metrics snapshot from a JSONL trace (replayed)
+            or a JSON snapshot file; ``--validate`` checks the schema only
 experiments run experiments from the registry (alias of repro.sim.experiments)
 gen         generate a workload trace file
 inspect     pretty-print a k-cursor table driven by a trace of district ops
 costs       classify a cost-function expression and show its pricing table
+
+``--log-level {debug,info,warning,error}`` (global) routes ``repro.*``
+logging to stderr at the given level.
 """
 
 from __future__ import annotations
@@ -48,14 +54,37 @@ def cmd_run(args: argparse.Namespace) -> int:
     from repro.workloads import generators
     from repro.workloads.trace import Trace
 
-    if args.trace:
-        trace = Trace.load(args.trace)
+    if args.input:
+        trace = Trace.load(args.input)
     else:
         trace = generators.mixed(
             args.ops, args.max_size, dist=args.dist, seed=args.seed
         )
     sched = _build_scheduler(args.scheduler, trace.max_size, args.p, args.delta)
-    res = run_trace(sched, trace, p=args.p, checkpoint_every=max(1, len(trace) // 20))
+
+    registry = tracer = None
+    if args.metrics or args.trace:
+        from repro.obs import MetricsRegistry, Tracer
+
+        registry = MetricsRegistry()
+        if args.trace:
+            try:
+                tracer = Tracer(args.trace, label=trace.label)
+            except OSError as e:
+                raise SystemExit(f"cannot write trace to {args.trace}: {e.strerror}")
+    try:
+        res = run_trace(
+            sched,
+            trace,
+            p=args.p,
+            checkpoint_every=max(1, len(trace) // 20),
+            registry=registry,
+            tracer=tracer,
+            lost_slots=args.lost_slots,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(f"scheduler: {args.scheduler} (p={args.p})  trace: {trace.label} "
           f"({len(trace)} requests, Delta={trace.max_size})")
     print(f"active jobs: {len(sched)}   objective: {sched.sum_completion_times()}")
@@ -66,6 +95,42 @@ def cmd_run(args: argparse.Namespace) -> int:
     for label, f in STANDARD_FAMILY.items():
         print(f"  {label:<10} {sched.ledger.competitiveness(f):8.3f}")
     print(f"wall time: {res.wall_seconds:.2f}s")
+    if tracer is not None:
+        print(f"trace: wrote {tracer.records} records to {args.trace}")
+    if args.metrics and res.metrics is not None:
+        from repro.obs import format_snapshot
+
+        print(format_snapshot(res.metrics, title="metrics:"))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import TraceSchemaError, format_snapshot, read_trace, replay_trace
+
+    path = args.file
+    # A metrics snapshot is one JSON object with a "counters" key; anything
+    # else (one record per line) is treated as a JSONL trace.
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as e:
+        raise SystemExit(f"cannot read {path}: {e.strerror}")
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict) and "counters" in doc and "type" not in doc:
+        print(format_snapshot(doc, title=f"metrics snapshot: {path}"))
+        return 0
+    try:
+        if args.validate:
+            n = sum(1 for _ in read_trace(path, validate=True))
+            print(f"{path}: {n} records, schema ok")
+            return 0
+        registry = replay_trace(path)
+    except TraceSchemaError as e:
+        raise SystemExit(f"{path}: invalid trace: {e}")
+    print(format_snapshot(registry.snapshot(), title=f"replayed trace: {path}"))
     return 0
 
 
@@ -127,19 +192,35 @@ def cmd_costs(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--log-level", default=None,
+                        choices=["debug", "info", "warning", "error"],
+                        help="route repro.* logging to stderr at this level")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_run = sub.add_parser("run", help="replay a trace on a scheduler")
+    p_run = sub.add_parser("run", help="replay a workload on a scheduler")
     p_run.add_argument("--scheduler", default="ours",
                        choices=["ours", "optimal", "simple-gap", "pma", "append"])
-    p_run.add_argument("--trace", help="trace file (else generate)")
+    p_run.add_argument("--input", "--replay", help="workload trace file (else generate)")
     p_run.add_argument("--ops", type=int, default=2000)
     p_run.add_argument("--max-size", type=int, default=1024)
     p_run.add_argument("--dist", default="uniform")
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--p", type=int, default=1)
     p_run.add_argument("--delta", type=float, default=0.5)
+    p_run.add_argument("--trace", metavar="OUT.jsonl",
+                       help="write a structured JSONL event trace of the run")
+    p_run.add_argument("--metrics", action="store_true",
+                       help="collect and print the metrics registry snapshot")
+    p_run.add_argument("--lost-slots", action="store_true",
+                       help="also measure k-cursor lost slots per op (slow)")
     p_run.set_defaults(fn=cmd_run)
+
+    p_rep = sub.add_parser("report", help="pretty-print a metrics snapshot "
+                                          "from a trace (.jsonl) or snapshot (.json)")
+    p_rep.add_argument("file")
+    p_rep.add_argument("--validate", action="store_true",
+                       help="only validate records against the trace schema")
+    p_rep.set_defaults(fn=cmd_report)
 
     p_gen = sub.add_parser("gen", help="generate a workload trace")
     p_gen.add_argument("kind", choices=["mixed", "churn", "grow-shrink", "cascade",
@@ -182,6 +263,10 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.set_defaults(fn=run_experiments)
 
     args = parser.parse_args(argv)
+    if args.log_level:
+        from repro.obs import configure_logging
+
+        configure_logging(args.log_level)
     return args.fn(args)
 
 

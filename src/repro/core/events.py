@@ -75,6 +75,9 @@ class Ledger:
         self.total_migrations = 0
         self.reports: Optional[list[OpReport]] = [] if keep_reports else None
         self._open: Optional[OpReport] = None
+        # Optional obs hook (repro.obs.instrument.LedgerObserver); None =
+        # uninstrumented, costing one attribute test per request.
+        self.observer = None
 
     # -- recording (called by schedulers) --------------------------------
 
@@ -82,6 +85,8 @@ class Ledger:
         if self._open is not None:
             raise RuntimeError("previous operation not committed")
         self._open = OpReport(kind=kind, name=name, size=size)
+        if self.observer is not None:
+            self.observer.op_begin(self._open)
         return self._open
 
     def record(self, name: Hashable, size: int, kind: ReallocKind) -> None:
@@ -109,10 +114,15 @@ class Ledger:
                 self.migrate_hist[ev.size] = self.migrate_hist.get(ev.size, 0) + 1
         if self.reports is not None:
             self.reports.append(op)
+        if self.observer is not None:
+            self.observer.op_commit(op)
         return op
 
     def abort(self) -> None:
+        op = self._open
         self._open = None
+        if op is not None and self.observer is not None:
+            self.observer.op_abort(op)
 
     # -- pricing (called by analysis; f never reaches the scheduler) -----
 

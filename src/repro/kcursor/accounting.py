@@ -71,6 +71,8 @@ class AuditReport:
     max_amortized: float = 0.0
     final_potential: float = 0.0
     amortized: list[float] = field(default_factory=list)
+    # Snapshot of the audit run's MetricsRegistry (None when uninstrumented).
+    metrics: "dict | None" = None
 
     @property
     def mean_amortized(self) -> float:
@@ -83,10 +85,17 @@ class AuditReport:
 
 
 class AccountingAuditor:
-    """Shadow-tracks ``B_hat`` per chunk and audits the potential method."""
+    """Shadow-tracks ``B_hat`` per chunk and audits the potential method.
 
-    def __init__(self, table: KCursorSparseTable):
+    With a :class:`~repro.obs.MetricsRegistry` attached, every
+    :meth:`observe` also publishes ``audit.amortized`` (histogram),
+    ``audit.potential`` (gauge) and ``audit.ops`` (counter), so audits
+    and traced runs share one output format.
+    """
+
+    def __init__(self, table: KCursorSparseTable, *, registry=None):
         self.table = table
+        self.registry = registry
         self.H = table.root.level
         self._b_hat: dict[int, int] = {}
         for c in table.iter_chunks():
@@ -140,23 +149,45 @@ class AccountingAuditor:
         rep.max_amortized = max(rep.max_amortized, amortized)
         rep.final_potential = phi
         rep.amortized.append(amortized)
+        reg = self.registry
+        if reg is not None:
+            reg.counter("audit.ops").inc()
+            reg.histogram("audit.amortized").observe(amortized)
+            reg.gauge("audit.potential").set(phi)
         return amortized
 
 
-def audit_run(k: int, ops: int, *, factor: int = 2, seed: int = 0) -> AuditReport:
-    """Drive a random workload under audit; returns the report."""
+def audit_run(
+    k: int, ops: int, *, factor: int = 2, seed: int = 0, registry=None
+) -> AuditReport:
+    """Drive a random workload under audit; returns the report.
+
+    With a registry the table is additionally instrumented (``kcursor.*``
+    metrics) and the report carries the final snapshot in ``.metrics``.
+    """
     import random
 
     from repro.kcursor.params import Params
 
     table = KCursorSparseTable(k, params=Params.explicit(k, factor))
-    auditor = AccountingAuditor(table)
+    attachment = None
+    if registry is not None:
+        from repro.obs.instrument import attach
+
+        attachment = attach(table, registry)
+    auditor = AccountingAuditor(table, registry=registry)
     rng = random.Random(seed)
-    for _ in range(ops):
-        j = rng.randrange(k)
-        if rng.random() < 0.55 or table.district_len(j) == 0:
-            table.insert(j)
-        else:
-            table.delete(j)
-        auditor.observe()
+    try:
+        for _ in range(ops):
+            j = rng.randrange(k)
+            if rng.random() < 0.55 or table.district_len(j) == 0:
+                table.insert(j)
+            else:
+                table.delete(j)
+            auditor.observe()
+    finally:
+        if attachment is not None:
+            attachment.detach()
+    if registry is not None:
+        auditor.report.metrics = registry.snapshot()
     return auditor.report

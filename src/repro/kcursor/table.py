@@ -91,6 +91,9 @@ class KCursorSparseTable:
         self.counter = CostCounter()
         self.last_op: Optional[OpStats] = None
         self._op: Optional[OpStats] = None
+        # Optional obs hook (repro.obs.instrument.KCursorObserver); None =
+        # uninstrumented, costing one attribute test per operation.
+        self._observer = None
 
     # ------------------------------------------------------------------
     # Parameterization
@@ -222,6 +225,9 @@ class KCursorSparseTable:
     def insert(self, j: int, value: Any = None) -> None:
         """INSERT(x, j): append one element to district ``j``."""
         leaf = self._leaf(j)
+        obs = self._observer
+        if obs is not None:
+            obs.before_op(self, "insert", j)
         op = OpStats(kind="insert", district=j)
         self._op = op
         if leaf.buf == 0:
@@ -234,6 +240,8 @@ class KCursorSparseTable:
         self._op = None
         self.last_op = op
         self.counter.absorb(op)
+        if obs is not None:
+            obs.after_op(self, op, 1)
 
     def extend(self, j: int, m: int) -> None:
         """Append ``m`` anonymous elements to district ``j`` in one batch.
@@ -248,6 +256,9 @@ class KCursorSparseTable:
                 raise ValueError("m must be >= 0")
             return
         leaf = self._leaf(j)
+        obs = self._observer
+        if obs is not None:
+            obs.before_op(self, "insert", j)
         op = OpStats(kind="insert", district=j)
         self._op = op
         if leaf.buf < m:
@@ -260,6 +271,8 @@ class KCursorSparseTable:
         self._op = None
         self.last_op = op
         self.counter.absorb(op, units=m)
+        if obs is not None:
+            obs.after_op(self, op, m)
 
     def shrink(self, j: int, m: int) -> None:
         """Remove the last ``m`` elements of district ``j`` in one batch."""
@@ -270,6 +283,9 @@ class KCursorSparseTable:
         leaf = self._leaf(j)
         if leaf.count < m:
             raise IndexError(f"district {j} holds {leaf.count} < {m} elements")
+        obs = self._observer
+        if obs is not None:
+            obs.before_op(self, "delete", j)
         op = OpStats(kind="delete", district=j)
         self._op = op
         leaf.count -= m
@@ -281,12 +297,17 @@ class KCursorSparseTable:
         self._op = None
         self.last_op = op
         self.counter.absorb(op, units=m)
+        if obs is not None:
+            obs.after_op(self, op, m)
 
     def delete(self, j: int) -> Any:
         """DELETE(j): remove and return the last element of district ``j``."""
         leaf = self._leaf(j)
         if leaf.count == 0:
             raise IndexError(f"district {j} is empty")
+        obs = self._observer
+        if obs is not None:
+            obs.before_op(self, "delete", j)
         op = OpStats(kind="delete", district=j)
         self._op = op
         leaf.count -= 1
@@ -297,6 +318,8 @@ class KCursorSparseTable:
         self._op = None
         self.last_op = op
         self.counter.absorb(op)
+        if obs is not None:
+            obs.after_op(self, op, 1)
         return value
 
     # ------------------------------------------------------------------

@@ -1,0 +1,79 @@
+"""Logging setup for the ``repro`` package.
+
+All modules log under the ``repro.*`` namespace via :func:`get_logger`;
+:func:`configure_logging` installs a single stderr handler on the
+``repro`` root logger (idempotent, re-leveling on repeat calls).  The
+CLI plumbs ``--log-level`` through here; library use stays silent by
+default (the standard null-handler convention).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, Union
+
+_ROOT = "repro"
+
+logging.getLogger(_ROOT).addHandler(logging.NullHandler())
+
+
+class _StderrProxy:
+    """Writes to whatever ``sys.stderr`` currently is.
+
+    A plain ``StreamHandler(sys.stderr)`` captures the stream object at
+    configure time, which breaks under stream replacement (pytest capture,
+    redirection); resolving lazily keeps the handler valid forever.
+    """
+
+    def write(self, s: str) -> int:
+        return sys.stderr.write(s)
+
+    def flush(self) -> None:
+        err = sys.stderr
+        if err is not None and not getattr(err, "closed", False):
+            err.flush()
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Logger under the ``repro`` namespace (``get_logger("sim")`` ->
+    ``repro.sim``; empty name -> the package root logger)."""
+    if not name:
+        return logging.getLogger(_ROOT)
+    if name.startswith(_ROOT + ".") or name == _ROOT:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def configure_logging(
+    level: Union[int, str] = "info", stream=None
+) -> logging.Logger:
+    """Install/refresh the stderr handler on the ``repro`` logger."""
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    root = logging.getLogger(_ROOT)
+    root.setLevel(level)
+    root.propagate = False
+    handler: Optional[logging.StreamHandler] = None
+    for h in root.handlers:
+        if isinstance(h, logging.StreamHandler) and getattr(h, "_repro_handler", False):
+            handler = h
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream if stream is not None else _StderrProxy())
+        handler._repro_handler = True  # type: ignore[attr-defined]
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+                              datefmt="%H:%M:%S")
+        )
+        root.addHandler(handler)
+    else:
+        try:
+            handler.setStream(stream if stream is not None else _StderrProxy())
+        except ValueError:  # the previous stream was already closed
+            handler.stream = stream if stream is not None else _StderrProxy()
+    handler.setLevel(level)
+    return root

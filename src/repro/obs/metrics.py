@@ -1,0 +1,225 @@
+"""Metrics registry: counters, gauges, histograms, explicit monotonic timers.
+
+Design constraints (ROADMAP: hot paths must stay fast):
+
+* **Zero overhead when disabled.**  Nothing in this module is global or
+  implicit -- instrumented objects hold an observer attribute that is
+  ``None`` by default, so the disabled cost is one attribute test per
+  operation and no allocation.  Enabling means constructing a
+  :class:`MetricsRegistry` and attaching it (:mod:`repro.obs.instrument`).
+* **Cheap when enabled.**  Instruments are plain ``__slots__`` objects;
+  ``Counter.inc`` is one attribute add.  Histograms bucket by powers of
+  two (the natural scale for slot costs and for latencies alike).
+* **Monotonic time only.**  Timers use ``time.perf_counter`` -- never
+  ``time.time`` -- so durations survive wall-clock adjustments
+  (consistent with :mod:`repro.sim.runner`).
+
+Snapshots are plain JSON-serializable dicts so they can ride on
+:class:`~repro.sim.runner.RunResult` / ``AuditReport``, be written next
+to benchmark output, and be pretty-printed by ``repro report``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written value (e.g. a potential, a fill level)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+
+def _bucket(v: float) -> str:
+    """Power-of-two bucket label: smallest ``2^e >= v`` (``"0"`` for v<=0)."""
+    if v <= 0:
+        return "0"
+    m, e = math.frexp(v)  # v = m * 2**e, m in [0.5, 1)
+    if m == 0.5:  # exact power of two: it is its own bucket bound
+        e -= 1
+    return f"2^{e}"
+
+
+class Histogram:
+    """Running count/total/min/max plus power-of-two buckets."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: dict[str, int] = {}
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        b = _bucket(v)
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Timer:
+    """Context manager recording elapsed ``perf_counter`` seconds."""
+
+    __slots__ = ("hist", "_t0")
+
+    def __init__(self, hist: Histogram):
+        self.hist = hist
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.hist.observe(time.perf_counter() - self._t0)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    Names are dotted paths (``kcursor.rebalance.count``); the catalogue
+    lives in docs/INTERNALS.md ("Observability").  A name is one kind of
+    instrument for the lifetime of the registry; asking for it as a
+    different kind raises.
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            self._check_fresh(name, self._counters)
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_fresh(name, self._gauges)
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_fresh(name, self._histograms)
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    def timer(self, name: str) -> Timer:
+        """Fresh timer feeding ``histogram(name)`` (name it ``*.seconds``)."""
+        return Timer(self.histogram(name))
+
+    def _check_fresh(self, name: str, own: dict) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not own and name in kind:
+                raise ValueError(f"metric {name!r} already registered as another kind")
+
+    # -- bulk / export ---------------------------------------------------
+
+    def inc_all(self, deltas: dict[str, int]) -> None:
+        """Apply a ``{counter_name: delta}`` batch (the trace-replay path)."""
+        counters = self._counters
+        for name, d in deltas.items():
+            c = counters.get(name)
+            if c is None:
+                c = self.counter(name)
+            c.value += d
+
+    def value(self, name: str) -> float:
+        """Current value of a counter or gauge (0 if never touched)."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        return 0
+
+    def snapshot(self) -> dict:
+        """JSON-serializable view of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "total": h.total,
+                    "mean": h.mean,
+                    "min": h.min if h.count else 0.0,
+                    "max": h.max if h.count else 0.0,
+                    "buckets": dict(sorted(h.buckets.items())),
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+def format_snapshot(snap: dict, title: Optional[str] = None) -> str:
+    """Human-readable rendering of a :meth:`MetricsRegistry.snapshot`."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    counters = snap.get("counters", {})
+    gauges = snap.get("gauges", {})
+    histograms = snap.get("histograms", {})
+    width = max((len(n) for n in (*counters, *gauges, *histograms)), default=0)
+    if counters:
+        lines.append("counters:")
+        for n, v in counters.items():
+            lines.append(f"  {n:<{width}} {v}")
+    if gauges:
+        lines.append("gauges:")
+        for n, v in gauges.items():
+            lines.append(f"  {n:<{width}} {v:g}")
+    if histograms:
+        lines.append("histograms:")
+        for n, h in histograms.items():
+            lines.append(
+                f"  {n:<{width}} count={h['count']} mean={h['mean']:.6g} "
+                f"min={h['min']:.6g} max={h['max']:.6g}"
+            )
+    if len(lines) <= (1 if title else 0):
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

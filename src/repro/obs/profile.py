@@ -1,0 +1,70 @@
+"""Profiling hook API: a context manager and a decorator.
+
+Both publish ``<name>.seconds`` histograms (``perf_counter`` durations)
+and ``<name>.calls`` counters into the *ambient* registry -- the one
+installed with :func:`repro.obs.enable` -- or an explicitly passed one.
+When no registry is active they are strict no-ops: :func:`profile_span`
+returns a single shared null context manager (no per-call allocation)
+and :func:`profiled` adds one global read and a truth test per call.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs import state as _state
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return None
+
+
+#: Shared no-op context manager (identity-testable: disabled mode allocates nothing).
+NULL_CONTEXT = _NullContext()
+
+
+def profile_span(name: str, registry: Optional[MetricsRegistry] = None):
+    """``with profile_span("sched.repair"): ...``
+
+    Times the block into ``<name>.seconds`` and counts ``<name>.calls``.
+    """
+    reg = registry if registry is not None else _state.registry
+    if reg is None:
+        return NULL_CONTEXT
+    reg.counter(name + ".calls").inc()
+    return reg.timer(name + ".seconds")
+
+
+def profiled(name: Optional[str] = None) -> Callable:
+    """Decorator form of :func:`profile_span` (ambient registry only).
+
+    The metric name defaults to the function's qualified name.
+    """
+
+    def deco(fn: Callable) -> Callable:
+        label = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            reg = _state.registry
+            if reg is None:
+                return fn(*args, **kwargs)
+            reg.counter(label + ".calls").inc()
+            t0 = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                reg.histogram(label + ".seconds").observe(time.perf_counter() - t0)
+
+        return wrapper
+
+    return deco

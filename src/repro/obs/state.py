@@ -1,0 +1,39 @@
+"""Ambient obs state: the process-wide registry/tracer, off by default.
+
+Hot-path instrumentation never reads this module (it uses per-object
+observers; see :mod:`repro.obs.instrument`).  Only the convenience hooks
+-- :func:`repro.obs.profile.profiled` / ``profile_span`` without an
+explicit registry -- consult it, so "disabled" costs one module-global
+read.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+registry: Optional[MetricsRegistry] = None
+tracer: Optional[Tracer] = None
+
+
+def enable(
+    reg: Optional[MetricsRegistry] = None, tr: Optional[Tracer] = None
+) -> MetricsRegistry:
+    """Install (and return) the ambient registry; optionally a tracer."""
+    global registry, tracer
+    registry = reg if reg is not None else MetricsRegistry()
+    tracer = tr
+    return registry
+
+
+def disable() -> None:
+    """Drop the ambient registry/tracer (profiling hooks become no-ops)."""
+    global registry, tracer
+    registry = None
+    tracer = None
+
+
+def is_enabled() -> bool:
+    return registry is not None

@@ -1,0 +1,228 @@
+"""Structured JSONL tracing with nested spans.
+
+One line per event; every record carries the envelope
+
+``v``      schema version (:data:`SCHEMA_VERSION`)
+``seq``    0-based emission order (dense; lets a reader detect truncation)
+``t``      seconds since the tracer started (``perf_counter``, monotonic)
+``type``   record type (see :data:`TRACE_SCHEMA`)
+
+plus optional linkage fields ``span`` (this record's span id), ``parent``
+(enclosing span id) and ``op`` (scheduler request ordinal), plus
+type-specific payload.  Counter-valued observations ride in an ``m``
+field -- a ``{metric_name: integer_delta}`` dict.  The live registry and
+:func:`replay_trace` both consume *the same* ``m`` deltas, which is what
+makes a replayed trace reproduce the in-memory totals exactly (the
+acceptance bar for this layer: the JSONL is an audit log, not a lossy
+summary).
+
+Span nesting: a scheduler ``insert`` opens a span (``span_start``); the
+k-cursor table ops and their rebuild cascades, then the job
+reallocations, are emitted with ``parent`` pointing into that span; the
+``span_end`` record carries the request's metric deltas.  A single
+insert therefore reads as one contiguous, self-describing block.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+SCHEMA_VERSION = 1
+
+_ENVELOPE = ("v", "seq", "t", "type")
+
+#: Required payload fields per record type (envelope fields are implicit).
+TRACE_SCHEMA: dict[str, tuple[str, ...]] = {
+    "trace_start": ("label",),
+    "span_start": ("span", "name"),
+    "span_end": ("span", "name"),
+    "table_op": ("span", "kind", "district", "units", "cost", "m"),
+    "rebuild": ("parent", "level", "grow", "window", "cost"),
+    "realloc": ("parent", "job", "size", "kind"),
+    "pma_op": ("m",),
+    "metric": ("m",),
+    "trace_end": ("records",),
+}
+
+
+class TraceSchemaError(ValueError):
+    """A record violates :data:`TRACE_SCHEMA`."""
+
+
+def validate_record(rec: Any) -> None:
+    """Raise :class:`TraceSchemaError` unless ``rec`` is a valid record."""
+    if not isinstance(rec, dict):
+        raise TraceSchemaError(f"record is not an object: {rec!r}")
+    for f in _ENVELOPE:
+        if f not in rec:
+            raise TraceSchemaError(f"missing envelope field {f!r}: {rec!r}")
+    if rec["v"] != SCHEMA_VERSION:
+        raise TraceSchemaError(f"unknown schema version {rec['v']!r}")
+    rtype = rec["type"]
+    required = TRACE_SCHEMA.get(rtype)
+    if required is None:
+        raise TraceSchemaError(f"unknown record type {rtype!r}")
+    for f in required:
+        if f not in rec:
+            raise TraceSchemaError(f"{rtype} record missing field {f!r}: {rec!r}")
+    m = rec.get("m")
+    if m is not None:
+        if not isinstance(m, dict) or not all(
+            isinstance(k, str) and isinstance(v, int) for k, v in m.items()
+        ):
+            raise TraceSchemaError(f"'m' must map metric names to integers: {m!r}")
+
+
+class Tracer:
+    """Writes trace records to a JSONL sink and tracks the open-span stack.
+
+    ``sink`` may be a path (opened and owned) or any ``.write``-able.
+    The tracer is also a context manager; closing emits ``trace_end``.
+    """
+
+    def __init__(self, sink: Union[str, "io.TextIOBase"], label: str = ""):
+        if isinstance(sink, (str, bytes)):
+            self._fh = open(sink, "w")
+            self._owns = True
+        else:
+            self._fh = sink
+            self._owns = False
+        self._t0 = time.perf_counter()
+        self._seq = 0
+        self._next_span = 1
+        self._stack: list[int] = []
+        self._closed = False
+        self.emit("trace_start", {"label": label})
+
+    # -- primitives ------------------------------------------------------
+
+    @property
+    def records(self) -> int:
+        """Records emitted so far."""
+        return self._seq
+
+    def current_span(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    def new_span_id(self) -> int:
+        sid = self._next_span
+        self._next_span += 1
+        return sid
+
+    def emit(self, rtype: str, payload: Optional[dict] = None) -> dict:
+        """Write one record; fills the envelope, returns the record."""
+        rec: dict = {
+            "v": SCHEMA_VERSION,
+            "seq": self._seq,
+            "t": round(time.perf_counter() - self._t0, 6),
+            "type": rtype,
+        }
+        if payload:
+            rec.update(payload)
+        self._seq += 1
+        self._fh.write(json.dumps(rec, separators=(",", ":"), default=str))
+        self._fh.write("\n")
+        return rec
+
+    # -- spans -----------------------------------------------------------
+
+    def begin_span(self, name: str, payload: Optional[dict] = None) -> int:
+        sid = self.new_span_id()
+        rec = {"span": sid, "name": name}
+        parent = self.current_span()
+        if parent is not None:
+            rec["parent"] = parent
+        if payload:
+            rec.update(payload)
+        self.emit("span_start", rec)
+        self._stack.append(sid)
+        return sid
+
+    def end_span(self, name: str, payload: Optional[dict] = None) -> None:
+        if not self._stack:
+            raise RuntimeError("end_span with no open span")
+        sid = self._stack.pop()
+        rec = {"span": sid, "name": name}
+        if payload:
+            rec.update(payload)
+        self.emit("span_end", rec)
+
+    @contextmanager
+    def span(self, name: str, **fields):
+        """``with tracer.span("phase", k=16): ...`` -- nested spans nest."""
+        self.begin_span(name, fields or None)
+        try:
+            yield self
+        finally:
+            self.end_span(name)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        while self._stack:
+            self.end_span("<unclosed>")
+        self.emit("trace_end", {"records": self._seq + 1})
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Reading / replaying
+
+
+def read_trace(source: Union[str, "io.TextIOBase"], *, validate: bool = True) -> Iterator[dict]:
+    """Yield records from a JSONL trace file (or open text stream)."""
+    fh = open(source) if isinstance(source, (str, bytes)) else source
+    try:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise TraceSchemaError(f"line {lineno}: not JSON: {e}") from e
+            if validate:
+                try:
+                    validate_record(rec)
+                except TraceSchemaError as e:
+                    raise TraceSchemaError(f"line {lineno}: {e}") from e
+            yield rec
+    finally:
+        if isinstance(source, (str, bytes)):
+            fh.close()
+
+
+def replay_trace(
+    source: Union[str, "io.TextIOBase"],
+    registry: Optional[MetricsRegistry] = None,
+    *,
+    validate: bool = True,
+) -> MetricsRegistry:
+    """Re-aggregate a trace's ``m`` deltas into a registry.
+
+    Because the live instrumentation applies the very same deltas it
+    writes, the replayed counters equal the in-memory ones exactly.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    for rec in read_trace(source, validate=validate):
+        m = rec.get("m")
+        if m:
+            reg.inc_all(m)
+    return reg

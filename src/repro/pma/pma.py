@@ -83,6 +83,9 @@ class PackedMemoryArray:
             cap *= 2
         self._n = 0
         self.counter = PMACounter()
+        # Optional obs hook (repro.obs.instrument.PMAObserver); None =
+        # uninstrumented, costing one attribute test per operation.
+        self._observer = None
         self._alloc(cap)
 
     # ------------------------------------------------------------------
@@ -191,6 +194,8 @@ class PackedMemoryArray:
             self.insert(rank, value)
             self.counter.ops -= 1  # the recursive call double-counted
             self.counter.inserts -= 1
+        if self._observer is not None:
+            self._observer.after_op(self)
 
     def delete(self, rank: int) -> int:
         """Delete and return the element of rank ``rank``."""
@@ -213,6 +218,8 @@ class PackedMemoryArray:
         self._seg_counts[seg] -= 1
         self._n -= 1
         self._rebalance_after_delete(seg)
+        if self._observer is not None:
+            self._observer.after_op(self)
         return value
 
     def append(self, value: int) -> None:

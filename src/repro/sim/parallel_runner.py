@@ -7,19 +7,29 @@ playbook: parallelize at the outermost embarrassingly-parallel loop).
 ``python -m repro.sim.write_experiments --jobs N`` uses it.
 
 Processes (not threads): the workloads are pure-Python CPU-bound.
+Per-experiment durations (measured with ``perf_counter`` inside each
+worker) are published to an optional :class:`~repro.obs.MetricsRegistry`
+as the ``sim.experiment.seconds`` histogram.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Optional
 
+from repro.obs.logsetup import get_logger
 
-def _run_one(args: tuple[str, bool]) -> tuple[str, dict]:
+log = get_logger("sim.parallel_runner")
+
+
+def _run_one(args: tuple[str, bool]) -> tuple[str, dict, float]:
     eid, quick = args
     from repro.sim.experiments import EXPERIMENTS
 
-    return eid, EXPERIMENTS[eid](quick=quick)
+    t0 = time.perf_counter()
+    report = EXPERIMENTS[eid](quick=quick)
+    return eid, report, time.perf_counter() - t0
 
 
 def run_experiments_parallel(
@@ -27,6 +37,7 @@ def run_experiments_parallel(
     *,
     quick: bool = True,
     jobs: int = 4,
+    registry=None,
 ) -> dict[str, dict]:
     """Run experiments concurrently; returns {id: report} in registry order."""
     from repro.sim.experiments import EXPERIMENTS
@@ -35,10 +46,22 @@ def run_experiments_parallel(
     for eid in wanted:
         if eid not in EXPERIMENTS:
             raise KeyError(f"unknown experiment {eid!r}")
+
+    def publish(eid: str, seconds: float) -> None:
+        if registry is not None:
+            registry.counter("sim.experiments.run").inc()
+            registry.histogram("sim.experiment.seconds").observe(seconds)
+        log.debug("%s finished in %.1fs", eid, seconds)
+
     if jobs <= 1 or len(wanted) == 1:
-        return {eid: EXPERIMENTS[eid](quick=quick) for eid in wanted}
-    results: dict[str, dict] = {}
+        results = {}
+        for eid, report, seconds in map(_run_one, [(e, quick) for e in wanted]):
+            publish(eid, seconds)
+            results[eid] = report
+        return results
+    results = {}
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        for eid, report in pool.map(_run_one, [(e, quick) for e in wanted]):
+        for eid, report, seconds in pool.map(_run_one, [(e, quick) for e in wanted]):
+            publish(eid, seconds)
             results[eid] = report
     return {eid: results[eid] for eid in wanted}

@@ -16,17 +16,24 @@ class RunResult:
 
     label: str = ""
     ops: int = 0
-    wall_seconds: float = 0.0
+    wall_seconds: float = 0.0  # elapsed perf_counter time for the replay loop
     max_ratio: float = 0.0  # worst approximation ratio at checkpoints
     final_ratio: float = 0.0
     ratios: list[float] = field(default_factory=list)
     objective_series: list[int] = field(default_factory=list)
     checkpoints: list[int] = field(default_factory=list)
     scheduler: object = None
+    # Snapshot of the run's MetricsRegistry (None when uninstrumented).
+    metrics: Optional[dict] = None
 
     @property
     def ledger(self):
         return self.scheduler.ledger
+
+    @property
+    def ops_per_second(self) -> float:
+        """Replay throughput from the measured ``perf_counter`` duration."""
+        return self.ops / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
 
 def run_trace(
@@ -38,35 +45,56 @@ def run_trace(
     validate_every: int = 0,
     on_checkpoint: Optional[Callable[[object, int], None]] = None,
     label: str = "",
+    registry=None,
+    tracer=None,
+    lost_slots: bool = False,
 ) -> RunResult:
     """Replay ``trace`` on ``scheduler``.
 
     ``checkpoint_every`` > 0 records the approximation ratio every that
     many requests (always once more at the end); ``validate_every`` > 0
     additionally runs the scheduler's ``check_schedule`` (slow, tests only).
+
+    Passing a :class:`~repro.obs.MetricsRegistry` and/or
+    :class:`~repro.obs.Tracer` instruments the scheduler for the duration
+    of the run (detached afterwards); the registry snapshot lands on
+    ``result.metrics``.  ``lost_slots=True`` additionally measures the
+    k-cursor's lost slots per op (slow; tracing-grade only).
     """
     from repro.analysis.metrics import approximation_ratio
 
     result = RunResult(label=label or trace.label, scheduler=scheduler)
+    attachment = None
+    if registry is not None or tracer is not None:
+        from repro.obs.instrument import attach
+
+        attachment = attach(scheduler, registry, tracer, lost_slots=lost_slots)
     start = time.perf_counter()
-    for i, req in enumerate(trace):
-        if req.kind == INSERT:
-            scheduler.insert(req.name, req.size)
-        else:
-            scheduler.delete(req.name)
-        result.ops += 1
-        step = i + 1
-        if checkpoint_every and (step % checkpoint_every == 0 or step == len(trace)):
-            ratio = approximation_ratio(scheduler, p=p)
-            result.ratios.append(ratio)
-            result.checkpoints.append(step)
-            result.objective_series.append(scheduler.sum_completion_times())
-            if on_checkpoint is not None:
-                on_checkpoint(scheduler, step)
-        if validate_every and step % validate_every == 0:
-            if hasattr(scheduler, "check_schedule"):
-                scheduler.check_schedule()
-    result.wall_seconds = time.perf_counter() - start
+    try:
+        for i, req in enumerate(trace):
+            if req.kind == INSERT:
+                scheduler.insert(req.name, req.size)
+            else:
+                scheduler.delete(req.name)
+            result.ops += 1
+            step = i + 1
+            if checkpoint_every and (step % checkpoint_every == 0 or step == len(trace)):
+                ratio = approximation_ratio(scheduler, p=p)
+                result.ratios.append(ratio)
+                result.checkpoints.append(step)
+                result.objective_series.append(scheduler.sum_completion_times())
+                if on_checkpoint is not None:
+                    on_checkpoint(scheduler, step)
+            if validate_every and step % validate_every == 0:
+                if hasattr(scheduler, "check_schedule"):
+                    scheduler.check_schedule()
+    finally:
+        result.wall_seconds = time.perf_counter() - start
+        if attachment is not None:
+            attachment.detach()
+    if registry is not None:
+        registry.histogram("sim.run_trace.seconds").observe(result.wall_seconds)
+        result.metrics = registry.snapshot()
     if not result.ratios:
         result.ratios.append(approximation_ratio(scheduler, p=p))
         result.checkpoints.append(result.ops)

@@ -25,7 +25,7 @@ def test_run_parallel(capsys):
 def test_gen_and_replay(tmp_path, capsys):
     path = str(tmp_path / "t.trace")
     assert main(["gen", "mixed", path, "--ops", "100", "--max-size", "16"]) == 0
-    assert main(["run", "--trace", path]) == 0
+    assert main(["run", "--input", path]) == 0
     out = capsys.readouterr().out
     assert "wrote 100 requests" in out
 
@@ -52,3 +52,43 @@ def test_costs(capsys):
 def test_unknown_scheduler():
     with pytest.raises(SystemExit):
         main(["run", "--scheduler", "nope"])
+
+
+def test_run_metrics(capsys):
+    assert main(["run", "--ops", "120", "--max-size", "32", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "metrics:" in out
+    assert "kcursor.rebalance.count" in out
+    assert "sched.realloc.volume" in out
+
+
+def test_run_trace_and_report(tmp_path, capsys):
+    trace = str(tmp_path / "run.jsonl")
+    assert main(["run", "--ops", "150", "--max-size", "32", "--trace", trace,
+                 "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "trace: wrote" in out
+    assert main(["report", trace]) == 0
+    out = capsys.readouterr().out
+    assert "sched.op.count" in out
+    assert main(["report", "--validate", trace]) == 0
+    assert "schema ok" in capsys.readouterr().out
+
+
+def test_report_snapshot_file(tmp_path, capsys):
+    import json
+
+    from repro.obs import MetricsRegistry
+
+    reg = MetricsRegistry()
+    reg.counter("sched.op.count").inc(7)
+    path = tmp_path / "snap.json"
+    path.write_text(json.dumps(reg.snapshot()))
+    assert main(["report", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "sched.op.count" in out and "7" in out
+
+
+def test_log_level_flag(capsys):
+    assert main(["--log-level", "warning", "run", "--ops", "40",
+                 "--max-size", "16"]) == 0
