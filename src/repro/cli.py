@@ -11,6 +11,8 @@ experiments run experiments from the registry (alias of repro.sim.experiments)
 gen         generate a workload trace file
 inspect     pretty-print a k-cursor table driven by a trace of district ops
 costs       classify a cost-function expression and show its pricing table
+lint        run reprolint (RL001..RL006 invariant rules) over the tree;
+            ``--mypy`` adds the strict-typing gate (see docs/LINTING.md)
 
 ``--log-level {debug,info,warning,error}`` (global) routes ``repro.*``
 logging to stderr at the given level.
@@ -244,6 +246,14 @@ def main(argv: list[str] | None = None) -> int:
 
     p_costs = sub.add_parser("costs", help="classify the standard cost-function family")
     p_costs.set_defaults(fn=cmd_costs)
+
+    from repro.lint.cli import build_parser as build_lint_parser
+    from repro.lint.cli import run as run_lint_cmd
+
+    p_lint = sub.add_parser("lint", help="run the reprolint invariant rules "
+                                         "(docs/LINTING.md)")
+    build_lint_parser(p_lint)
+    p_lint.set_defaults(fn=run_lint_cmd)
 
     p_exp = sub.add_parser("experiments", help="run experiments (see repro.sim.experiments)")
     p_exp.add_argument("ids", nargs="*", default=[])

@@ -68,7 +68,7 @@ class PowerCost:
 
     alpha: float = 0.5
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not (0.0 <= self.alpha <= 1.0):
             raise ValueError("alpha must be in [0, 1] for subadditivity")
 
@@ -99,7 +99,7 @@ class AffineCost:
     b: float = 1.0
     a: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.b < 0 or self.a < 0:
             raise ValueError("coefficients must be nonnegative")
 

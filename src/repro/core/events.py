@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable, Optional
+from typing import Callable, Hashable, Iterable, Optional, Protocol
 
 
 class ReallocKind(enum.Enum):
@@ -56,6 +56,18 @@ class OpReport:
         return len({ev.name for ev in self.events if ev.kind is ReallocKind.MIGRATE})
 
 
+class LedgerObserverProto(Protocol):
+    """Structural contract for ledger observers (RL001/RL002: the hot
+    layer never imports ``repro.obs``; ``repro.obs.instrument.
+    LedgerObserver`` satisfies this protocol implicitly)."""
+
+    def op_begin(self, op: OpReport) -> None: ...
+
+    def op_commit(self, op: OpReport) -> None: ...
+
+    def op_abort(self, op: OpReport) -> None: ...
+
+
 class Ledger:
     """Streaming aggregation of allocation/reallocation events.
 
@@ -65,7 +77,7 @@ class Ledger:
     for the trace lengths we use).
     """
 
-    def __init__(self, keep_reports: bool = True):
+    def __init__(self, keep_reports: bool = True) -> None:
         self.alloc_hist: dict[int, int] = {}
         self.realloc_hist: dict[int, int] = {}
         self.migrate_hist: dict[int, int] = {}
@@ -77,7 +89,7 @@ class Ledger:
         self._open: Optional[OpReport] = None
         # Optional obs hook (repro.obs.instrument.LedgerObserver); None =
         # uninstrumented, costing one attribute test per request.
-        self.observer = None
+        self.observer: Optional[LedgerObserverProto] = None
 
     # -- recording (called by schedulers) --------------------------------
 
@@ -146,7 +158,7 @@ class Ledger:
     def moved_jobs_total(self) -> int:
         return sum(self.realloc_hist.values())
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, int]:
         return {
             "ops": self.ops,
             "inserts": self.inserts,

@@ -14,16 +14,16 @@ from __future__ import annotations
 from typing import Hashable, Protocol, runtime_checkable
 
 from repro.core.events import Ledger
-from repro.core.jobs import PlacedJob
+from repro.core.jobs import Job, PlacedJob
 
 
 @runtime_checkable
 class Scheduler(Protocol):
     ledger: Ledger
 
-    def insert(self, name: Hashable, size: int): ...
+    def insert(self, name: Hashable, size: int) -> PlacedJob: ...
 
-    def delete(self, name: Hashable): ...
+    def delete(self, name: Hashable) -> Job: ...
 
     def sum_completion_times(self) -> int: ...
 

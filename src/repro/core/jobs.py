@@ -25,7 +25,7 @@ class Job:
     name: Hashable
     size: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.size < 1:
             raise ValueError(f"job size must be a positive integer, got {self.size}")
 
@@ -74,7 +74,7 @@ class SizeClasser:
         classer is grown (mirrors the k-cursor's dynamic districts).
     """
 
-    def __init__(self, delta: float, max_size: int):
+    def __init__(self, delta: float, max_size: int) -> None:
         if not (0.0 < delta <= 1.0):
             raise ValueError(f"delta must be in (0, 1], got {delta}")
         if max_size < 1:

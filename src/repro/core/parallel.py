@@ -36,7 +36,7 @@ class ParallelScheduler:
         epsilon: Optional[float] = None,
         delta: Optional[float] = None,
         dynamic: bool = False,
-    ):
+    ) -> None:
         if p < 1:
             raise ValueError("p must be >= 1")
         self.p = p

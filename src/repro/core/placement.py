@@ -25,7 +25,7 @@ hinge of the reallocation-cost amortization (Lemma 3).
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right, insort
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 from repro.core.jobs import Job, PlacedJob
 
@@ -35,7 +35,8 @@ MoveCallback = Callable[[PlacedJob], None]
 class ClassLayout:
     """Jobs of one size class, kept sorted by start position."""
 
-    def __init__(self, klass: int, min_size: int, delta: float, *, padding_enabled: bool = True):
+    def __init__(self, klass: int, min_size: int, delta: float, *,
+                 padding_enabled: bool = True) -> None:
         self.klass = klass
         self.min_size = min_size  # the paper's w-tilde for this class
         self.delta = delta
@@ -53,7 +54,7 @@ class ClassLayout:
     def __len__(self) -> int:
         return len(self._jobs)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[PlacedJob]:
         return iter(self._jobs)
 
     @property
@@ -180,6 +181,7 @@ class ClassLayout:
                 break
             if best is None or free > best[0]:
                 best = (free, ilo, ihi)
+        assert best is not None  # m >= 1, so the loop always sets it
         _, ilo, ihi = best
         if (ihi - ilo) - self.occupied_in(ilo, ihi) < w:
             # Defensive fallback (cannot occur when Property 1 holds):

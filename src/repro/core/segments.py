@@ -32,7 +32,7 @@ class SegmentManager:
         params: Optional[Params] = None,
         tau_mode: str = "global",
         tau_factor: Optional[int] = None,
-    ):
+    ) -> None:
         self.delta = delta
         if params is None and tau_factor is not None:
             # Experimentation knob: run the identical algorithm with a

@@ -61,7 +61,7 @@ class SingleServerScheduler:
         ledger: Optional[Ledger] = None,
         tau_factor: Optional[int] = None,
         padding_enabled: bool = True,
-    ):
+    ) -> None:
         if delta is None:
             eps = 0.5 if epsilon is None else epsilon
             if not (0.0 < eps <= 1.0):

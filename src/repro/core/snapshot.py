@@ -19,17 +19,21 @@ competitiveness across restarts.
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import Any, cast
 
 from repro.core.jobs import Job, PlacedJob
 from repro.core.parallel import ParallelScheduler
 from repro.core.single import SingleServerScheduler
+from repro.kcursor.table import KCursorSparseTable
 
 FORMAT_VERSION = 1
 
+#: Snapshots are JSON documents; ``Any``-valued by construction.
+Snapshot = dict[str, Any]
 
-def _chunk_states(table) -> list[dict]:
-    out = []
+
+def _chunk_states(table: KCursorSparseTable) -> list[dict[str, Any]]:
+    out: list[dict[str, Any]] = []
     for c in table.iter_chunks():
         out.append(
             {
@@ -47,7 +51,7 @@ def _chunk_states(table) -> list[dict]:
     return out
 
 
-def _apply_chunk_states(table, states: list[dict]) -> None:
+def _apply_chunk_states(table: KCursorSparseTable, states: list[dict[str, Any]]) -> None:
     chunks = list(table.iter_chunks())
     if len(chunks) != len(states):
         raise ValueError(
@@ -69,7 +73,7 @@ def _apply_chunk_states(table, states: list[dict]) -> None:
     table._n = n
 
 
-def snapshot_single(s: SingleServerScheduler) -> dict:
+def snapshot_single(s: SingleServerScheduler) -> Snapshot:
     """Complete decision-relevant state of a single-server scheduler."""
     return {
         "format": FORMAT_VERSION,
@@ -94,7 +98,7 @@ def snapshot_single(s: SingleServerScheduler) -> dict:
     }
 
 
-def restore_single(snap: dict) -> SingleServerScheduler:
+def restore_single(snap: Snapshot) -> SingleServerScheduler:
     if snap.get("format") != FORMAT_VERSION or snap.get("kind") != "single":
         raise ValueError("not a version-1 single-scheduler snapshot")
     s = SingleServerScheduler(
@@ -128,7 +132,7 @@ def restore_single(snap: dict) -> SingleServerScheduler:
     return s
 
 
-def snapshot_parallel(p: ParallelScheduler) -> dict:
+def snapshot_parallel(p: ParallelScheduler) -> Snapshot:
     return {
         "format": FORMAT_VERSION,
         "kind": "parallel",
@@ -138,7 +142,7 @@ def snapshot_parallel(p: ParallelScheduler) -> dict:
     }
 
 
-def restore_parallel(snap: dict) -> ParallelScheduler:
+def restore_parallel(snap: Snapshot) -> ParallelScheduler:
     if snap.get("format") != FORMAT_VERSION or snap.get("kind") != "parallel":
         raise ValueError("not a version-1 parallel-scheduler snapshot")
     first = snap["servers"][0]
@@ -154,19 +158,19 @@ def restore_parallel(snap: dict) -> ParallelScheduler:
     return out
 
 
-def dumps(snap: dict) -> str:
+def dumps(snap: Snapshot) -> str:
     return json.dumps(snap, sort_keys=True)
 
 
-def loads(text: str) -> dict:
-    return json.loads(text)
+def loads(text: str) -> Snapshot:
+    return cast(Snapshot, json.loads(text))
 
 
-def save(snap: dict, path: str) -> None:
+def save(snap: Snapshot, path: str) -> None:
     with open(path, "w") as fh:
         fh.write(dumps(snap))
 
 
-def load(path: str) -> dict:
+def load(path: str) -> Snapshot:
     with open(path) as fh:
         return loads(fh.read())

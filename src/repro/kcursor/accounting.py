@@ -31,9 +31,13 @@ experiment E13 and tests/test_kcursor_accounting.py.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.kcursor.chunk import Chunk
 from repro.kcursor.table import KCursorSparseTable
+
+if TYPE_CHECKING:  # static-only: runtime layering stays acyclic (RL002)
+    from repro.obs.metrics import MetricsRegistry
 
 
 def dollar_value(level: int, H: int) -> float:
@@ -72,7 +76,7 @@ class AuditReport:
     final_potential: float = 0.0
     amortized: list[float] = field(default_factory=list)
     # Snapshot of the audit run's MetricsRegistry (None when uninstrumented).
-    metrics: "dict | None" = None
+    metrics: Optional[dict[str, Any]] = None
 
     @property
     def mean_amortized(self) -> float:
@@ -93,7 +97,12 @@ class AccountingAuditor:
     and traced runs share one output format.
     """
 
-    def __init__(self, table: KCursorSparseTable, *, registry=None):
+    def __init__(
+        self,
+        table: KCursorSparseTable,
+        *,
+        registry: Optional["MetricsRegistry"] = None,
+    ) -> None:
         self.table = table
         self.registry = registry
         self.H = table.root.level
@@ -110,7 +119,7 @@ class AccountingAuditor:
         op = self.table.last_op
         if op is None or op.district < 0:
             return {}
-        node = self.table.leaves[op.district]
+        node: Optional[Chunk] = self.table.leaves[op.district]
         chain: dict[int, Chunk] = {}
         while node is not None:
             chain[node.level] = node
@@ -158,7 +167,12 @@ class AccountingAuditor:
 
 
 def audit_run(
-    k: int, ops: int, *, factor: int = 2, seed: int = 0, registry=None
+    k: int,
+    ops: int,
+    *,
+    factor: int = 2,
+    seed: int = 0,
+    registry: Optional["MetricsRegistry"] = None,
 ) -> AuditReport:
     """Drive a random workload under audit; returns the report.
 
@@ -172,6 +186,11 @@ def audit_run(
     table = KCursorSparseTable(k, params=Params.explicit(k, factor))
     attachment = None
     if registry is not None:
+        # Canonical lazy import (reprolint RL002): the guarantee-bearing
+        # layers never import `repro.obs` at module top level, so an
+        # uninstrumented audit pays zero observability import cost and
+        # the layering stays acyclic.  Function-scope imports like this
+        # one are the sanctioned way for kcursor/ to reach obs/.
         from repro.obs.instrument import attach
 
         attachment = attach(table, registry)

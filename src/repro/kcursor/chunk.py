@@ -53,7 +53,7 @@ class Chunk:
         "it",
     )
 
-    def __init__(self, level: int, index: int, parent: Optional["Chunk"] = None):
+    def __init__(self, level: int, index: int, parent: Optional["Chunk"] = None) -> None:
         self.level = level
         self.index = index
         self.parent = parent

@@ -20,6 +20,7 @@ Conventions (matching Section 4's cost arguments / Lemma 17):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 
 @dataclass
@@ -101,7 +102,7 @@ class CostCounter:
         self.gaps_consumed += op.gaps_consumed
         self.gaps_created += op.gaps_created
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         return {
             "ops": self.ops,
             "inserts": self.inserts,

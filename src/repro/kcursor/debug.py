@@ -68,6 +68,7 @@ def check_invariants(
             if c.gaps:
                 _fail(f"{c!r}: leaf has gaps")
             continue
+        assert c.right is not None  # internal chunks have both children
         # Invariant 10, gap part: G <= tau * S(c_R).
         if c.gaps * it > c.right.S:
             _fail(f"{c!r}: G={c.gaps} > tau*S_R (S_R={c.right.S})")
@@ -142,7 +143,7 @@ def check_position_consistency(table: "KCursorSparseTable") -> None:
 def render_layout(table: "KCursorSparseTable", width: int = 100) -> str:
     """Compact ASCII rendering: digits = district (mod 10), '.' buffer,
     '_' gap.  Truncated to ``width`` characters with a summary suffix."""
-    parts = []
+    parts: list[str] = []
     for s in materialize(table):
         if s.kind is SlotKind.ELEMENT:
             parts.append(str(s.district % 10))

@@ -48,6 +48,7 @@ def _materialize_chunk(node: Chunk) -> list[Slot]:
         slots.extend(Slot(SlotKind.BUFFER, 0, district=node.index) for _ in range(node.buf))
         return slots
 
+    assert node.left is not None and node.right is not None
     left = _materialize_chunk(node.left)
     right = _materialize_chunk(node.right)
 
@@ -96,7 +97,7 @@ def occupancy_profile(table: "KCursorSparseTable", resolution: int = 64) -> list
         return []
     n = len(slots)
     buckets = min(resolution, n)
-    out = []
+    out: list[float] = []
     for b in range(buckets):
         lo = b * n // buckets
         hi = (b + 1) * n // buckets

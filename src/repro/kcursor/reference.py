@@ -27,16 +27,19 @@ dicts, recomputed positions from scratch on demand.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.kcursor.params import Params
+
+#: A physical slot tag: ("E", district, ordinal) | ("B", level) | ("G", level).
+SlotTag = tuple[Any, ...]
 
 
 class _Node:
     __slots__ = ("level", "index", "parent", "left", "right", "is_right",
                  "buffered", "buf", "gaps", "gap_offset", "count", "S", "it")
 
-    def __init__(self, level: int, index: int, parent: Optional["_Node"]):
+    def __init__(self, level: int, index: int, parent: Optional["_Node"]) -> None:
         self.level = level
         self.index = index
         self.parent = parent
@@ -59,7 +62,9 @@ class _Node:
 class ReferenceKCursorTable:
     """Literal-array implementation of the k-cursor spec."""
 
-    def __init__(self, k: int, *, params: Optional[Params] = None, delta: float = 0.5):
+    def __init__(
+        self, k: int, *, params: Optional[Params] = None, delta: float = 0.5
+    ) -> None:
         self.params = params if params is not None else Params.from_delta(k, delta)
         self.k = self.params.k
         H = self.params.H
@@ -68,7 +73,7 @@ class ReferenceKCursorTable:
         self._build(self.root)
         for n in self._all_nodes():
             n.it = self.params.inv_tau
-        self.array: list[tuple] = []  # the explicit, physical array
+        self.array: list[SlotTag] = []  # the explicit, physical array
         self.moves = 0  # slots whose contents were rewritten
         self.last_op_moves = 0
 
@@ -82,12 +87,13 @@ class ReferenceKCursorTable:
         self._build(node.left)
         self._build(node.right)
 
-    def _all_nodes(self):
-        out = []
+    def _all_nodes(self) -> list[_Node]:
+        out: list[_Node] = []
 
-        def walk(n):
+        def walk(n: _Node) -> None:
             out.append(n)
-            if n.left:
+            if n.left is not None:
+                assert n.right is not None
                 walk(n.left)
                 walk(n.right)
 
@@ -97,7 +103,7 @@ class ReferenceKCursorTable:
     # ------------------------------------------------------------------
     # Physical layout reconstruction (from the metadata tree)
 
-    def _render(self) -> list[tuple]:
+    def _render(self) -> list[SlotTag]:
         """Build the canonical array for the current metadata + contents.
 
         Elements are emitted per district in ordinal order; buffers and
@@ -105,16 +111,17 @@ class ReferenceKCursorTable:
         function, applied from scratch.
         """
 
-        def emit(node) -> list[tuple]:
+        def emit(node: _Node) -> list[SlotTag]:
             if node.level == 0:
-                slots = [("E", node.index, i) for i in range(node.count)]
+                slots: list[SlotTag] = [("E", node.index, i) for i in range(node.count)]
                 slots += [("B", 0)] * node.buf
                 return slots
+            assert node.left is not None and node.right is not None
             left = emit(node.left)
             right = emit(node.right)
             if node.gaps:
                 it = node.it
-                merged = []
+                merged: list[SlotTag] = []
                 nxt = node.gap_offset
                 placed = 0
                 for pos, s in enumerate(right):
@@ -180,6 +187,7 @@ class ReferenceKCursorTable:
             c.S += Y
             return
         pit = p.it
+        assert p.left is not None and p.right is not None
         if not c.is_right:
             g_taken = min(p.gaps, Y)
             Z = Y - g_taken
@@ -235,6 +243,7 @@ class ReferenceKCursorTable:
         if p is None:
             return
         pit = p.it
+        assert p.left is not None and p.right is not None
         if not c.is_right:
             o0 = 2 * pit * pit + p.left.S * pit
             if p.gaps > 0:

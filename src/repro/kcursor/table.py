@@ -29,11 +29,22 @@ global retuning and is required for growing past the initial capacity.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator, Optional, Protocol
 
 from repro.kcursor.chunk import Chunk, build_tree
 from repro.kcursor.costmodel import CostCounter, OpStats, RebuildRecord
 from repro.kcursor.params import Params, _ceil_lg
+
+
+class TableObserverProto(Protocol):
+    """Structural contract for k-cursor observers (repro.obs.instrument).
+
+    Defined here so the hot layer can type its observer slot without
+    importing :mod:`repro.obs` (layering, reprolint RL002)."""
+
+    def before_op(self, table: "KCursorSparseTable", kind: str, district: int) -> None: ...
+
+    def after_op(self, table: "KCursorSparseTable", op: OpStats, units: int) -> None: ...
 
 
 class KCursorSparseTable:
@@ -73,7 +84,7 @@ class KCursorSparseTable:
         track_values: bool = False,
         tau_mode: str = "global",
         gaps_enabled: bool = True,
-    ):
+    ) -> None:
         if tau_mode not in ("global", "local"):
             raise ValueError(f"tau_mode must be 'global' or 'local', got {tau_mode!r}")
         self.params = params if params is not None else Params.from_delta(k, delta)
@@ -93,7 +104,7 @@ class KCursorSparseTable:
         self._op: Optional[OpStats] = None
         # Optional obs hook (repro.obs.instrument.KCursorObserver); None =
         # uninstrumented, costing one attribute test per operation.
-        self._observer = None
+        self._observer: Optional[TableObserverProto] = None
 
     # ------------------------------------------------------------------
     # Parameterization
@@ -110,6 +121,7 @@ class KCursorSparseTable:
     def _assign_inv_tau(self, node: Chunk) -> None:
         node.it = self._chunk_inv_tau(node.level, node.index)
         if node.left is not None:
+            assert node.right is not None  # internal chunks have both children
             self._assign_inv_tau(node.left)
             self._assign_inv_tau(node.right)
 
@@ -149,6 +161,7 @@ class KCursorSparseTable:
         while node.parent is not None:
             p = node.parent
             if node.is_right_child:
+                assert p.left is not None  # internal chunks have both children
                 s += p.left.S + p.gaps_before_slot(s, p.it)
             node = p
         return s
@@ -349,6 +362,7 @@ class KCursorSparseTable:
             return
 
         pit = p.it
+        assert p.right is not None  # parents are internal chunks
         if not c.is_right_child:
             # Left child: consume the leftmost parent gaps first (they are
             # nearest), then parent buffer slots, which must cross the whole
@@ -439,6 +453,7 @@ class KCursorSparseTable:
             return
 
         pit = p.it
+        assert p.right is not None  # parents are internal chunks
         if not c.is_right_child:
             # Left child: the freed space sits at the right sibling's left
             # boundary.  Re-introduce front gaps up to Invariant 11's
@@ -547,6 +562,7 @@ class KCursorSparseTable:
         (existing chunks keep theirs -- that is the point of local tau)."""
         node.it = self._chunk_inv_tau(node.level, node.index)
         right = node.right
+        assert right is not None  # _grow_tree always builds the right subtree
         self._assign_inv_tau(right)
 
     # ------------------------------------------------------------------
@@ -557,6 +573,7 @@ class KCursorSparseTable:
         def walk(node: Chunk) -> Iterator[Chunk]:
             yield node
             if node.left is not None:
+                assert node.right is not None  # internal chunks have both children
                 yield from walk(node.left)
                 yield from walk(node.right)
 

@@ -1,0 +1,44 @@
+"""``reprolint``: AST-based invariant linter for the reallocation stack.
+
+The paper's guarantees rest on conventions the interpreter never checks:
+exact amortized accounting for the ``O(log^3 k)`` bound (Thms 16/18/19),
+nonmigrating insertions / <=1-migration deletions (Invariant 5, Cor. 8),
+and the observability layer's zero-overhead-when-disabled contract.
+This package enforces those conventions statically, on every PR:
+
+* :mod:`repro.lint.engine` -- file discovery, suppression handling
+  (``# reprolint: disable=RULE -- why``), rule dispatch, JSON/human
+  reports;
+* :mod:`repro.lint.rules`  -- the rule registry (RL001..RL006);
+* :mod:`repro.lint.cli`    -- ``repro lint`` / ``python -m repro.lint``;
+* :mod:`repro.lint.typegate` -- the ``mypy --strict`` companion gate
+  with a committed error baseline (skips cleanly where mypy is absent).
+
+Rules are documented (with their paper/PR rationale and the suppression
+syntax) in docs/LINTING.md.
+"""
+
+from repro.lint.engine import (
+    FileReport,
+    LintResult,
+    Severity,
+    Violation,
+    lint_paths,
+    result_from_json,
+    result_to_json,
+)
+from repro.lint.rules import RULES, Rule, RuleContext, rule
+
+__all__ = [
+    "FileReport",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "RuleContext",
+    "Severity",
+    "Violation",
+    "lint_paths",
+    "result_from_json",
+    "result_to_json",
+    "rule",
+]

@@ -1,0 +1,75 @@
+"""Console front-end for reprolint: ``repro lint`` / ``python -m repro.lint``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.lint.engine import iter_format, lint_paths, result_to_json
+from repro.lint.rules import RULES
+
+#: Directories linted when no paths are given (those that exist).
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "scripts", "examples")
+
+
+def build_parser(parser: Optional[argparse.ArgumentParser] = None) -> argparse.ArgumentParser:
+    p = parser or argparse.ArgumentParser(
+        prog="repro lint", description=__doc__
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: src tests "
+                        "benchmarks scripts examples, those that exist)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable JSON report on stdout")
+    p.add_argument("--rules", metavar="RL001,RL002,...",
+                   help="run only these rule ids")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list registered rules and exit")
+    p.add_argument("--mypy", action="store_true",
+                   help="also run the mypy --strict gate (repro.lint.typegate)")
+    return p
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rid, r in sorted(RULES.items()):
+            print(f"{rid}  [{r.severity}]  {r.summary}")
+        return 0
+    import os
+
+    paths = args.paths or [p for p in DEFAULT_PATHS if os.path.isdir(p)]
+    if not paths:
+        print("repro lint: no paths given and no default directories found",
+              file=sys.stderr)
+        return 2
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        result = lint_paths(paths, rules=rules)
+    except ValueError as e:
+        print(f"repro lint: {e}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(result_to_json(result))
+    else:
+        for line in iter_format(result):
+            print(line)
+    code = result.exit_code
+    if args.mypy:
+        from repro.lint.typegate import run_typegate
+
+        code = max(code, run_typegate())
+    return code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    return run(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

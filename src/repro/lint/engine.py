@@ -1,0 +1,340 @@
+"""reprolint engine: discovery, suppressions, dispatch, reports.
+
+A *suppression* is an inline comment on the violating line::
+
+    x = legacy_equal(a, b)  # reprolint: disable=RL005 -- exact sentinel, not drift
+
+The ``-- justification`` tail is mandatory: a suppression without one is
+itself a violation (RL000), as is a suppression that matches nothing
+(dead suppressions hide rot).  ``disable=all`` silences every rule on
+the line (justification still required).
+
+Fixture files can impersonate a real module so path-scoped rules fire::
+
+    # reprolint: path=repro/kcursor/table.py
+
+(only honoured in the first few lines of a file; see docs/LINTING.md).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+# Severity levels.  ``error`` fails the run (exit 1); ``warning`` is
+# reported but does not affect the exit code.
+SEVERITIES = ("error", "warning")
+Severity = str
+
+#: Rule id for suppression hygiene itself (not suppressible).
+META_RULE = "RL000"
+#: Rule id for files the parser rejects.
+PARSE_RULE = "RLPARSE"
+
+#: Directory basenames never walked into.  ``lint_fixtures`` holds
+#: deliberately-bad snippets for the linter's own tests; explicitly
+#: passing a file path bypasses this list.
+EXCLUDED_DIRS = frozenset({
+    ".git", "__pycache__", ".hypothesis", ".eggs", "build", "dist",
+    ".mypy_cache", ".pytest_cache", "results", "lint_fixtures",
+})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<rules>[A-Za-z0-9_,]+)"
+    r"(?:\s*--\s*(?P<why>\S.*))?"
+)
+_PATH_PRAGMA_RE = re.compile(r"#\s*reprolint:\s*path=(?P<path>\S+)")
+#: Path pragmas are only honoured this early in the file.
+_PATH_PRAGMA_WINDOW = 5
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding, pointing at ``path:line:col``."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} [{self.severity}] {self.message}")
+
+
+@dataclass
+class Suppression:
+    line: int
+    rules: frozenset[str]  # empty set means ``all``
+    justified: bool
+    used: bool = False
+
+    def covers(self, rule_id: str) -> bool:
+        return not self.rules or rule_id in self.rules
+
+
+@dataclass
+class FileReport:
+    path: str
+    module_path: str
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: int = 0
+
+
+@dataclass
+class LintResult:
+    """Aggregate outcome of one lint run."""
+
+    files: list[FileReport] = field(default_factory=list)
+    project_violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[Violation]:
+        out = [v for f in self.files for v in f.violations]
+        out.extend(self.project_violations)
+        out.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        return out
+
+    @property
+    def suppressed(self) -> int:
+        return sum(f.suppressed for f in self.files)
+
+    @property
+    def errors(self) -> list[Violation]:
+        return [v for v in self.violations if v.severity == "error"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def result_to_json(result: LintResult) -> str:
+    """Machine-readable report; stable schema, see docs/LINTING.md."""
+    doc = {
+        "reprolint": 1,
+        "files_scanned": len(result.files),
+        "suppressed": result.suppressed,
+        "ok": result.ok,
+        "violations": [
+            {
+                "rule": v.rule,
+                "severity": v.severity,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+            }
+            for v in result.violations
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def result_from_json(text: str) -> LintResult:
+    """Inverse of :func:`result_to_json` (violations + counts round-trip)."""
+    doc = json.loads(text)
+    if not isinstance(doc, dict) or doc.get("reprolint") != 1:
+        raise ValueError("not a reprolint v1 report")
+    res = LintResult()
+    res.files = [FileReport(path="", module_path="")
+                 for _ in range(int(doc.get("files_scanned", 0)))]
+    if res.files:
+        res.files[0].suppressed = int(doc.get("suppressed", 0))
+    res.project_violations = [
+        Violation(
+            rule=str(v["rule"]), severity=str(v["severity"]), path=str(v["path"]),
+            line=int(v["line"]), col=int(v["col"]), message=str(v["message"]),
+        )
+        for v in doc.get("violations", [])
+    ]
+    return res
+
+
+# ----------------------------------------------------------------------
+# Discovery
+
+
+def discover(paths: Sequence[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[str] = set()
+    for p in paths:
+        if os.path.isfile(p):
+            out.add(p)  # explicit file: no exclusion filtering
+            continue
+        for dirpath, dirnames, filenames in os.walk(p):
+            dirnames[:] = sorted(d for d in dirnames if d not in EXCLUDED_DIRS)
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    out.add(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def module_path_of(path: str) -> str:
+    """Logical posix path used for rule scoping.
+
+    Paths are keyed from the ``repro`` package root when the file lives
+    inside it (``src/repro/pma/pma.py`` -> ``repro/pma/pma.py``), else
+    from the repo-level directory (``tests/test_x.py``).
+    """
+    parts = os.path.abspath(path).replace(os.sep, "/").split("/")
+    if "repro" in parts:
+        return "/".join(parts[parts.index("repro"):])
+    for anchor in ("tests", "benchmarks", "scripts", "examples"):
+        if anchor in parts:
+            return "/".join(parts[parts.index(anchor):])
+    return "/".join(parts[-2:])
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+
+
+def scan_comments(source: str) -> tuple[dict[int, Suppression], Optional[str]]:
+    """Extract suppressions and the optional path pragma from comments.
+
+    Tokenizes rather than regexing raw lines so string literals that
+    merely *contain* ``reprolint:`` (e.g. in this very file's tests)
+    are never misread as directives.
+    """
+    suppressions: dict[int, Suppression] = {}
+    pragma_path: Optional[str] = None
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            line = tok.start[0]
+            m = _PATH_PRAGMA_RE.search(tok.string)
+            if m and line <= _PATH_PRAGMA_WINDOW:
+                pragma_path = m.group("path")
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if m:
+                names = {r.strip() for r in m.group("rules").split(",") if r.strip()}
+                rules = frozenset() if "all" in names else frozenset(names)
+                suppressions[line] = Suppression(
+                    line=line, rules=rules, justified=m.group("why") is not None
+                )
+    except tokenize.TokenError:
+        pass  # the ast parse will report the real syntax problem
+    return suppressions, pragma_path
+
+
+# ----------------------------------------------------------------------
+# Driving
+
+
+def lint_file(
+    path: str,
+    rules: Optional[Sequence["Rule"]] = None,  # noqa: F821  (import cycle)
+) -> tuple[FileReport, Optional["RuleContext"]]:  # noqa: F821
+    """Lint one file; returns its report and the parsed context (if any)."""
+    from repro.lint.rules import RULES, RuleContext
+
+    active = list(RULES.values()) if rules is None else list(rules)
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    suppressions, pragma = scan_comments(source)
+    module_path = pragma or module_path_of(path)
+    report = FileReport(path=path, module_path=module_path)
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as e:
+        report.violations.append(Violation(
+            rule=PARSE_RULE, severity="error", path=path,
+            line=e.lineno or 1, col=(e.offset or 1) - 1,
+            message=f"cannot parse: {e.msg}",
+        ))
+        return report, None
+
+    ctx = RuleContext(
+        path=path, module_path=module_path, source=source, tree=tree
+    )
+    for r in active:
+        if not r.applies(module_path):
+            continue
+        for v in r.check(ctx):
+            sup = suppressions.get(v.line)
+            if sup is not None and sup.covers(v.rule):
+                sup.used = True
+                report.suppressed += 1
+            else:
+                report.violations.append(v)
+
+    active_ids = {r.id for r in active}
+    for sup in suppressions.values():
+        if not sup.justified:
+            report.violations.append(Violation(
+                rule=META_RULE, severity="error", path=path, line=sup.line,
+                col=0, message=(
+                    "suppression without justification; write "
+                    "'# reprolint: disable=RULE -- why it is safe'"
+                ),
+            ))
+        # Only police staleness for rules that actually ran this pass,
+        # so `--rules RL004` does not flag unrelated suppressions.
+        if not sup.used and (not sup.rules or sup.rules & active_ids):
+            report.violations.append(Violation(
+                rule=META_RULE, severity="error", path=path, line=sup.line,
+                col=0, message=(
+                    "unused suppression (matches no violation); delete it"
+                ),
+            ))
+    return report, ctx
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint files/directories; the public entry point.
+
+    ``rules`` optionally restricts to a subset of rule ids (RL000 runs
+    always -- suppression hygiene is not optional).
+    """
+    from repro.lint.rules import RULES
+
+    if rules is None:
+        active = list(RULES.values())
+    else:
+        unknown = set(rules) - set(RULES)
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        active = [RULES[r] for r in rules]
+
+    result = LintResult()
+    contexts = []
+    for path in discover(paths):
+        report, ctx = lint_file(path, active)
+        result.files.append(report)
+        if ctx is not None:
+            contexts.append(ctx)
+    for r in active:
+        result.project_violations.extend(r.check_project(contexts))
+    return result
+
+
+def iter_format(result: LintResult) -> Iterator[str]:
+    """Human-readable report lines."""
+    for v in result.violations:
+        yield v.format()
+    n_err = len(result.errors)
+    n_warn = len(result.violations) - n_err
+    tail = (f"reprolint: {len(result.files)} files, "
+            f"{n_err} error(s), {n_warn} warning(s)")
+    if result.suppressed:
+        tail += f", {result.suppressed} suppressed"
+    yield tail

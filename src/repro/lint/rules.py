@@ -1,0 +1,668 @@
+"""reprolint rule registry: RL001..RL006.
+
+Each rule encodes one project invariant; docs/LINTING.md carries the
+paper / PR rationale per rule.  Rules see one parsed file at a time
+through :class:`RuleContext`; rules that need the whole scanned set
+(the RL002 import-cycle check) implement :meth:`Rule.check_project`.
+
+Path scoping uses logical posix paths rooted at the package
+(``repro/kcursor/table.py``); test fixtures impersonate real modules
+with a ``# reprolint: path=...`` pragma (see :mod:`repro.lint.engine`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.lint.engine import Severity, Violation
+
+
+@dataclass
+class RuleContext:
+    """One parsed file as seen by the rules."""
+
+    path: str           # real filesystem path (reported)
+    module_path: str    # logical posix path (scoping), e.g. repro/pma/pma.py
+    source: str
+    tree: ast.Module
+
+    @cached_property
+    def aliases(self) -> dict[str, str]:
+        """Name -> dotted import target, from this module's imports.
+
+        ``import numpy as np`` maps ``np -> numpy``; ``from time import
+        time`` maps ``time -> time.time``.  Used to resolve call targets
+        without executing anything.
+        """
+        table: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    table[a.asname or a.name.split(".")[0]] = (
+                        a.name if a.asname else a.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for a in node.names:
+                    if a.name != "*":
+                        table[a.asname or a.name] = f"{node.module}.{a.name}"
+        return table
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Dotted target of a Name/Attribute chain, through import aliases.
+
+        ``np.random.rand`` -> ``numpy.random.rand``; returns None for
+        anything that is not a plain dotted chain.
+        """
+        parts: list[str] = []
+        cur: ast.expr = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        head = self.aliases.get(cur.id, cur.id)
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+    @property
+    def module_name(self) -> str:
+        """Dotted module name (``repro/pma/pma.py`` -> ``repro.pma.pma``)."""
+        p = self.module_path
+        if p.endswith("/__init__.py"):
+            p = p[: -len("/__init__.py")]
+        elif p.endswith(".py"):
+            p = p[:-3]
+        return p.replace("/", ".")
+
+
+class Rule:
+    """Base rule: subclass, set the class attributes, implement check()."""
+
+    id: str = ""
+    severity: Severity = "error"
+    summary: str = ""
+    #: Logical-path prefixes this rule applies to (None = every file).
+    path_prefixes: Optional[tuple[str, ...]] = None
+    #: Exact logical paths exempted, with the reason documented inline.
+    path_exempt: tuple[str, ...] = ()
+
+    def applies(self, module_path: str) -> bool:
+        if module_path in self.path_exempt:
+            return False
+        if self.path_prefixes is None:
+            return True
+        return any(module_path.startswith(p) for p in self.path_prefixes)
+
+    def check(self, ctx: RuleContext) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(self, ctxs: Sequence[RuleContext]) -> Iterator[Violation]:
+        return iter(())
+
+    def violation(self, ctx: RuleContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule=self.id, severity=self.severity, path=ctx.path,
+            line=getattr(node, "lineno", 1), col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+RULES: dict[str, Rule] = {}
+
+
+def rule(cls: type[Rule]) -> type[Rule]:
+    """Register a rule class (instantiated once) in the global registry."""
+    inst = cls()
+    if inst.id in RULES:
+        raise ValueError(f"duplicate rule id {inst.id}")
+    RULES[inst.id] = inst
+    return cls
+
+
+# ----------------------------------------------------------------------
+# RL001: hot paths may only touch observers behind an `is not None` guard
+
+
+#: The guarantee-bearing hot paths (PR 1's zero-overhead convention).
+HOT_PATH_MODULES = (
+    "repro/kcursor/table.py",
+    "repro/kcursor/chunk.py",
+    "repro/pma/pma.py",
+    "repro/core/single.py",
+    "repro/core/placement.py",
+    "repro/core/events.py",   # Ledger.observer lives here
+)
+
+_OBSERVER_ATTRS = frozenset({"_observer", "observer"})
+
+
+def _observer_read(node: ast.expr) -> Optional[str]:
+    """Unparse string if ``node`` reads an observer attribute, else None."""
+    if isinstance(node, ast.Attribute) and node.attr in _OBSERVER_ATTRS:
+        return ast.unparse(node)
+    return None
+
+
+def _terminates(stmts: list[ast.stmt]) -> bool:
+    return bool(stmts) and isinstance(
+        stmts[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+def _nonnull_tests(test: ast.expr) -> list[str]:
+    """Expressions proven non-None when ``test`` is true (``x is not None``,
+    possibly inside an ``and`` chain)."""
+    out: list[str] = []
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        for v in test.values:
+            out.extend(_nonnull_tests(v))
+    elif (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.IsNot)
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        out.append(ast.unparse(test.left))
+    return out
+
+
+def _null_test(test: ast.expr) -> Optional[str]:
+    """The expression compared with ``is None``, if the test is exactly that."""
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.Is)
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        return ast.unparse(test.left)
+    return None
+
+
+@rule
+class RL001ObserverGuard(Rule):
+    id = "RL001"
+    summary = ("hot-path observer access must sit behind an `is not None` "
+               "guard (zero overhead when instrumentation is detached)")
+    path_prefixes = HOT_PATH_MODULES
+
+    def check(self, ctx: RuleContext) -> Iterator[Violation]:
+        found: list[Violation] = []
+        self._block(ctx, ctx.tree.body, set(), set(), found)
+        return iter(found)
+
+    # -- helpers ------------------------------------------------------
+
+    def _block(
+        self,
+        ctx: RuleContext,
+        stmts: list[ast.stmt],
+        guarded: set[str],
+        aliases: set[str],
+        found: list[Violation],
+    ) -> None:
+        guarded = set(guarded)
+        aliases = set(aliases)
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Fresh scope: guards do not survive into closures.
+                self._block(ctx, stmt.body, set(), set(), found)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                self._block(ctx, stmt.body, set(), set(), found)
+                continue
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                tgt = stmt.targets[0]
+                if isinstance(tgt, ast.Name):
+                    if _observer_read(stmt.value) or (
+                        isinstance(stmt.value, ast.Name)
+                        and stmt.value.id in aliases
+                    ):
+                        aliases.add(tgt.id)
+                        guarded.discard(tgt.id)
+                        continue
+                    if tgt.id in aliases:  # rebound to something else
+                        aliases.discard(tgt.id)
+                        guarded.discard(tgt.id)
+                if _observer_read(tgt):  # writes reset what we know
+                    guarded.discard(ast.unparse(tgt))
+            if isinstance(stmt, ast.If):
+                self._uses(ctx, stmt.test, guarded, aliases, found)
+                body_guard = guarded | set(
+                    g for g in _nonnull_tests(stmt.test)
+                    if self._tracked(g, aliases)
+                )
+                self._block(ctx, stmt.body, body_guard, aliases, found)
+                null = _null_test(stmt.test)
+                else_guard = set(guarded)
+                if null is not None and self._tracked(null, aliases):
+                    else_guard.add(null)
+                self._block(ctx, stmt.orelse, else_guard, aliases, found)
+                # Early-exit pattern: `if obs is None: return` proves
+                # obs non-None for the rest of this block.
+                if (
+                    null is not None
+                    and self._tracked(null, aliases)
+                    and _terminates(stmt.body)
+                ):
+                    guarded.add(null)
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                if isinstance(stmt, ast.While):
+                    self._uses(ctx, stmt.test, guarded, aliases, found)
+                else:
+                    self._uses(ctx, stmt.iter, guarded, aliases, found)
+                self._block(ctx, stmt.body, guarded, aliases, found)
+                self._block(ctx, stmt.orelse, guarded, aliases, found)
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self._uses(ctx, item.context_expr, guarded, aliases, found)
+                self._block(ctx, stmt.body, guarded, aliases, found)
+                continue
+            if isinstance(stmt, ast.Try):
+                self._block(ctx, stmt.body, guarded, aliases, found)
+                for h in stmt.handlers:
+                    self._block(ctx, h.body, guarded, aliases, found)
+                self._block(ctx, stmt.orelse, guarded, aliases, found)
+                self._block(ctx, stmt.finalbody, guarded, aliases, found)
+                continue
+            self._uses(ctx, stmt, guarded, aliases, found)
+
+    def _tracked(self, expr_str: str, aliases: set[str]) -> bool:
+        """Only observer expressions and their local aliases are policed."""
+        return (
+            expr_str.rsplit(".", 1)[-1] in _OBSERVER_ATTRS
+            or expr_str in aliases
+        )
+
+    def _uses(
+        self,
+        ctx: RuleContext,
+        node: ast.AST,
+        guarded: set[str],
+        aliases: set[str],
+        found: list[Violation],
+    ) -> None:
+        for sub in ast.walk(node):
+            target: Optional[ast.expr] = None
+            if isinstance(sub, ast.Attribute):
+                target = sub.value
+            elif isinstance(sub, ast.Call):
+                direct = _observer_read(sub.func)
+                if direct or (
+                    isinstance(sub.func, ast.Name) and sub.func.id in aliases
+                ):
+                    target = sub.func
+            if target is None:
+                continue
+            key = (
+                _observer_read(target)
+                or (target.id if isinstance(target, ast.Name)
+                    and target.id in aliases else None)
+            )
+            if key is not None and key not in guarded:
+                found.append(self.violation(
+                    ctx, sub,
+                    f"observer access `{ast.unparse(sub)}` outside an "
+                    f"`{key} is not None` guard",
+                ))
+
+
+# ----------------------------------------------------------------------
+# RL002: layering
+
+
+#: Guarantee-bearing layers and the packages they must not import at
+#: module top level.  Function-scope (lazy) imports are the sanctioned
+#: pattern -- see `repro.kcursor.accounting.audit_run` for the
+#: canonical example -- because they keep the hot layers importable
+#: with zero observability cost.
+LAYERED_PREFIXES = ("repro/core/", "repro/kcursor/", "repro/pma/")
+FORBIDDEN_TOPLEVEL = ("repro.sim", "repro.workloads", "repro.obs")
+
+
+def _toplevel_imports(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Top-level import statements, descending through plain `if` blocks
+    but not into `if TYPE_CHECKING:` (those never run at import time)."""
+
+    def walk(stmts: Iterable[ast.stmt]) -> Iterator[ast.stmt]:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                yield stmt
+            elif isinstance(stmt, ast.If):
+                t = ast.unparse(stmt.test)
+                if "TYPE_CHECKING" not in t:
+                    yield from walk(stmt.body)
+                yield from walk(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                yield from walk(stmt.body)
+                for h in stmt.handlers:
+                    yield from walk(h.body)
+                yield from walk(stmt.orelse)
+                yield from walk(stmt.finalbody)
+
+    return walk(tree.body)
+
+
+def _import_targets(stmt: ast.stmt, module_name: str) -> list[str]:
+    """Absolute dotted modules a statement imports (relative resolved)."""
+    if isinstance(stmt, ast.Import):
+        return [a.name for a in stmt.names]
+    if isinstance(stmt, ast.ImportFrom):
+        if stmt.level == 0:
+            base = stmt.module or ""
+        else:
+            parts = module_name.split(".")
+            # level 1 = current package, 2 = parent, ...
+            parts = parts[: len(parts) - stmt.level]
+            base = ".".join(parts + ([stmt.module] if stmt.module else []))
+        out = [base] if base else []
+        out.extend(f"{base}.{a.name}" for a in stmt.names if a.name != "*")
+        return out
+    return []
+
+
+@rule
+class RL002Layering(Rule):
+    id = "RL002"
+    summary = ("core/, kcursor/, pma/ must not import sim/, workloads/ or "
+               "obs/ at module top level; no import cycles anywhere")
+
+    def applies(self, module_path: str) -> bool:
+        # check() is layer-scoped; check_project() sees everything.
+        return True
+
+    def check(self, ctx: RuleContext) -> Iterator[Violation]:
+        if not any(ctx.module_path.startswith(p) for p in LAYERED_PREFIXES):
+            return
+        for stmt in _toplevel_imports(ctx.tree):
+            for target in _import_targets(stmt, ctx.module_name):
+                hit = next(
+                    (f for f in FORBIDDEN_TOPLEVEL
+                     if target == f or target.startswith(f + ".")),
+                    None,
+                )
+                if hit is not None:
+                    yield self.violation(
+                        ctx, stmt,
+                        f"top-level import of `{target}` from the "
+                        f"guarantee-bearing layer; move it inside the "
+                        f"function that needs it (lazy import)",
+                    )
+                    break
+
+    def check_project(self, ctxs: Sequence[RuleContext]) -> Iterator[Violation]:
+        known = {c.module_name: c for c in ctxs if c.module_name.startswith("repro")}
+        graph: dict[str, set[str]] = {m: set() for m in known}
+        for name, ctx in known.items():
+            for stmt in _toplevel_imports(ctx.tree):
+                for target in _import_targets(stmt, name):
+                    # `from repro.pma import PackedMemoryArray` names a
+                    # symbol, so resolve to the exact module if scanned,
+                    # else to its package __init__.  Edges from a module
+                    # up to its *own* ancestor package are the standard
+                    # __init__ re-export pattern, not a layering cycle.
+                    cand = target if target in known else target.rsplit(".", 1)[0]
+                    if (
+                        cand in known
+                        and cand != name
+                        and not name.startswith(cand + ".")
+                    ):
+                        graph[name].add(cand)
+        for cycle in _find_cycles(graph):
+            ctx = known[cycle[0]]
+            yield Violation(
+                rule=self.id, severity=self.severity, path=ctx.path,
+                line=1, col=0,
+                message="import cycle: " + " -> ".join(cycle + [cycle[0]]),
+            )
+
+
+def _find_cycles(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Strongly connected components of size > 1 (Tarjan, iterative)."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    sccs: list[list[str]] = []
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: list[tuple[str, Iterator[str]]] = [(root, iter(sorted(graph[root])))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                if len(scc) > 1:
+                    sccs.append(sorted(scc))
+    return sccs
+
+
+# ----------------------------------------------------------------------
+# RL003: no unseeded randomness in src/
+
+
+#: Functions on the module-global RNG (hidden shared state, unseedable
+#: per call site); the reproduction must thread explicit seeded
+#: `random.Random(seed)` / `numpy.random.default_rng(seed)` instances.
+_GLOBAL_RNG_FNS = frozenset({
+    "random", "randrange", "randint", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "betavariate", "expovariate",
+    "gammavariate", "gauss", "lognormvariate", "normalvariate",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "getrandbits",
+    "randbytes", "seed",
+})
+#: numpy.random constructors that are fine *when given a seed*.
+_NP_SEEDED_CTORS = frozenset({
+    "default_rng", "RandomState", "SeedSequence", "Generator",
+    "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+})
+
+
+@rule
+class RL003SeededRandomness(Rule):
+    id = "RL003"
+    summary = "no unseeded randomness in src/ (thread explicit seeds)"
+    path_prefixes = ("repro/",)
+
+    def check(self, ctx: RuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve(node.func)
+            if target is None:
+                continue
+            if target == "random.Random":
+                if not node.args and not node.keywords:
+                    yield self.violation(
+                        ctx, node,
+                        "random.Random() without a seed; pass one explicitly",
+                    )
+            elif target.startswith("random.") and target[7:] in _GLOBAL_RNG_FNS:
+                yield self.violation(
+                    ctx, node,
+                    f"module-global RNG call `{target}()`; use a seeded "
+                    f"`random.Random(seed)` instance",
+                )
+            elif target.startswith("numpy.random."):
+                tail = target[len("numpy.random."):]
+                if tail in _NP_SEEDED_CTORS:
+                    if not node.args and not node.keywords:
+                        yield self.violation(
+                            ctx, node,
+                            f"`{target}()` without a seed; pass one explicitly",
+                        )
+                elif "." not in tail:  # legacy module-level convenience fn
+                    yield self.violation(
+                        ctx, node,
+                        f"legacy global-state call `{target}()`; use "
+                        f"`numpy.random.default_rng(seed)`",
+                    )
+
+
+# ----------------------------------------------------------------------
+# RL004: no wall-clock time.time() / bare print() in the library
+
+
+#: Modules whose *contract* is stdout: the CLI front-ends.  Everything
+#: else routes prose through `repro.obs` logging (stderr) and report
+#: text through `repro.obs.console`.
+CONSOLE_SURFACES = (
+    "repro/cli.py",
+    "repro/lint/cli.py",
+    "repro/lint/typegate.py",  # gate tool: its report *is* console output
+    "repro/obs/logsetup.py",   # owns the sanctioned console writer itself
+)
+
+
+@rule
+class RL004NoPrintNoWallClock(Rule):
+    id = "RL004"
+    summary = ("no bare print() or time.time() in repro/ (use repro.obs "
+               "logging/console and time.perf_counter)")
+    path_prefixes = ("repro/",)
+    path_exempt = CONSOLE_SURFACES
+
+    def check(self, ctx: RuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
+                yield self.violation(
+                    ctx, node,
+                    "bare print(); route through repro.obs logging "
+                    "(get_logger) or repro.obs.console",
+                )
+                continue
+            if ctx.resolve(node.func) == "time.time":
+                yield self.violation(
+                    ctx, node,
+                    "wall-clock time.time(); use time.perf_counter() for "
+                    "measurement (monotonic, higher resolution)",
+                )
+
+
+# ----------------------------------------------------------------------
+# RL005: no float ==/!= in accounting / analysis modules
+
+
+#: Where the potential-function arithmetic lives: exact float equality
+#: there usually means potential drift is about to be miscounted.
+ACCOUNTING_PREFIXES = (
+    "repro/kcursor/accounting.py",
+    "repro/kcursor/costmodel.py",
+    "repro/core/costfn.py",
+    "repro/analysis/",
+)
+
+_FLOATISH_MATH = frozenset({
+    "sqrt", "log", "log2", "log10", "log1p", "exp", "expm1", "pow",
+    "hypot", "fsum", "dist", "fabs",
+})
+
+
+def _floatish(node: ast.expr, ctx: RuleContext) -> bool:
+    """Heuristic: does this expression obviously produce a float?"""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _floatish(node.operand, ctx)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _floatish(node.left, ctx) or _floatish(node.right, ctx)
+    if isinstance(node, ast.Call):
+        target = ctx.resolve(node.func)
+        if target == "float":
+            return True
+        if target is not None and target.startswith("math."):
+            return target[5:] in _FLOATISH_MATH
+    return False
+
+
+@rule
+class RL005FloatEquality(Rule):
+    id = "RL005"
+    summary = ("no ==/!= between floats in accounting/analysis modules "
+               "(potential-function drift); use math.isclose or a tolerance")
+    path_prefixes = ACCOUNTING_PREFIXES
+
+    def check(self, ctx: RuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _floatish(left, ctx) or _floatish(right, ctx):
+                    yield self.violation(
+                        ctx, node,
+                        f"exact float comparison "
+                        f"`{ast.unparse(left)} {'==' if isinstance(op, ast.Eq) else '!='} "
+                        f"{ast.unparse(right)}`; use math.isclose or an "
+                        f"explicit tolerance",
+                    )
+                    break
+
+
+# ----------------------------------------------------------------------
+# RL006: no object.__setattr__ on frozen records
+
+
+@rule
+class RL006FrozenMutation(Rule):
+    id = "RL006"
+    summary = ("no object.__setattr__ mutation of frozen dataclass/event "
+               "records (breaks trace-replay exactness)")
+    path_prefixes = ("repro/",)
+
+    def check(self, ctx: RuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "__setattr__"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "object"
+            ):
+                yield self.violation(
+                    ctx, node,
+                    "object.__setattr__ defeats frozen=True; construct a "
+                    "new record (dataclasses.replace) instead",
+                )

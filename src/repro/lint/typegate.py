@@ -1,0 +1,134 @@
+"""The strict-typing gate: mypy over the guarantee-bearing layers.
+
+``repro.core``, ``repro.kcursor`` and ``repro.pma`` carry the paper's
+bounds, so they are held to ``mypy --strict`` (configured per-module in
+pyproject.toml -- the not-yet-clean packages sit behind an
+``ignore_errors`` ratchet that burns down over time).
+
+New violations fail the gate; pre-existing ones live in a committed
+baseline (``mypy-baseline.txt``, normalized without line numbers so
+unrelated edits do not churn it).  Where mypy is not installed -- e.g.
+the hermetic test container -- the gate reports itself skipped and
+exits 0; CI installs mypy and enforces it.
+
+Usage::
+
+    python -m repro.lint.typegate [--update-baseline] [--baseline PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from collections import Counter
+from typing import Optional, Sequence
+
+#: Packages held to --strict (the guarantee-bearing layers).
+STRICT_PACKAGES = ("repro.core", "repro.kcursor", "repro.pma")
+
+DEFAULT_BASELINE = "mypy-baseline.txt"
+
+_LOC_RE = re.compile(r"^(?P<path>[^:]+):\d+(?::\d+)?: (?P<rest>.*)$")
+
+
+def normalize(line: str) -> Optional[str]:
+    """Strip line/column so the baseline survives unrelated edits."""
+    line = line.strip()
+    if not line or ": error:" not in line and ": note:" in line:
+        return None
+    m = _LOC_RE.match(line)
+    if m is None or ": error:" not in line:
+        return None
+    return f"{m.group('path').replace(os.sep, '/')}: {m.group('rest')}"
+
+
+def load_baseline(path: str) -> Counter:
+    if not os.path.exists(path):
+        return Counter()
+    with open(path, encoding="utf-8") as fh:
+        return Counter(
+            ln.rstrip("\n") for ln in fh
+            if ln.strip() and not ln.startswith("#")
+        )
+
+
+def run_mypy(src_root: str = "src") -> Optional[tuple[int, str]]:
+    """Invoke mypy on the strict packages; None when mypy is absent."""
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return None
+    # Targets and strictness live in [tool.mypy] in pyproject.toml
+    # (`packages = repro.core, repro.kcursor, repro.pma`), so plain
+    # `mypy` invocations and this gate always agree.
+    cmd = [sys.executable, "-m", "mypy", "--no-error-summary"]
+    env = dict(os.environ)
+    env["MYPYPATH"] = src_root + (
+        os.pathsep + env["MYPYPATH"] if env.get("MYPYPATH") else ""
+    )
+    proc = subprocess.run(cmd, capture_output=True, text=True, env=env)
+    return proc.returncode, proc.stdout
+
+
+def run_typegate(
+    baseline_path: str = DEFAULT_BASELINE,
+    update_baseline: bool = False,
+    src_root: str = "src",
+) -> int:
+    """Run the gate; 0 = clean/skipped, 1 = new errors, 2 = mypy crashed."""
+    out = run_mypy(src_root)
+    if out is None:
+        print("typegate: mypy not installed; gate skipped "
+              "(CI installs and enforces it)", file=sys.stderr)
+        return 0
+    code, stdout = out
+    if code not in (0, 1):  # 2 = mypy itself blew up (bad config, crash)
+        sys.stderr.write(stdout)
+        print(f"typegate: mypy failed with exit code {code}", file=sys.stderr)
+        return 2
+    current = Counter(
+        n for n in (normalize(ln) for ln in stdout.splitlines()) if n
+    )
+    if update_baseline:
+        with open(baseline_path, "w", encoding="utf-8") as fh:
+            fh.write("# mypy --strict baseline (normalized; see "
+                     "repro.lint.typegate).  Burn down, never grow.\n")
+            for line in sorted(current.elements()):
+                fh.write(line + "\n")
+        print(f"typegate: wrote {sum(current.values())} baseline "
+              f"entr{'y' if sum(current.values()) == 1 else 'ies'} to "
+              f"{baseline_path}")
+        return 0
+    baseline = load_baseline(baseline_path)
+    new = current - baseline
+    fixed = baseline - current
+    if fixed:
+        print(f"typegate: {sum(fixed.values())} baseline error(s) fixed -- "
+              f"run with --update-baseline to shrink the baseline")
+    if new:
+        print("typegate: new mypy errors (not in baseline):")
+        for line in sorted(new.elements()):
+            print(f"  {line}")
+        print(f"typegate: FAIL ({sum(new.values())} new, "
+              f"{sum(baseline.values())} baselined)")
+        return 1
+    print(f"typegate: ok ({sum(current.values())} error(s), all baselined; "
+          f"strict packages: {', '.join(STRICT_PACKAGES)})")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    p = argparse.ArgumentParser(prog="python -m repro.lint.typegate",
+                                description=__doc__)
+    p.add_argument("--baseline", default=DEFAULT_BASELINE)
+    p.add_argument("--update-baseline", action="store_true")
+    p.add_argument("--src-root", default="src")
+    a = p.parse_args(argv)
+    return run_typegate(a.baseline, a.update_baseline, a.src_root)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -34,7 +34,7 @@ from repro.obs.instrument import (
     PMAObserver,
     attach,
 )
-from repro.obs.logsetup import configure_logging, get_logger
+from repro.obs.logsetup import configure_logging, console, get_logger
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -72,6 +72,7 @@ __all__ = [
     "Tracer",
     "attach",
     "configure_logging",
+    "console",
     "disable",
     "enable",
     "format_snapshot",

@@ -45,6 +45,30 @@ def get_logger(name: str = "") -> logging.Logger:
     return logging.getLogger(f"{_ROOT}.{name}")
 
 
+def ensure_configured(level: Union[int, str] = "warning") -> logging.Logger:
+    """Install the stderr handler only if no ``repro`` handler exists yet.
+
+    Entry points call this before emitting user-facing errors so the
+    message is visible even when ``--log-level`` was never given, while
+    an explicit :func:`configure_logging` is never overridden.
+    """
+    root = logging.getLogger(_ROOT)
+    if any(getattr(h, "_repro_handler", False) for h in root.handlers):
+        return root
+    return configure_logging(level)
+
+
+def console(text: str = "") -> None:
+    """The sanctioned stdout writer for report/experiment text.
+
+    Library code must not call bare ``print()`` (reprolint RL004): prose
+    goes to ``repro.*`` loggers on stderr, while *product* output --
+    rendered experiment reports, tables -- flows through here so there
+    is exactly one place that owns the library's stdout contract.
+    """
+    sys.stdout.write(text + "\n")
+
+
 def configure_logging(
     level: Union[int, str] = "info", stream=None
 ) -> logging.Logger:

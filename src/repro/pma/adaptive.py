@@ -17,6 +17,8 @@ heat counter.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.pma.pma import EMPTY, PackedMemoryArray
@@ -35,7 +37,9 @@ class AdaptivePackedMemoryArray(PackedMemoryArray):
         spread evenly (a safety margin so cold segments never fully pack).
     """
 
-    def __init__(self, *args, decay: float = 0.5, headroom_bias: float = 0.8, **kwargs):
+    def __init__(
+        self, *args: Any, decay: float = 0.5, headroom_bias: float = 0.8, **kwargs: Any
+    ) -> None:
         if not (0.0 <= decay <= 1.0):
             raise ValueError("decay must be in [0, 1]")
         if not (0.0 <= headroom_bias <= 1.0):

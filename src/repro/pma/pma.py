@@ -26,10 +26,20 @@ explicitly in :class:`PMACounter`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Protocol
 
 import numpy as np
 
 EMPTY = -1
+
+
+class PMAObserverProto(Protocol):
+    """Structural contract for PMA observers (repro.obs.instrument).
+
+    Defined here so the hot layer can type its observer slot without
+    importing :mod:`repro.obs` (layering, reprolint RL002)."""
+
+    def after_op(self, pma: "PackedMemoryArray") -> None: ...
 
 
 @dataclass
@@ -73,7 +83,7 @@ class PackedMemoryArray:
         u_leaf: float = 1.0,
         l_root: float = 0.30,
         l_leaf: float = 0.10,
-    ):
+    ) -> None:
         if not (0.0 <= l_leaf < l_root < u_root < u_leaf <= 1.0):
             raise ValueError("density thresholds must satisfy l_leaf < l_root < u_root < u_leaf")
         self._u_root, self._u_leaf = u_root, u_leaf
@@ -85,7 +95,7 @@ class PackedMemoryArray:
         self.counter = PMACounter()
         # Optional obs hook (repro.obs.instrument.PMAObserver); None =
         # uninstrumented, costing one attribute test per operation.
-        self._observer = None
+        self._observer: Optional[PMAObserverProto] = None
         self._alloc(cap)
 
     # ------------------------------------------------------------------

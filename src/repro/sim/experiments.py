@@ -950,6 +950,8 @@ EXPERIMENTS: dict[str, Callable[[bool], dict]] = {
 def main(argv: list[str] | None = None) -> int:
     import sys
 
+    from repro.obs import console, get_logger
+    from repro.obs.logsetup import ensure_configured
     from repro.sim.report import render_report
 
     args = sys.argv[1:] if argv is None else argv
@@ -959,11 +961,15 @@ def main(argv: list[str] | None = None) -> int:
     for eid in wanted:
         fn = EXPERIMENTS.get(eid.upper())
         if fn is None:
-            print(f"unknown experiment {eid}; choose from {', '.join(EXPERIMENTS)}")
+            ensure_configured()
+            get_logger("sim.experiments").error(
+                "unknown experiment %s; choose from %s",
+                eid, ", ".join(EXPERIMENTS),
+            )
             return 2
         report = fn(quick=quick)
-        print(render_report(report, markdown=markdown))
-        print()
+        console(render_report(report, markdown=markdown))
+        console()
     return 0
 
 

@@ -1,0 +1,8 @@
+# reprolint: path=repro/fixturecyc/a.py
+"""RL002 cycle fixture, half A (imports B at top level)."""
+
+from repro.fixturecyc.b import helper_b
+
+
+def helper_a():
+    return helper_b()

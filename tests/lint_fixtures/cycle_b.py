@@ -1,0 +1,8 @@
+# reprolint: path=repro/fixturecyc/b.py
+"""RL002 cycle fixture, half B (imports A at top level)."""
+
+from repro.fixturecyc.a import helper_a
+
+
+def helper_b():
+    return helper_a()

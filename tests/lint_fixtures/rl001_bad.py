@@ -1,0 +1,19 @@
+# reprolint: path=repro/kcursor/table.py
+"""RL001 fixture: observer touched without an `is not None` guard."""
+
+
+class Table:
+    def __init__(self):
+        self._observer = None
+
+    def insert(self, j):
+        self._observer.before_op(self, "insert", j)  # line 10: unguarded
+
+    def delete(self, j):
+        obs = self._observer
+        obs.after_op(self, None, 1)  # line 14: unguarded alias
+
+    def guarded_then_not(self, j):
+        if self._observer is not None:
+            self._observer.before_op(self, "x", j)
+        self._observer.after_op(self, None, 1)  # line 19: outside the guard

@@ -1,0 +1,33 @@
+# reprolint: path=repro/kcursor/table.py
+"""RL001 fixture: every observer access behind the sanctioned guards."""
+
+
+class Table:
+    def __init__(self):
+        self._observer = None
+
+    def direct_guard(self, j):
+        if self._observer is not None:
+            self._observer.before_op(self, "insert", j)
+
+    def alias_guard(self, j):
+        obs = self._observer
+        if obs is not None:
+            obs.before_op(self, "insert", j)
+        self.work(j)
+        if obs is not None:
+            obs.after_op(self, None, 1)
+
+    def early_return(self):
+        obs = self._observer
+        if obs is None:
+            return
+        obs.after_op(self, None, 1)
+
+    def and_chain(self, op):
+        obs = self._observer
+        if obs is not None and op.rebuilds:
+            obs.after_op(self, op, 1)
+
+    def work(self, j):
+        return j

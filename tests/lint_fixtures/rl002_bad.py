@@ -1,0 +1,9 @@
+# reprolint: path=repro/core/fixture_mod.py
+"""RL002 fixture: guarantee-bearing layer importing obs/sim at top level."""
+
+from repro.obs.metrics import MetricsRegistry  # line 4: forbidden
+import repro.sim.runner  # line 5: forbidden
+
+
+def use():
+    return MetricsRegistry, repro.sim.runner

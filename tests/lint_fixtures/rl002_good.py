@@ -1,0 +1,17 @@
+# reprolint: path=repro/core/fixture_mod.py
+"""RL002 fixture: lazy + TYPE_CHECKING imports are the sanctioned forms."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+
+
+def attach_lazily(registry):
+    from repro.obs.instrument import attach  # function-scope: allowed
+
+    return attach(registry)
+
+
+def annotated(registry: "MetricsRegistry") -> "MetricsRegistry":
+    return registry

@@ -1,0 +1,14 @@
+# reprolint: path=repro/fixture_rng.py
+"""RL003 fixture: unseeded / global-state randomness."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    a = random.random()  # line 10: module-global RNG
+    rng = random.Random()  # line 11: no seed
+    b = np.random.rand(4)  # line 12: legacy global state
+    g = np.random.default_rng()  # line 13: no seed
+    return a, rng, b, g

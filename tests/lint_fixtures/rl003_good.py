@@ -1,0 +1,12 @@
+# reprolint: path=repro/fixture_rng.py
+"""RL003 fixture: explicit seeds everywhere."""
+
+import random
+
+import numpy as np
+
+
+def draw(seed: int):
+    rng = random.Random(seed)
+    g = np.random.default_rng(seed)
+    return rng.random(), g.random(4)

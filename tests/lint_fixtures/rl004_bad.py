@@ -1,0 +1,12 @@
+# reprolint: path=repro/fixture_io.py
+"""RL004 fixture: bare print and wall-clock timing in library code."""
+
+import time
+from time import time as wall
+
+
+def report(x):
+    print("result:", x)  # line 9: bare print
+    t0 = time.time()  # line 10: wall clock
+    t1 = wall()  # line 11: wall clock via alias
+    return t1 - t0

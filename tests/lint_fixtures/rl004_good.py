@@ -1,0 +1,15 @@
+# reprolint: path=repro/fixture_io.py
+"""RL004 fixture: perf_counter + logging instead of print/time.time."""
+
+import time
+
+from repro.obs import console, get_logger
+
+log = get_logger("fixture")
+
+
+def report(x):
+    log.info("result: %s", x)
+    console(str(x))
+    t0 = time.perf_counter()
+    return time.perf_counter() - t0

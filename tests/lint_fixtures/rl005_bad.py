@@ -1,0 +1,12 @@
+# reprolint: path=repro/analysis/fixture_acct.py
+"""RL005 fixture: exact float equality in accounting code."""
+
+import math
+
+
+def drifted(phi, cost, n):
+    if phi == 0.0:  # line 8: float literal
+        return True
+    if cost / n != phi:  # line 10: division result
+        return False
+    return math.log(phi) == cost  # line 12: math.* float

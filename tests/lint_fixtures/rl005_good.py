@@ -1,0 +1,12 @@
+# reprolint: path=repro/analysis/fixture_acct.py
+"""RL005 fixture: tolerance-based comparison; int == int untouched."""
+
+import math
+
+
+def stable(phi, cost, n, ops):
+    if math.isclose(phi, 0.0, abs_tol=1e-12):
+        return True
+    if n == ops:  # int comparison: not a float drift hazard
+        return False
+    return abs(cost / n - phi) < 1e-9

@@ -1,0 +1,14 @@
+# reprolint: path=repro/fixture_events.py
+"""RL006 fixture: mutating a frozen record in place."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Event:
+    kind: str
+
+
+def retag(ev: Event) -> Event:
+    object.__setattr__(ev, "kind", "migrate")  # line 13: frozen mutation
+    return ev

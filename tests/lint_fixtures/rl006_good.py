@@ -1,0 +1,14 @@
+# reprolint: path=repro/fixture_events.py
+"""RL006 fixture: frozen records are replaced, never mutated."""
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Event:
+    kind: str
+
+
+def retag(ev: Event) -> Event:
+    return dataclasses.replace(ev, kind="migrate")

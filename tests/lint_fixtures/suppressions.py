@@ -1,0 +1,14 @@
+# reprolint: path=repro/fixture_sup.py
+"""Suppression fixture: justified, bare, and unused suppressions."""
+
+
+def ok():
+    print("x")  # reprolint: disable=RL004 -- fixture: exercising suppression
+
+
+def bare():
+    print("y")  # reprolint: disable=RL004
+
+
+def unused():
+    return 1  # reprolint: disable=RL004 -- nothing here violates RL004

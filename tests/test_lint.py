@@ -1,0 +1,258 @@
+"""reprolint: the linter's own test suite.
+
+Fixture files under tests/lint_fixtures/ impersonate real modules via
+the ``# reprolint: path=...`` pragma; the directory is excluded from
+normal discovery (deliberately-bad snippets must not fail the real
+gate), so tests pass the files explicitly.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint import lint_paths, result_from_json, result_to_json
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import META_RULE, discover, module_path_of
+from repro.lint.rules import RULES
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "lint_fixtures")
+REPO = os.path.dirname(HERE)
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+def rules_hit(result):
+    return sorted({v.rule for v in result.violations})
+
+
+# ----------------------------------------------------------------------
+# Per-rule fixtures
+
+
+@pytest.mark.parametrize("rule_id,bad,lines", [
+    ("RL001", "rl001_bad.py", {10, 14, 19}),
+    ("RL002", "rl002_bad.py", {4, 5}),
+    ("RL003", "rl003_bad.py", {10, 11, 12, 13}),
+    ("RL004", "rl004_bad.py", {9, 10, 11}),
+    ("RL005", "rl005_bad.py", {8, 10, 12}),
+    ("RL006", "rl006_bad.py", {13}),
+])
+def test_bad_fixture_flags_expected_lines(rule_id, bad, lines):
+    result = lint_paths([fixture(bad)])
+    hits = [v for v in result.violations if v.rule == rule_id]
+    assert {v.line for v in hits} == lines, result.violations
+    # and nothing *else* fires on the fixture
+    assert rules_hit(result) == [rule_id]
+
+
+@pytest.mark.parametrize("good", [
+    "rl001_good.py", "rl002_good.py", "rl003_good.py",
+    "rl004_good.py", "rl005_good.py", "rl006_good.py",
+])
+def test_good_fixture_is_clean(good):
+    result = lint_paths([fixture(good)])
+    assert result.ok, [v.format() for v in result.violations]
+    assert result.violations == []
+
+
+def test_import_cycle_detected():
+    result = lint_paths([fixture("cycle_a.py"), fixture("cycle_b.py")])
+    cyc = [v for v in result.violations if "import cycle" in v.message]
+    assert len(cyc) == 1
+    assert "repro.fixturecyc.a" in cyc[0].message
+    assert "repro.fixturecyc.b" in cyc[0].message
+
+
+def test_no_cycle_on_real_tree_reexport_pattern():
+    # package __init__ re-exporting submodules must not count as a cycle
+    result = lint_paths([os.path.join(REPO, "src")], rules=["RL002"])
+    assert result.ok, [v.format() for v in result.violations]
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+
+
+def test_suppressions_justified_bare_unused():
+    result = lint_paths([fixture("suppressions.py")])
+    # lines 6 and 10 both suppress their RL004 violation (the bare one
+    # is additionally flagged RL000 below -- suppressing and policing
+    # justification are orthogonal)
+    assert result.suppressed == 2
+    by_line = {v.line: v for v in result.violations}
+    # line 10: bare suppression -> RL000 for the missing justification,
+    # and it still suppresses the print (suppression syntax is valid)
+    assert by_line[10].rule == META_RULE
+    assert "justification" in by_line[10].message
+    # line 14: unused suppression -> RL000
+    assert by_line[14].rule == META_RULE
+    assert "unused" in by_line[14].message
+    assert set(by_line) == {10, 14}
+
+
+def test_rules_filter_skips_unrelated_suppression_staleness():
+    # With only RL001 active, RL004 suppressions must not be flagged stale.
+    result = lint_paths([fixture("suppressions.py")], rules=["RL001"])
+    assert [v for v in result.violations if "unused" in v.message] == []
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ValueError, match="RL999"):
+        lint_paths([fixture("rl001_bad.py")], rules=["RL999"])
+
+
+# ----------------------------------------------------------------------
+# Output formats
+
+
+def test_json_round_trip():
+    result = lint_paths([fixture("rl003_bad.py"), fixture("suppressions.py")])
+    text = result_to_json(result)
+    doc = json.loads(text)
+    assert doc["reprolint"] == 1
+    assert doc["files_scanned"] == 2
+    back = result_from_json(text)
+    assert back.violations == result.violations
+    assert back.suppressed == result.suppressed
+    assert back.ok == result.ok
+    assert len(back.files) == 2
+
+
+def test_json_rejects_foreign_documents():
+    with pytest.raises(ValueError):
+        result_from_json(json.dumps({"something": "else"}))
+
+
+# ----------------------------------------------------------------------
+# Engine plumbing
+
+
+def test_discovery_excludes_fixture_dir():
+    files = discover([HERE])
+    assert not any("lint_fixtures" in f for f in files)
+    assert any(f.endswith("test_lint.py") for f in files)
+
+
+def test_module_path_of():
+    assert module_path_of("src/repro/pma/pma.py") == "repro/pma/pma.py"
+    assert module_path_of("/x/y/tests/test_a.py") == "tests/test_a.py"
+
+
+def test_parse_failure_is_reported(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    result = lint_paths([str(bad)])
+    assert not result.ok
+    assert result.violations[0].rule == "RLPARSE"
+
+
+def test_registry_covers_documented_rules():
+    assert set(RULES) == {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006"}
+    for r in RULES.values():
+        assert r.summary and r.severity == "error"
+
+
+# ----------------------------------------------------------------------
+# The real tree stays clean (the acceptance gate itself)
+
+
+def test_real_tree_exits_zero():
+    targets = [os.path.join(REPO, d)
+               for d in ("src", "tests", "benchmarks", "scripts", "examples")
+               if os.path.isdir(os.path.join(REPO, d))]
+    result = lint_paths(targets)
+    assert result.ok, "\n".join(v.format() for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# CLI surfaces
+
+
+def test_cli_exit_codes(capsys):
+    assert lint_main([fixture("rl001_good.py")]) == 0
+    assert lint_main([fixture("rl001_bad.py")]) == 1
+    out = capsys.readouterr().out
+    assert "RL001" in out and "reprolint:" in out
+
+
+def test_cli_json_flag(capsys):
+    assert lint_main(["--json", fixture("rl004_bad.py")]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is False
+    assert {v["rule"] for v in doc["violations"]} == {"RL004"}
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rid in RULES:
+        assert rid in out
+
+
+def test_cli_unknown_rule_is_usage_error(capsys):
+    assert lint_main(["--rules", "RL999", fixture("rl001_good.py")]) == 2
+
+
+def test_repro_cli_has_lint_subcommand(capsys):
+    from repro.cli import main as repro_main
+
+    assert repro_main(["lint", fixture("rl006_good.py")]) == 0
+    assert repro_main(["lint", fixture("rl006_bad.py")]) == 1
+
+
+def test_module_entry_point():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", fixture("rl005_bad.py")],
+        capture_output=True, text=True, env=env, cwd=REPO,
+    )
+    assert proc.returncode == 1
+    assert "RL005" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# typegate
+
+
+def test_typegate_normalize():
+    from repro.lint.typegate import normalize
+
+    line = "src/repro/core/jobs.py:42:7: error: Missing return  [no-untyped-def]"
+    assert normalize(line) == (
+        "src/repro/core/jobs.py: error: Missing return  [no-untyped-def]"
+    )
+    assert normalize("note: See docs") is None
+    assert normalize("Found 3 errors in 1 file") is None
+
+
+def test_typegate_skips_cleanly_without_mypy(capsys):
+    from repro.lint import typegate
+
+    has_mypy = True
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        has_mypy = False
+    if has_mypy:
+        pytest.skip("mypy installed; skip-path not reachable")
+    assert typegate.run_typegate() == 0
+    assert "skipped" in capsys.readouterr().err
+
+
+def test_typegate_baseline_io(tmp_path):
+    from repro.lint.typegate import load_baseline
+
+    p = tmp_path / "baseline.txt"
+    p.write_text("# comment\nsrc/a.py: error: boom  [misc]\n\n")
+    base = load_baseline(str(p))
+    assert base == {"src/a.py: error: boom  [misc]": 1}
+    assert load_baseline(str(tmp_path / "missing.txt")) == {}
