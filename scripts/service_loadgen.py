@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Drive the scheduler service with the closed-loop load generator.
+
+By default this script owns the whole lifecycle: it spawns a ``repro
+serve`` subprocess on an ephemeral port over a temporary data directory,
+drives N concurrent sessions, collects throughput and latency
+percentiles, asks the server to shut down cleanly, and writes the result
+document to ``benchmarks/results/BENCH_service.json``.  Point it at an
+already-running server with ``--port`` to skip the spawn (the server is
+then left running).
+
+Usage::
+
+    python scripts/service_loadgen.py                 # 8 sessions, ~5 s
+    python scripts/service_loadgen.py --ops 500       # op-bounded instead
+    python scripts/service_loadgen.py --port 7411     # external server
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+SRC = os.path.join(ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.service import LoadgenOptions, ServiceClient, run_loadgen_sync  # noqa: E402
+
+DEFAULT_OUT = os.path.join(ROOT, "benchmarks", "results", "BENCH_service.json")
+
+
+def spawn_server(data_dir, *, fsync="interval", extra=(), timeout=30.0):
+    """Start ``repro serve`` on an ephemeral port; return (proc, port)."""
+    ready = os.path.join(data_dir, "ready.json")
+    if os.path.exists(ready):
+        os.unlink(ready)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", data_dir,
+         "--port", "0", "--fsync", fsync, "--ready-file", ready, *extra],
+        env=env,
+    )
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(f"server exited early with rc={proc.returncode}")
+        if os.path.exists(ready):
+            try:
+                with open(ready) as fh:
+                    doc = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                doc = None
+            if doc and doc.get("port"):
+                return proc, int(doc["port"])
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError(f"server not ready within {timeout}s")
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--sessions", type=int, default=8)
+    ap.add_argument("--ops", type=int,
+                    help="per-session op budget (else --duration)")
+    ap.add_argument("--duration", type=float, default=5.0,
+                    help="wall-clock seconds when --ops is not given")
+    ap.add_argument("--max-size", type=int, default=64)
+    ap.add_argument("--p", type=int, default=1,
+                    help="servers per session scheduler (p>1 = parallel)")
+    ap.add_argument("--p-insert", type=float, default=0.6)
+    ap.add_argument("--snapshot-every", type=int, default=0)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--prefix", default="lg",
+                    help="session id prefix (vary to reuse a data dir)")
+    ap.add_argument("--fsync", default="interval",
+                    choices=["always", "interval", "never"])
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int,
+                    help="drive an already-running server instead of spawning")
+    ap.add_argument("--out", default=DEFAULT_OUT)
+    a = ap.parse_args(argv)
+
+    opts = LoadgenOptions(
+        sessions=a.sessions,
+        ops=a.ops,
+        duration=None if a.ops is not None else a.duration,
+        max_size=a.max_size,
+        p=a.p,
+        p_insert=a.p_insert,
+        snapshot_every=a.snapshot_every,
+        seed=a.seed,
+        session_prefix=a.prefix,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as td:
+        proc = None
+        if a.port is not None:
+            port = a.port
+        else:
+            proc, port = spawn_server(os.path.join(td, "data"), fsync=a.fsync)
+        try:
+            doc = run_loadgen_sync(opts, host=a.host, port=port)
+            with ServiceClient(a.host, port) as client:
+                doc["server"] = client.stats()
+                if proc is not None:
+                    client.shutdown()
+        finally:
+            if proc is not None:
+                try:
+                    rc = proc.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    raise RuntimeError("server did not shut down cleanly")
+        if proc is not None:
+            doc["server_exit"] = rc
+            if rc != 0:
+                raise RuntimeError(f"server exited with rc={rc}")
+
+    os.makedirs(os.path.dirname(os.path.abspath(a.out)), exist_ok=True)
+    with open(a.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    t = doc["totals"]
+    print(f"wrote {a.out}")
+    print(f"sessions={opts.sessions} ops={t['ops']} "
+          f"wall={t['wall_seconds']:.2f}s "
+          f"throughput={t['throughput_ops_per_s']:.0f} ops/s")
+    lat = t["latency_ms"]
+    print(f"latency ms: mean={lat['mean']:.3f} p50={lat['p50']:.3f} "
+          f"p90={lat['p90']:.3f} p99={lat['p99']:.3f} max={lat['max']:.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

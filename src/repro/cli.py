@@ -6,7 +6,11 @@ run         replay a workload file (or a generated workload) on a scheduler
             and print quality/cost metrics; ``--trace out.jsonl`` records a
             structured event trace, ``--metrics`` prints the registry
 report      pretty-print a metrics snapshot from a JSONL trace (replayed)
-            or a JSON snapshot file; ``--validate`` checks the schema only
+            or a JSON snapshot file; ``--validate`` checks the schema only;
+            ``--journal DIR`` replays a service journal directory instead
+serve       run the durable scheduler service (TCP/UNIX, WAL + recovery;
+            see docs/SERVICE.md)
+client      send one request to a running service and print the result
 experiments run experiments from the registry (alias of repro.sim.experiments)
 gen         generate a workload trace file
 inspect     pretty-print a k-cursor table driven by a trace of district ops
@@ -111,6 +115,23 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     from repro.obs import TraceSchemaError, format_snapshot, read_trace, replay_trace
 
+    if args.journal:
+        from repro.service import JournalCorrupt, replay_journal_dir
+
+        try:
+            registry, infos = replay_journal_dir(args.journal)
+        except (ValueError, OSError, JournalCorrupt) as e:
+            raise SystemExit(f"cannot replay journal {args.journal}: {e}")
+        for info in infos:
+            print(f"session {info['session']}: active={info['active']} "
+                  f"objective={info['objective']} "
+                  f"replayed={info['replayed']} "
+                  f"from_snapshot={info['from_snapshot']}")
+        print(format_snapshot(registry.snapshot(),
+                              title=f"journal replay: {args.journal}"))
+        return 0
+    if not args.file:
+        raise SystemExit("report: pass a trace/snapshot file or --journal DIR")
     path = args.file
     # A metrics snapshot is one JSON object with a "counters" key; anything
     # else (one record per line) is treated as a JSONL trace.
@@ -133,6 +154,85 @@ def cmd_report(args: argparse.Namespace) -> int:
     except TraceSchemaError as e:
         raise SystemExit(f"{path}: invalid trace: {e}")
     print(format_snapshot(registry.snapshot(), title=f"replayed trace: {path}"))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs import MetricsRegistry, Tracer, format_snapshot
+    from repro.service import ServiceServer, SessionManager
+
+    registry = MetricsRegistry()
+    tracer = None
+    if args.trace:
+        try:
+            tracer = Tracer(args.trace, label="service")
+        except OSError as e:
+            raise SystemExit(f"cannot write trace to {args.trace}: {e.strerror}")
+    manager = SessionManager(
+        args.data,
+        fsync=args.fsync,
+        fsync_interval=args.fsync_interval,
+        max_live=args.max_live,
+        queue_depth=args.queue_depth,
+        registry=registry,
+        tracer=tracer,
+    )
+    server = ServiceServer(
+        manager,
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        ready_file=args.ready_file,
+    )
+    try:
+        asyncio.run(server.run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.metrics:
+        print(format_snapshot(registry.snapshot(), title="service metrics:"))
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    if (args.port is None) == (args.unix is None):
+        raise SystemExit("client: pass exactly one of --port or --unix")
+    fields: dict = {}
+    if args.session is not None:
+        fields["session"] = args.session
+    if args.name is not None:
+        fields["name"] = args.name
+    if args.size is not None:
+        fields["size"] = args.size
+    if args.jobs:
+        fields["jobs"] = True
+    if args.config is not None:
+        try:
+            fields["config"] = json.loads(args.config)
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"client: --config is not valid JSON: {e.msg}")
+    try:
+        client = ServiceClient(args.host, args.port, unix_path=args.unix,
+                               timeout=args.timeout)
+    except OSError as e:
+        raise SystemExit(f"client: cannot connect: {e}")
+    try:
+        result = client.call(args.op, **fields)
+    except ServiceError as e:
+        print(json.dumps({"error": e.code.value, "message": e.message},
+                         indent=2, sort_keys=True))
+        return 1
+    finally:
+        client.close()
+    print(json.dumps(result, indent=2, sort_keys=True))
     return 0
 
 
@@ -219,10 +319,56 @@ def main(argv: list[str] | None = None) -> int:
 
     p_rep = sub.add_parser("report", help="pretty-print a metrics snapshot "
                                           "from a trace (.jsonl) or snapshot (.json)")
-    p_rep.add_argument("file")
+    p_rep.add_argument("file", nargs="?")
     p_rep.add_argument("--validate", action="store_true",
                        help="only validate records against the trace schema")
+    p_rep.add_argument("--journal", metavar="DIR",
+                       help="replay a service journal directory (a session "
+                            "dir or a server data dir) instead of a trace")
     p_rep.set_defaults(fn=cmd_report)
+
+    p_srv = sub.add_parser("serve", help="run the durable scheduler service "
+                                         "(docs/SERVICE.md)")
+    p_srv.add_argument("data", help="data directory (journals + snapshots)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral; see --ready-file)")
+    p_srv.add_argument("--unix", metavar="PATH",
+                       help="also listen on a UNIX socket at PATH")
+    p_srv.add_argument("--fsync", default="interval",
+                       choices=["always", "interval", "never"],
+                       help="journal durability policy (docs/SERVICE.md)")
+    p_srv.add_argument("--fsync-interval", type=int, default=64,
+                       help="records between fsyncs for --fsync interval")
+    p_srv.add_argument("--max-live", type=int, default=64,
+                       help="sessions kept in memory before LRU eviction")
+    p_srv.add_argument("--queue-depth", type=int, default=256,
+                       help="per-session op queue bound (backpressure)")
+    p_srv.add_argument("--ready-file", metavar="PATH",
+                       help="write {pid, port, unix} JSON here once listening")
+    p_srv.add_argument("--trace", metavar="OUT.jsonl",
+                       help="write recovery/request spans to a JSONL trace")
+    p_srv.add_argument("--metrics", action="store_true",
+                       help="print the metrics registry snapshot on exit")
+    p_srv.set_defaults(fn=cmd_serve)
+
+    p_cli = sub.add_parser("client", help="send one request to a running "
+                                          "service and print the result")
+    p_cli.add_argument("op", choices=["ping", "open", "insert", "delete",
+                                      "query", "snapshot", "stats", "close",
+                                      "shutdown"])
+    p_cli.add_argument("--host", default="127.0.0.1")
+    p_cli.add_argument("--port", type=int)
+    p_cli.add_argument("--unix", metavar="PATH")
+    p_cli.add_argument("--session")
+    p_cli.add_argument("--name")
+    p_cli.add_argument("--size", type=int)
+    p_cli.add_argument("--jobs", action="store_true",
+                       help="include the full job placement dump (query)")
+    p_cli.add_argument("--config", metavar="JSON",
+                       help='session config for open, e.g. \'{"p": 2}\'')
+    p_cli.add_argument("--timeout", type=float, default=30.0)
+    p_cli.set_defaults(fn=cmd_client)
 
     p_gen = sub.add_parser("gen", help="generate a workload trace")
     p_gen.add_argument("kind", choices=["mixed", "churn", "grow-shrink", "cascade",

@@ -11,9 +11,13 @@ Determinism contract (tested): for any request sequence T2,
 ``restore(snapshot(S)); replay T2`` produces placements identical to
 replaying T2 on the original S.
 
-The ledger's *history* is intentionally not captured (accounting restarts
-at the snapshot point); capture it separately if you need cumulative
-competitiveness across restarts.
+The ledger's cumulative *totals* (allocation/reallocation histograms,
+op counts) can optionally ride along via ``include_ledger=True``, so
+cumulative competitiveness survives restarts -- the service journal
+(:mod:`repro.service.journal`) relies on this for exact cost accounting
+across crash recovery.  The per-op ``reports`` *series* is still not
+captured (it restarts at the snapshot point): histograms are what
+``Ledger.competitiveness`` prices, and they round-trip exactly.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from __future__ import annotations
 import json
 from typing import Any, cast
 
+from repro.core.events import Ledger
 from repro.core.jobs import Job, PlacedJob
 from repro.core.parallel import ParallelScheduler
 from repro.core.single import SingleServerScheduler
@@ -73,8 +78,48 @@ def _apply_chunk_states(table: KCursorSparseTable, states: list[dict[str, Any]])
     table._n = n
 
 
-def snapshot_single(s: SingleServerScheduler) -> Snapshot:
-    """Complete decision-relevant state of a single-server scheduler."""
+def _ledger_state(led: Ledger) -> dict[str, Any]:
+    """JSON-serializable view of a ledger's cumulative totals.
+
+    Histogram keys (job sizes) become strings because JSON objects only
+    key on strings; :func:`_apply_ledger_state` converts them back.
+    """
+    return {
+        "alloc_hist": {str(w): c for w, c in sorted(led.alloc_hist.items())},
+        "realloc_hist": {str(w): c for w, c in sorted(led.realloc_hist.items())},
+        "migrate_hist": {str(w): c for w, c in sorted(led.migrate_hist.items())},
+        "ops": led.ops,
+        "inserts": led.inserts,
+        "deletes": led.deletes,
+        "total_migrations": led.total_migrations,
+    }
+
+
+def _apply_ledger_state(led: Ledger, st: dict[str, Any]) -> None:
+    led.alloc_hist = {int(w): int(c) for w, c in st["alloc_hist"].items()}
+    led.realloc_hist = {int(w): int(c) for w, c in st["realloc_hist"].items()}
+    led.migrate_hist = {int(w): int(c) for w, c in st["migrate_hist"].items()}
+    led.ops = int(st["ops"])
+    led.inserts = int(st["inserts"])
+    led.deletes = int(st["deletes"])
+    led.total_migrations = int(st["total_migrations"])
+
+
+def snapshot_single(
+    s: SingleServerScheduler, *, include_ledger: bool = False
+) -> Snapshot:
+    """Complete decision-relevant state of a single-server scheduler.
+
+    With ``include_ledger=True`` the ledger's cumulative histograms and
+    counts are captured too, so competitiveness accounting is exact
+    across a snapshot/restore boundary.
+    """
+    if include_ledger:
+        return {**_snapshot_single_base(s), "ledger": _ledger_state(s.ledger)}
+    return _snapshot_single_base(s)
+
+
+def _snapshot_single_base(s: SingleServerScheduler) -> Snapshot:
     return {
         "format": FORMAT_VERSION,
         "kind": "single",
@@ -129,17 +174,28 @@ def restore_single(snap: Snapshot) -> SingleServerScheduler:
         )
         s._jobs[pj.name] = pj
         s.layouts[pj.klass].add(pj)
+    ledger_state = snap.get("ledger")
+    if ledger_state is not None:
+        _apply_ledger_state(s.ledger, ledger_state)
     return s
 
 
-def snapshot_parallel(p: ParallelScheduler) -> Snapshot:
-    return {
+def snapshot_parallel(
+    p: ParallelScheduler, *, include_ledger: bool = False
+) -> Snapshot:
+    snap: Snapshot = {
         "format": FORMAT_VERSION,
         "kind": "parallel",
         "p": p.p,
-        "servers": [snapshot_single(child) for child in p.servers],
+        "servers": [
+            snapshot_single(child, include_ledger=include_ledger)
+            for child in p.servers
+        ],
         "where": {str(k): v for k, v in p._where.items()},
     }
+    if include_ledger:
+        snap["ledger"] = _ledger_state(p.ledger)
+    return snap
 
 
 def restore_parallel(snap: Snapshot) -> ParallelScheduler:
@@ -155,6 +211,9 @@ def restore_parallel(snap: Snapshot) -> ParallelScheduler:
     out.servers = [restore_single(child) for child in snap["servers"]]
     out.classer = out.servers[0].classer
     out._where = {k: v for k, v in snap["where"].items()}
+    ledger_state = snap.get("ledger")
+    if ledger_state is not None:
+        _apply_ledger_state(out.ledger, ledger_state)
     return out
 
 

@@ -317,13 +317,23 @@ class RL001ObserverGuard(Rule):
 # RL002: layering
 
 
-#: Guarantee-bearing layers and the packages they must not import at
-#: module top level.  Function-scope (lazy) imports are the sanctioned
-#: pattern -- see `repro.kcursor.accounting.audit_run` for the
-#: canonical example -- because they keep the hot layers importable
-#: with zero observability cost.
-LAYERED_PREFIXES = ("repro/core/", "repro/kcursor/", "repro/pma/")
-FORBIDDEN_TOPLEVEL = ("repro.sim", "repro.workloads", "repro.obs")
+#: Layering constraints: (path prefixes, packages they must not import
+#: at module top level).  Function-scope (lazy) imports are the
+#: sanctioned pattern -- see `repro.kcursor.accounting.audit_run` for
+#: the canonical example -- because they keep the hot layers importable
+#: with zero observability cost.  The serving layer may build on core/
+#: and obs/ but must stay independent of the simulation/workload stack
+#: (the service generates its own load; see repro/service/__init__.py).
+LAYERING_CONSTRAINTS: tuple[tuple[tuple[str, ...], tuple[str, ...]], ...] = (
+    (
+        ("repro/core/", "repro/kcursor/", "repro/pma/"),
+        ("repro.sim", "repro.workloads", "repro.obs"),
+    ),
+    (
+        ("repro/service/",),
+        ("repro.sim", "repro.workloads"),
+    ),
+)
 
 
 def _toplevel_imports(tree: ast.Module) -> Iterator[ast.stmt]:
@@ -370,29 +380,36 @@ def _import_targets(stmt: ast.stmt, module_name: str) -> list[str]:
 @rule
 class RL002Layering(Rule):
     id = "RL002"
-    summary = ("core/, kcursor/, pma/ must not import sim/, workloads/ or "
-               "obs/ at module top level; no import cycles anywhere")
+    summary = ("layering: core/, kcursor/, pma/ must not import sim/, "
+               "workloads/ or obs/ at top level; service/ must not import "
+               "sim/ or workloads/; no import cycles anywhere")
 
     def applies(self, module_path: str) -> bool:
         # check() is layer-scoped; check_project() sees everything.
         return True
 
     def check(self, ctx: RuleContext) -> Iterator[Violation]:
-        if not any(ctx.module_path.startswith(p) for p in LAYERED_PREFIXES):
+        forbidden = tuple(
+            f
+            for prefixes, fs in LAYERING_CONSTRAINTS
+            if any(ctx.module_path.startswith(p) for p in prefixes)
+            for f in fs
+        )
+        if not forbidden:
             return
         for stmt in _toplevel_imports(ctx.tree):
             for target in _import_targets(stmt, ctx.module_name):
                 hit = next(
-                    (f for f in FORBIDDEN_TOPLEVEL
+                    (f for f in forbidden
                      if target == f or target.startswith(f + ".")),
                     None,
                 )
                 if hit is not None:
                     yield self.violation(
                         ctx, stmt,
-                        f"top-level import of `{target}` from the "
-                        f"guarantee-bearing layer; move it inside the "
-                        f"function that needs it (lazy import)",
+                        f"top-level import of `{target}` violates the "
+                        f"layering contract for {ctx.module_path}; move it "
+                        f"inside the function that needs it (lazy import)",
                     )
                     break
 

@@ -1,7 +1,8 @@
 """The strict-typing gate: mypy over the guarantee-bearing layers.
 
 ``repro.core``, ``repro.kcursor`` and ``repro.pma`` carry the paper's
-bounds, so they are held to ``mypy --strict`` (configured per-module in
+bounds, and ``repro.service`` carries the durability contract on top of
+them, so they are held to ``mypy --strict`` (configured per-module in
 pyproject.toml -- the not-yet-clean packages sit behind an
 ``ignore_errors`` ratchet that burns down over time).
 
@@ -26,8 +27,9 @@ import sys
 from collections import Counter
 from typing import Optional, Sequence
 
-#: Packages held to --strict (the guarantee-bearing layers).
-STRICT_PACKAGES = ("repro.core", "repro.kcursor", "repro.pma")
+#: Packages held to --strict (the guarantee-bearing layers plus the
+#: serving layer, which carries the durability contract).
+STRICT_PACKAGES = ("repro.core", "repro.kcursor", "repro.pma", "repro.service")
 
 DEFAULT_BASELINE = "mypy-baseline.txt"
 

@@ -222,7 +222,7 @@ class PMAObserver:
 class Attachment:
     """Handle over everything :func:`attach` hooked up; detachable."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._undo: list = []
 
     def _hook(self, obj, attr: str, observer) -> None:

@@ -116,7 +116,7 @@ class MetricsRegistry:
     different kind raises.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}

@@ -1,0 +1,200 @@
+"""Client library for the scheduler service.
+
+:class:`ServiceClient` is synchronous (blocking sockets) -- the right
+tool for scripts, tests and the interactive ``repro client``.
+:class:`AsyncServiceClient` rides an asyncio event loop and is what the
+load generator uses to drive many sessions concurrently.
+
+Both speak the protocol of :mod:`repro.service.protocol`: one JSON line
+out, one JSON line back, ids echoed so replies can be paired with
+requests.  Errors come back as :class:`ServiceError` with the wire code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, Optional
+
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ErrorCode,
+    ServiceError,
+    decode_line,
+    encode,
+    result_from_response,
+)
+
+
+def _check_id(sent: int, doc: dict[str, Any]) -> None:
+    got = doc.get("id")
+    if got != sent:
+        raise ServiceError(
+            ErrorCode.INTERNAL, f"response id {got!r} does not match request {sent}"
+        )
+
+
+class _CallMixin:
+    """The op-level convenience surface, shared by both clients.
+
+    Subclasses implement ``call(op, **fields)``; for the async client the
+    returned value is awaitable, so these helpers stay thin pass-throughs.
+    """
+
+    def call(self, op: str, **fields: Any) -> Any:
+        raise NotImplementedError
+
+    def ping(self) -> Any:
+        return self.call("ping")
+
+    def open(self, session: str, config: Optional[dict[str, Any]] = None) -> Any:
+        if config is None:
+            return self.call("open", session=session)
+        return self.call("open", session=session, config=config)
+
+    def insert(self, session: str, name: str, size: int) -> Any:
+        return self.call("insert", session=session, name=name, size=size)
+
+    def delete(self, session: str, name: str) -> Any:
+        return self.call("delete", session=session, name=name)
+
+    def query(
+        self, session: str, name: Optional[str] = None, *, jobs: bool = False
+    ) -> Any:
+        fields: dict[str, Any] = {"session": session}
+        if name is not None:
+            fields["name"] = name
+        if jobs:
+            fields["jobs"] = True
+        return self.call("query", **fields)
+
+    def snapshot(self, session: str) -> Any:
+        return self.call("snapshot", session=session)
+
+    def stats(self, session: Optional[str] = None) -> Any:
+        if session is None:
+            return self.call("stats")
+        return self.call("stats", session=session)
+
+    def close_session(self, session: str) -> Any:
+        return self.call("close", session=session)
+
+    def shutdown(self) -> Any:
+        return self.call("shutdown")
+
+
+class ServiceClient(_CallMixin):
+    """Blocking client over TCP (``host``/``port``) or a UNIX socket."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        *,
+        unix_path: Optional[str] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if (port is None) == (unix_path is None):
+            raise ValueError("pass exactly one of port= or unix_path=")
+        if unix_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(unix_path)
+        else:
+            assert port is not None
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._fh = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def call(self, op: str, **fields: Any) -> dict[str, Any]:
+        self._next_id += 1
+        req_id = self._next_id
+        self._fh.write(encode({"op": op, "id": req_id, **fields}))
+        self._fh.flush()
+        raw = self._fh.readline(MAX_LINE_BYTES + 1)
+        if not raw:
+            raise ServiceError(ErrorCode.INTERNAL, "server closed the connection")
+        doc = decode_line(raw.decode("utf-8"))
+        _check_id(req_id, doc)
+        return result_from_response(doc)
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class AsyncServiceClient(_CallMixin):
+    """Asyncio client; one in-flight request at a time per instance.
+
+    The internal lock serializes ``call`` so concurrent tasks sharing a
+    client cannot interleave their request/response pairs.  For true
+    concurrency (the load generator), use one client per task.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        *,
+        unix_path: Optional[str] = None,
+    ) -> None:
+        if (port is None) == (unix_path is None):
+            raise ValueError("pass exactly one of port= or unix_path=")
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+        self._next_id = 0
+
+    async def connect(self) -> "AsyncServiceClient":
+        if self.unix_path is not None:
+            self._reader, self._writer = await asyncio.open_unix_connection(
+                self.unix_path, limit=MAX_LINE_BYTES
+            )
+        else:
+            assert self.port is not None
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port, limit=MAX_LINE_BYTES
+            )
+        return self
+
+    async def call(self, op: str, **fields: Any) -> dict[str, Any]:
+        reader, writer = self._reader, self._writer
+        if reader is None or writer is None:
+            raise ServiceError(ErrorCode.INTERNAL, "client is not connected")
+        async with self._lock:
+            self._next_id += 1
+            req_id = self._next_id
+            writer.write(encode({"op": op, "id": req_id, **fields}))
+            await writer.drain()
+            raw = await reader.readline()
+        if not raw:
+            raise ServiceError(ErrorCode.INTERNAL, "server closed the connection")
+        doc = decode_line(raw.decode("utf-8"))
+        _check_id(req_id, doc)
+        return result_from_response(doc)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        self._reader = self._writer = None
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()

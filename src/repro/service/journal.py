@@ -1,0 +1,385 @@
+"""Write-ahead journal: append-only segments + snapshots + recovery.
+
+The durability layer under every session.  The contract mirrors the
+database motivation of cost obliviousness (Bender et al., "Cost-Oblivious
+Storage Reallocation"): a reallocator must persist enough state to resume
+*deterministically* after a crash.  Because scheduler decisions are a
+pure function of the request order (the :mod:`repro.core.snapshot`
+determinism contract), it suffices to make the request order durable:
+
+* every mutating request (``insert``/``delete``) is appended to the
+  journal -- and optionally fsynced -- **before** it is applied to the
+  in-memory scheduler (write-ahead discipline);
+* a *checkpoint* writes a full ``core/snapshot`` document (with
+  ``include_ledger=True``, so cumulative competitiveness accounting is
+  exact across restarts) and truncates the journal tail;
+* *recovery* = load the latest snapshot, then replay every journal
+  record past it, in LSN order.
+
+On-disk layout (one directory per session)::
+
+    wal-0000000000000001.seg     segment starting at LSN 1 (JSON lines)
+    wal-0000000000000042.seg     segment starting at LSN 42
+    snap-0000000000000041.json   snapshot covering LSNs <= 41
+
+Each record line is ``{"lsn": n, "op": ..., "name": ..., "size": ...,
+"c": crc32}``; the CRC is over the record minus ``c``, so a torn write
+(crash mid-line) is detected, not silently replayed.  A torn *final*
+line of a segment is tolerated -- the record was never acknowledged --
+while a bad line anywhere else raises :class:`JournalCorrupt` (replaying
+past a hole would silently diverge from the pre-crash scheduler).
+
+Fsync policy trades durability for throughput (measurable with the load
+generator; see docs/SERVICE.md):
+
+``always``    fsync after every append -- an acknowledged op survives
+              power loss;
+``interval``  fsync every N appends (default 64) -- bounded loss window;
+``never``     flush to the OS only -- survives process crash (SIGKILL),
+              not power loss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.obs.logsetup import get_logger
+from repro.obs.metrics import MetricsRegistry
+
+log = get_logger("service.journal")
+
+FSYNC_POLICIES = ("always", "interval", "never")
+
+_SEG_PREFIX, _SEG_SUFFIX = "wal-", ".seg"
+_SNAP_PREFIX, _SNAP_SUFFIX = "snap-", ".json"
+#: Kept snapshot generations (the newest, plus one fallback).
+_SNAP_KEEP = 2
+
+
+class JournalCorrupt(Exception):
+    """The journal contains a hole or an undecodable non-tail record."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One durable mutating request."""
+
+    lsn: int
+    op: str  # "insert" | "delete"
+    name: str
+    size: int
+
+
+def _seg_name(start_lsn: int) -> str:
+    return f"{_SEG_PREFIX}{start_lsn:016d}{_SEG_SUFFIX}"
+
+
+def _snap_name(lsn: int) -> str:
+    return f"{_SNAP_PREFIX}{lsn:016d}{_SNAP_SUFFIX}"
+
+
+def _encode_record(rec: JournalRecord) -> bytes:
+    body = {"lsn": rec.lsn, "op": rec.op, "name": rec.name, "size": rec.size}
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    body["c"] = zlib.crc32(payload.encode("utf-8"))
+    return (json.dumps(body, sort_keys=True, separators=(",", ":")) + "\n").encode(
+        "utf-8"
+    )
+
+
+def _decode_record(line: str) -> Optional[JournalRecord]:
+    """Parse one journal line; ``None`` if torn/undecodable."""
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(doc, dict) or "c" not in doc:
+        return None
+    crc = doc.pop("c")
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    if crc != zlib.crc32(payload.encode("utf-8")):
+        return None
+    try:
+        return JournalRecord(
+            lsn=int(doc["lsn"]),
+            op=str(doc["op"]),
+            name=str(doc["name"]),
+            size=int(doc["size"]),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _fsync_dir(path: str) -> None:
+    """Best-effort directory fsync (durable file creation/rename)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+class Journal:
+    """Append-only journal over one directory.
+
+    A fresh segment is started on every open (never appending to a
+    possibly-torn tail), named by the LSN of its first record, so the
+    segment list alone encodes the replay order.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        *,
+        fsync: str = "interval",
+        fsync_interval: int = 64,
+        segment_records: int = 4096,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(f"fsync must be one of {FSYNC_POLICIES}")
+        if fsync_interval < 1:
+            raise ValueError("fsync_interval must be >= 1")
+        if segment_records < 1:
+            raise ValueError("segment_records must be >= 1")
+        self.root = root
+        self.fsync = fsync
+        self.fsync_interval = fsync_interval
+        self.segment_records = segment_records
+        self.registry = registry
+        self.appends = 0
+        self.fsyncs = 0
+        self.checkpoints = 0
+        self._fh: Optional[Any] = None
+        self._seg_records = 0
+        self._since_fsync = 0
+        os.makedirs(root, exist_ok=True)
+        self._lsn = self._scan_last_lsn()
+
+    # -- discovery -------------------------------------------------------
+
+    def _segments(self) -> list[tuple[int, str]]:
+        """Sorted ``(start_lsn, path)`` for every segment on disk."""
+        out: list[tuple[int, str]] = []
+        for name in os.listdir(self.root):
+            if name.startswith(_SEG_PREFIX) and name.endswith(_SEG_SUFFIX):
+                digits = name[len(_SEG_PREFIX) : -len(_SEG_SUFFIX)]
+                if digits.isdigit():
+                    out.append((int(digits), os.path.join(self.root, name)))
+        return sorted(out)
+
+    def _snapshots(self) -> list[tuple[int, str]]:
+        """Sorted ``(covered_lsn, path)`` for every snapshot on disk."""
+        out: list[tuple[int, str]] = []
+        for name in os.listdir(self.root):
+            if name.startswith(_SNAP_PREFIX) and name.endswith(_SNAP_SUFFIX):
+                digits = name[len(_SNAP_PREFIX) : -len(_SNAP_SUFFIX)]
+                if digits.isdigit():
+                    out.append((int(digits), os.path.join(self.root, name)))
+        return sorted(out)
+
+    def _scan_last_lsn(self) -> int:
+        """Highest durable LSN: last valid record, else latest snapshot."""
+        last = max((lsn for lsn, _ in self._snapshots()), default=0)
+        for _, path in self._segments():
+            for rec, _ in self._read_segment(path):
+                if rec.lsn > last:
+                    last = rec.lsn
+        return last
+
+    @staticmethod
+    def _read_segment(path: str) -> list[tuple[JournalRecord, int]]:
+        """Valid ``(record, lineno)`` pairs of one segment.
+
+        A single undecodable *final* line is dropped (torn write); an
+        undecodable line followed by valid records is corruption.
+        """
+        records: list[tuple[JournalRecord, int]] = []
+        bad_line: Optional[int] = None
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            for lineno, line in enumerate(fh, 1):
+                if not line.strip():
+                    continue
+                rec = _decode_record(line)
+                if rec is None:
+                    if bad_line is not None:
+                        raise JournalCorrupt(
+                            f"{path}:{bad_line}: undecodable record "
+                            f"followed by more data"
+                        )
+                    bad_line = lineno
+                    continue
+                if bad_line is not None:
+                    raise JournalCorrupt(
+                        f"{path}:{bad_line}: undecodable record mid-segment"
+                    )
+                records.append((rec, lineno))
+        if bad_line is not None:
+            log.warning("journal %s: dropped torn record at line %d", path, bad_line)
+        return records
+
+    # -- appending -------------------------------------------------------
+
+    @property
+    def last_lsn(self) -> int:
+        return self._lsn
+
+    def append(self, op: str, name: str, size: int) -> int:
+        """Durably log one mutating request; returns its LSN."""
+        if self._fh is None or self._seg_records >= self.segment_records:
+            self._roll()
+        assert self._fh is not None
+        self._lsn += 1
+        rec = JournalRecord(lsn=self._lsn, op=op, name=name, size=size)
+        data = _encode_record(rec)
+        self._fh.write(data)
+        self._fh.flush()
+        self._seg_records += 1
+        self.appends += 1
+        self._since_fsync += 1
+        if self.fsync == "always" or (
+            self.fsync == "interval" and self._since_fsync >= self.fsync_interval
+        ):
+            os.fsync(self._fh.fileno())
+            self.fsyncs += 1
+            self._since_fsync = 0
+        reg = self.registry
+        if reg is not None:
+            reg.inc_all(
+                {"service.journal.appends": 1, "service.journal.bytes": len(data)}
+            )
+        return self._lsn
+
+    def _roll(self) -> None:
+        """Close the open segment and start a fresh one at ``lsn + 1``.
+
+        If the target file already exists it can only hold a torn tail
+        from a crashed predecessor (any valid record in it would have
+        advanced the scanned LSN), so truncating it is safe.
+        """
+        if self._fh is not None:
+            if self.fsync != "never":
+                os.fsync(self._fh.fileno())
+                self.fsyncs += 1
+            self._fh.close()
+        path = os.path.join(self.root, _seg_name(self._lsn + 1))
+        self._fh = open(path, "wb")
+        self._seg_records = 0
+        self._since_fsync = 0
+        _fsync_dir(self.root)
+
+    # -- checkpointing ---------------------------------------------------
+
+    def checkpoint(self, snapshot_doc: dict[str, Any]) -> int:
+        """Write a snapshot covering everything logged so far, then
+        truncate the journal tail.  Returns the covered LSN.
+
+        The snapshot lands via write-to-temp + atomic rename + directory
+        fsync, so a crash mid-checkpoint leaves the previous generation
+        (and the still-complete segment tail) intact.
+        """
+        lsn = self._lsn
+        path = os.path.join(self.root, _snap_name(lsn))
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(snapshot_doc, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(self.root)
+        # Now the tail is redundant: drop covered segments + old snaps.
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+            self._seg_records = 0
+            self._since_fsync = 0
+        for start, seg_path in self._segments():
+            if start <= lsn:
+                os.unlink(seg_path)
+        for _, snap_path in self._snapshots()[:-_SNAP_KEEP]:
+            os.unlink(snap_path)
+        self.checkpoints += 1
+        reg = self.registry
+        if reg is not None:
+            reg.inc_all({"service.journal.checkpoints": 1})
+        return lsn
+
+    # -- recovery --------------------------------------------------------
+
+    def recover(self) -> tuple[Optional[dict[str, Any]], list[JournalRecord]]:
+        """Latest usable snapshot (or None) + the replay tail past it.
+
+        Falls back to an older snapshot generation if the newest one is
+        unreadable, provided the journal tail still covers the gap.
+        """
+        snap_doc: Optional[dict[str, Any]] = None
+        snap_lsn = 0
+        for lsn, path in reversed(self._snapshots()):
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    doc = json.load(fh)
+            except (OSError, json.JSONDecodeError) as e:
+                log.warning("journal %s: unreadable snapshot %s (%s)", self.root, path, e)
+                continue
+            if isinstance(doc, dict):
+                snap_doc, snap_lsn = doc, lsn
+                break
+        tail: list[JournalRecord] = []
+        expect = snap_lsn + 1
+        for _, seg_path in self._segments():
+            for rec, lineno in self._read_segment(seg_path):
+                if rec.lsn <= snap_lsn:
+                    continue
+                if rec.lsn != expect:
+                    raise JournalCorrupt(
+                        f"{seg_path}:{lineno}: LSN {rec.lsn}, expected {expect} "
+                        f"(hole in the journal)"
+                    )
+                tail.append(rec)
+                expect += 1
+        # Falling back to an older snapshot is only sound if the journal
+        # still covers everything the newer (unreadable) one did --
+        # otherwise acknowledged ops would silently vanish.
+        newest = max((lsn for lsn, _ in self._snapshots()), default=0)
+        recovered_to = tail[-1].lsn if tail else snap_lsn
+        if recovered_to < newest:
+            raise JournalCorrupt(
+                f"{self.root}: snapshot covering LSN {newest} is unreadable "
+                f"and the journal only reaches LSN {recovered_to}"
+            )
+        return snap_doc, tail
+
+    # -- lifecycle / stats -----------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "last_lsn": self._lsn,
+            "appends": self.appends,
+            "fsyncs": self.fsyncs,
+            "checkpoints": self.checkpoints,
+            "segments": len(self._segments()),
+            "snapshots": len(self._snapshots()),
+        }
+
+    def close(self) -> None:
+        if self._fh is not None:
+            if self.fsync != "never":
+                os.fsync(self._fh.fileno())
+                self.fsyncs += 1
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

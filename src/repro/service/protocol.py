@@ -1,0 +1,271 @@
+"""Wire protocol of the scheduler service: newline-delimited JSON.
+
+Every request is one JSON object on one line; every response is one JSON
+object on one line, in request order per connection.  Requests carry
+
+``op``       the operation name (see :data:`REQUEST_FIELDS`)
+``id``       optional client-chosen integer, echoed verbatim in the
+             response so clients can match replies
+plus op-specific fields.  Responses are either
+
+``{"ok": true,  "id": ..., "result": {...}}``
+``{"ok": false, "id": ..., "error": {"code": "...", "message": "..."}}``
+
+Validation is schema-driven and strict: unknown ops, unknown fields,
+missing required fields and wrong types are all rejected with
+``bad_request`` / ``unknown_op`` *before* any state is touched.  Error
+codes are a closed enum (:class:`ErrorCode`) so clients can dispatch on
+them; the human-readable message is advisory.
+
+The protocol is deliberately state-light: the only connection state is
+the byte stream itself.  Sessions are named server-side entities
+addressed by the ``session`` field, so any number of connections can
+drive the same session (the server serializes per-session operations;
+see :mod:`repro.service.sessions`).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import re
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one request/response line (bytes, including newline).
+MAX_LINE_BYTES = 1 << 20
+
+#: Session ids become directory names in the journal root.
+_SESSION_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+
+
+class ErrorCode(enum.Enum):
+    """Closed set of machine-readable error codes."""
+
+    BAD_REQUEST = "bad_request"
+    UNKNOWN_OP = "unknown_op"
+    NO_SUCH_SESSION = "no_such_session"
+    SESSION_EXISTS = "session_exists"
+    NO_SUCH_JOB = "no_such_job"
+    DUPLICATE_JOB = "duplicate_job"
+    BACKPRESSURE = "backpressure"
+    SHUTTING_DOWN = "shutting_down"
+    JOURNAL_CORRUPT = "journal_corrupt"
+    INTERNAL = "internal"
+
+
+class ServiceError(Exception):
+    """A request failed; carries the :class:`ErrorCode` for the wire."""
+
+    def __init__(self, code: ErrorCode, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def _bad(message: str) -> ServiceError:
+    return ServiceError(ErrorCode.BAD_REQUEST, message)
+
+
+# ---------------------------------------------------------------------------
+# Session configuration
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Scheduler construction parameters for one session.
+
+    ``p == 1`` builds a :class:`~repro.core.single.SingleServerScheduler`;
+    ``p > 1`` a :class:`~repro.core.parallel.ParallelScheduler`.
+    """
+
+    max_size: int = 1024
+    delta: float = 0.5
+    p: int = 1
+    dynamic: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "max_size": self.max_size,
+            "delta": self.delta,
+            "p": self.p,
+            "dynamic": self.dynamic,
+        }
+
+    @classmethod
+    def from_mapping(cls, m: Mapping[str, Any]) -> "SessionConfig":
+        known = {"max_size", "delta", "p", "dynamic"}
+        unknown = set(m) - known
+        if unknown:
+            raise _bad(f"unknown config field(s): {', '.join(sorted(unknown))}")
+        max_size = m.get("max_size", 1024)
+        delta = m.get("delta", 0.5)
+        p = m.get("p", 1)
+        dynamic = m.get("dynamic", False)
+        if type(max_size) is not int or max_size < 1:
+            raise _bad("config.max_size must be a positive integer")
+        if type(p) is not int or p < 1:
+            raise _bad("config.p must be a positive integer")
+        if not isinstance(delta, (int, float)) or isinstance(delta, bool):
+            raise _bad("config.delta must be a number")
+        if not (0.0 < float(delta) <= 1.0):
+            raise _bad("config.delta must be in (0, 1]")
+        if not isinstance(dynamic, bool):
+            raise _bad("config.dynamic must be a boolean")
+        return cls(max_size=max_size, delta=float(delta), p=p, dynamic=dynamic)
+
+
+# ---------------------------------------------------------------------------
+# Requests
+
+#: Field spec per op: name -> (json type, required).  ``id`` is accepted
+#: on every op; anything else must be listed here.
+REQUEST_FIELDS: dict[str, dict[str, tuple[type, bool]]] = {
+    "ping": {},
+    "open": {"session": (str, True), "config": (dict, False)},
+    "insert": {"session": (str, True), "name": (str, True), "size": (int, True)},
+    "delete": {"session": (str, True), "name": (str, True)},
+    "query": {"session": (str, True), "name": (str, False), "jobs": (bool, False)},
+    "snapshot": {"session": (str, True)},
+    "stats": {"session": (str, False)},
+    "close": {"session": (str, True)},
+    "shutdown": {},
+}
+
+
+@dataclass(frozen=True)
+class Request:
+    """One validated request."""
+
+    op: str
+    id: Optional[int] = None
+    session: Optional[str] = None
+    name: Optional[str] = None
+    size: Optional[int] = None
+    jobs: bool = False
+    config: Optional[dict[str, Any]] = None
+
+
+def decode_line(line: str) -> dict[str, Any]:
+    """Parse one wire line into a JSON object (no field validation yet)."""
+    if len(line) > MAX_LINE_BYTES:
+        raise _bad(f"line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as e:
+        raise _bad(f"not valid JSON: {e.msg}") from e
+    if not isinstance(doc, dict):
+        raise _bad("request must be a JSON object")
+    return doc
+
+
+def request_from_doc(doc: Mapping[str, Any]) -> Request:
+    """Validate a decoded object against :data:`REQUEST_FIELDS`."""
+    op = doc.get("op")
+    if not isinstance(op, str):
+        raise _bad("missing or non-string 'op' field")
+    spec = REQUEST_FIELDS.get(op)
+    if spec is None:
+        raise ServiceError(ErrorCode.UNKNOWN_OP, f"unknown op {op!r}")
+    req_id = doc.get("id")
+    if req_id is not None and type(req_id) is not int:
+        raise _bad("'id' must be an integer")
+    unknown = set(doc) - set(spec) - {"op", "id"}
+    if unknown:
+        raise _bad(f"unknown field(s) for {op!r}: {', '.join(sorted(unknown))}")
+    values: dict[str, Any] = {}
+    for field, (ftype, required) in spec.items():
+        v = doc.get(field)
+        if v is None:
+            if required:
+                raise _bad(f"{op!r} requires field {field!r}")
+            continue
+        # bool is a subclass of int; the wire treats them as distinct.
+        if ftype is int and (type(v) is not int):
+            raise _bad(f"field {field!r} must be an integer")
+        if ftype is bool and not isinstance(v, bool):
+            raise _bad(f"field {field!r} must be a boolean")
+        if ftype is str and not isinstance(v, str):
+            raise _bad(f"field {field!r} must be a string")
+        if ftype is dict and not isinstance(v, dict):
+            raise _bad(f"field {field!r} must be an object")
+        values[field] = v
+    session = values.get("session")
+    if session is not None and not _SESSION_ID_RE.match(session):
+        raise _bad(
+            "session ids must match [A-Za-z0-9._-]{1,128}"
+        )
+    size = values.get("size")
+    if size is not None and size < 1:
+        raise _bad("'size' must be >= 1")
+    return Request(op=op, id=req_id, **values)
+
+
+def parse_request(line: str) -> Request:
+    """``decode_line`` + ``request_from_doc`` in one step (for clients/tests)."""
+    return request_from_doc(decode_line(line))
+
+
+def request_to_doc(req: Request) -> dict[str, Any]:
+    """Inverse of :func:`request_from_doc` (drops unset fields)."""
+    doc: dict[str, Any] = {"op": req.op}
+    if req.id is not None:
+        doc["id"] = req.id
+    if req.session is not None:
+        doc["session"] = req.session
+    if req.name is not None:
+        doc["name"] = req.name
+    if req.size is not None:
+        doc["size"] = req.size
+    if req.jobs:
+        doc["jobs"] = True
+    if req.config is not None:
+        doc["config"] = req.config
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# Responses
+
+
+def ok_response(req_id: Optional[int], result: Mapping[str, Any]) -> dict[str, Any]:
+    resp: dict[str, Any] = {"ok": True, "result": dict(result)}
+    if req_id is not None:
+        resp["id"] = req_id
+    return resp
+
+
+def error_response(
+    req_id: Optional[int], code: ErrorCode, message: str
+) -> dict[str, Any]:
+    resp: dict[str, Any] = {
+        "ok": False,
+        "error": {"code": code.value, "message": message},
+    }
+    if req_id is not None:
+        resp["id"] = req_id
+    return resp
+
+
+def encode(doc: Mapping[str, Any]) -> bytes:
+    """Serialize one wire object to a newline-terminated JSON line."""
+    return (json.dumps(doc, separators=(",", ":"), default=str) + "\n").encode("utf-8")
+
+
+def result_from_response(doc: Mapping[str, Any]) -> dict[str, Any]:
+    """Client-side: unwrap a response, raising :class:`ServiceError` on failure."""
+    if doc.get("ok") is True:
+        result = doc.get("result")
+        if not isinstance(result, dict):
+            raise ServiceError(ErrorCode.INTERNAL, "response missing 'result'")
+        return result
+    err = doc.get("error")
+    if not isinstance(err, dict):
+        raise ServiceError(ErrorCode.INTERNAL, f"malformed error response: {doc!r}")
+    try:
+        code = ErrorCode(err.get("code"))
+    except ValueError:
+        code = ErrorCode.INTERNAL
+    raise ServiceError(code, str(err.get("message", "")))

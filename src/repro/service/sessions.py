@@ -1,0 +1,694 @@
+"""Session manager: many concurrent scheduler instances, durably.
+
+A *session* is one named scheduler (single-server or parallel) with its
+own journal directory.  The manager hosts many sessions inside one
+asyncio event loop and provides the guarantees the protocol promises:
+
+* **Per-session serialization.**  Every operation on a session flows
+  through that session's bounded queue and is executed by its worker
+  task, so the journal order *is* the execution order -- the property
+  recovery relies on.  Different sessions proceed concurrently.
+* **Bounded backpressure.**  A full queue rejects immediately with
+  ``backpressure`` instead of buffering unboundedly; the closed-loop
+  client retries or slows down.
+* **LRU eviction + lazy rehydration.**  At most ``max_live`` sessions
+  keep a scheduler in memory.  The least-recently-used one is
+  checkpointed (snapshot with ledger + journal truncation) and dropped;
+  the next operation on it recovers from disk transparently.  Eviction
+  rides the victim's own queue, so it serializes with in-flight ops.
+* **Write-ahead ordering.**  Mutations are validated, journaled (per
+  the fsync policy), then applied; an acknowledged op is exactly as
+  durable as the policy promises.
+
+Layering (reprolint RL002): this package builds on ``repro.core`` and
+``repro.obs`` only -- never ``repro.sim`` or ``repro.workloads``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import time
+from typing import Any, Callable, Optional, Union
+
+from repro.core.costfn import STANDARD_FAMILY
+from repro.core.parallel import ParallelScheduler
+from repro.core.single import SingleServerScheduler
+from repro.core.snapshot import (
+    restore_parallel,
+    restore_single,
+    snapshot_parallel,
+    snapshot_single,
+)
+from repro.obs.instrument import attach
+from repro.obs.logsetup import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.service.journal import Journal, JournalCorrupt, JournalRecord
+from repro.service.protocol import (
+    ErrorCode,
+    Request,
+    ServiceError,
+    SessionConfig,
+)
+
+log = get_logger("service")
+
+SchedulerT = Union[SingleServerScheduler, ParallelScheduler]
+
+_SID_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+_CONFIG_FILE = "config.json"
+
+_QueueItem = Optional[
+    tuple[Callable[[], dict[str, Any]], "asyncio.Future[dict[str, Any]]"]
+]
+
+
+# ---------------------------------------------------------------------------
+# Scheduler construction / snapshot / recovery
+
+
+def build_scheduler(cfg: SessionConfig) -> SchedulerT:
+    if cfg.p > 1:
+        return ParallelScheduler(
+            cfg.p, cfg.max_size, delta=cfg.delta, dynamic=cfg.dynamic
+        )
+    return SingleServerScheduler(
+        cfg.max_size, delta=cfg.delta, dynamic=cfg.dynamic
+    )
+
+
+def take_snapshot(sched: SchedulerT) -> dict[str, Any]:
+    """Full state snapshot *including* ledger totals (exact accounting
+    across recovery -- see :mod:`repro.core.snapshot`)."""
+    if isinstance(sched, ParallelScheduler):
+        return snapshot_parallel(sched, include_ledger=True)
+    return snapshot_single(sched, include_ledger=True)
+
+
+def restore_snapshot(doc: dict[str, Any]) -> SchedulerT:
+    kind = doc.get("kind")
+    if kind == "parallel":
+        return restore_parallel(doc)
+    if kind == "single":
+        return restore_single(doc)
+    raise ServiceError(
+        ErrorCode.JOURNAL_CORRUPT, f"snapshot has unknown kind {kind!r}"
+    )
+
+
+def recover_scheduler(
+    root: str,
+    cfg: SessionConfig,
+    *,
+    fsync: str = "interval",
+    fsync_interval: int = 64,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    attach_obs: bool = False,
+) -> tuple[SchedulerT, Journal, dict[str, Any]]:
+    """Crash recovery: latest snapshot + journal-tail replay.
+
+    Returns the rebuilt scheduler, the (re-opened) journal, and an info
+    dict (``replayed``, ``from_snapshot``, ``last_lsn``).  With
+    ``attach_obs=True`` the replay itself is instrumented, so the
+    recovered run feeds the PR-1 counter-delta replay validation
+    (``repro report --journal``).
+    """
+    journal = Journal(
+        root, fsync=fsync, fsync_interval=fsync_interval, registry=registry
+    )
+    span_open = False
+    if tracer is not None:
+        tracer.begin_span("recovery", {"dir": root})
+        span_open = True
+    t0 = time.perf_counter()
+    try:
+        snap_doc, tail = journal.recover()
+        sched = restore_snapshot(snap_doc) if snap_doc is not None else build_scheduler(cfg)
+        attachment = (
+            attach(sched, registry, tracer)
+            if attach_obs and (registry is not None or tracer is not None)
+            else None
+        )
+        try:
+            _replay_tail(sched, tail)
+        finally:
+            if attachment is not None:
+                attachment.detach()
+    finally:
+        if span_open and tracer is not None:
+            tracer.end_span("recovery", {"seconds": round(time.perf_counter() - t0, 6)})
+    info: dict[str, Any] = {
+        "replayed": len(tail),
+        "from_snapshot": snap_doc is not None,
+        "last_lsn": journal.last_lsn,
+    }
+    if registry is not None:
+        registry.inc_all(
+            {"service.recovery.count": 1, "service.recovery.replayed": len(tail)}
+        )
+        registry.histogram("service.recovery.seconds").observe(
+            time.perf_counter() - t0
+        )
+    return sched, journal, info
+
+
+def _replay_tail(sched: SchedulerT, tail: list[JournalRecord]) -> None:
+    for rec in tail:
+        try:
+            if rec.op == "insert":
+                sched.insert(rec.name, rec.size)
+            elif rec.op == "delete":
+                sched.delete(rec.name)
+            else:
+                raise JournalCorrupt(f"unknown journal op {rec.op!r} at LSN {rec.lsn}")
+        except KeyError:
+            # Ops are validated before journaling, so this indicates a
+            # journal written by a buggy/foreign writer; warn, don't die.
+            log.warning("replay: op at LSN %d no longer applies", rec.lsn)
+
+
+# ---------------------------------------------------------------------------
+# Sessions
+
+
+class Session:
+    """One named scheduler plus its durability + serialization state."""
+
+    __slots__ = (
+        "sid",
+        "root",
+        "config",
+        "queue",
+        "worker",
+        "scheduler",
+        "journal",
+        "touched",
+        "ops",
+        "last_recovery",
+    )
+
+    def __init__(
+        self,
+        sid: str,
+        root: str,
+        config: SessionConfig,
+        queue: "asyncio.Queue[_QueueItem]",
+    ) -> None:
+        self.sid = sid
+        self.root = root
+        self.config = config
+        self.queue = queue
+        self.worker: Optional["asyncio.Task[None]"] = None
+        self.scheduler: Optional[SchedulerT] = None
+        self.journal: Optional[Journal] = None
+        self.touched = 0
+        self.ops = 0
+        self.last_recovery: dict[str, Any] = {}
+
+    @property
+    def live(self) -> bool:
+        return self.scheduler is not None
+
+
+class SessionManager:
+    """Hosts sessions under one data directory; see the module docstring."""
+
+    def __init__(
+        self,
+        root: str,
+        *,
+        fsync: str = "interval",
+        fsync_interval: int = 64,
+        max_live: int = 64,
+        queue_depth: int = 256,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if max_live < 1:
+            raise ValueError("max_live must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.root = root
+        self.fsync = fsync
+        self.fsync_interval = fsync_interval
+        self.max_live = max_live
+        self.queue_depth = queue_depth
+        self.registry = registry
+        self.tracer = tracer
+        self.sessions: dict[str, Session] = {}
+        self._clock = 0
+        self._shutting_down = False
+        os.makedirs(root, exist_ok=True)
+
+    # -- discovery -------------------------------------------------------
+
+    def session_ids_on_disk(self) -> list[str]:
+        out = []
+        for name in sorted(os.listdir(self.root)):
+            if os.path.isfile(os.path.join(self.root, name, _CONFIG_FILE)):
+                out.append(name)
+        return out
+
+    def live_count(self) -> int:
+        return sum(1 for s in self.sessions.values() if s.live)
+
+    # -- the protocol surface --------------------------------------------
+
+    async def dispatch(self, req: Request) -> dict[str, Any]:
+        """Execute one validated request; raises :class:`ServiceError`."""
+        op = req.op
+        if op == "ping":
+            return {"pong": True}
+        if op == "stats":
+            return self.stats(req.session)
+        if op == "open":
+            assert req.session is not None
+            return await self.open(req.session, req.config)
+        assert req.session is not None
+        if op == "close":
+            return await self.close(req.session)
+        sess = self._attach(req.session, None, create=False)[0]
+        if op == "insert":
+            assert req.name is not None and req.size is not None
+            name, size = req.name, req.size
+            return await self._enqueue(
+                sess, lambda: self._op_insert(sess, name, size)
+            )
+        if op == "delete":
+            assert req.name is not None
+            name = req.name
+            return await self._enqueue(sess, lambda: self._op_delete(sess, name))
+        if op == "query":
+            return await self._enqueue(
+                sess, lambda: self._op_query(sess, req.name, req.jobs)
+            )
+        if op == "snapshot":
+            return await self._enqueue(sess, lambda: self._op_snapshot(sess))
+        raise ServiceError(ErrorCode.UNKNOWN_OP, f"unhandled op {op!r}")
+
+    async def open(
+        self, sid: str, config_map: Optional[dict[str, Any]]
+    ) -> dict[str, Any]:
+        sess, created = self._attach(sid, config_map, create=True)
+        info = await self._enqueue(sess, lambda: self._op_touch(sess))
+        return {
+            "created": created,
+            "config": sess.config.to_dict(),
+            **info,
+        }
+
+    async def close(self, sid: str) -> dict[str, Any]:
+        sess = self._attach(sid, None, create=False)[0]
+        res = await self._enqueue(sess, lambda: self._op_evict(sess))
+        await self._stop_session(sess)
+        self.sessions.pop(sid, None)
+        out: dict[str, Any] = {"closed": True}
+        if "lsn" in res:
+            out["checkpoint_lsn"] = res["lsn"]
+        return out
+
+    def stats(self, sid: Optional[str] = None) -> dict[str, Any]:
+        if sid is not None:
+            sess = self.sessions.get(sid)
+            if sess is None:
+                if sid in self.session_ids_on_disk():
+                    return {"session": sid, "open": False, "on_disk": True}
+                raise ServiceError(
+                    ErrorCode.NO_SUCH_SESSION, f"no session {sid!r}"
+                )
+            out: dict[str, Any] = {
+                "session": sid,
+                "open": True,
+                "live": sess.live,
+                "ops": sess.ops,
+                "config": sess.config.to_dict(),
+                "queue_depth": sess.queue.qsize(),
+            }
+            sched = sess.scheduler
+            if sched is not None:
+                out["active"] = len(sched)
+                out["objective"] = sched.sum_completion_times()
+                out["ledger"] = sched.ledger.summary()
+                out["competitiveness"] = {
+                    label: sched.ledger.competitiveness(f)
+                    for label, f in STANDARD_FAMILY.items()
+                }
+            if sess.journal is not None:
+                out["journal"] = sess.journal.stats()
+            return out
+        return {
+            "sessions": {
+                "open": len(self.sessions),
+                "live": self.live_count(),
+                "on_disk": len(self.session_ids_on_disk()),
+            },
+            "ops": sum(s.ops for s in self.sessions.values()),
+            "max_live": self.max_live,
+            "queue_depth": self.queue_depth,
+            "fsync": self.fsync,
+        }
+
+    async def shutdown(self) -> dict[str, int]:
+        """Checkpoint and stop every session (graceful shutdown)."""
+        self._shutting_down = True
+        checkpointed = 0
+        for sess in list(self.sessions.values()):
+            try:
+                res = await self._enqueue(
+                    sess, lambda s=sess: self._op_evict(s), force=True
+                )
+                if "lsn" in res:
+                    checkpointed += 1
+            except ServiceError as e:  # keep shutting down regardless
+                log.warning("shutdown: session %s: %s", sess.sid, e.message)
+            await self._stop_session(sess)
+        self.sessions.clear()
+        return {"checkpointed": checkpointed}
+
+    # -- attach / queue plumbing -----------------------------------------
+
+    def _attach(
+        self, sid: str, config_map: Optional[dict[str, Any]], *, create: bool
+    ) -> tuple[Session, bool]:
+        if self._shutting_down:
+            raise ServiceError(ErrorCode.SHUTTING_DOWN, "server is shutting down")
+        if not _SID_RE.match(sid):
+            raise ServiceError(ErrorCode.BAD_REQUEST, f"invalid session id {sid!r}")
+        sess = self.sessions.get(sid)
+        if sess is not None:
+            self._check_config(sess.config, config_map)
+            return sess, False
+        sdir = os.path.join(self.root, sid)
+        cfg_path = os.path.join(sdir, _CONFIG_FILE)
+        created = False
+        if os.path.isfile(cfg_path):
+            with open(cfg_path, encoding="utf-8") as fh:
+                stored = json.load(fh)
+            cfg = SessionConfig.from_mapping(stored)
+            self._check_config(cfg, config_map)
+        else:
+            if not create:
+                raise ServiceError(
+                    ErrorCode.NO_SUCH_SESSION,
+                    f"no session {sid!r}; open it first",
+                )
+            cfg = SessionConfig.from_mapping(config_map or {})
+            os.makedirs(sdir, exist_ok=True)
+            tmp = cfg_path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(cfg.to_dict(), fh, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, cfg_path)
+            created = True
+        queue: "asyncio.Queue[_QueueItem]" = asyncio.Queue(maxsize=self.queue_depth)
+        sess = Session(sid=sid, root=sdir, config=cfg, queue=queue)
+        sess.worker = asyncio.get_running_loop().create_task(self._worker(sess))
+        self.sessions[sid] = sess
+        reg = self.registry
+        if reg is not None:
+            reg.inc_all({"service.sessions.opened": 1})
+        return sess, created
+
+    @staticmethod
+    def _check_config(
+        existing: SessionConfig, config_map: Optional[dict[str, Any]]
+    ) -> None:
+        if config_map:
+            provided = SessionConfig.from_mapping(config_map)
+            if provided != existing:
+                raise ServiceError(
+                    ErrorCode.SESSION_EXISTS,
+                    f"session exists with different config "
+                    f"{existing.to_dict()}",
+                )
+
+    async def _enqueue(
+        self,
+        sess: Session,
+        fn: Callable[[], dict[str, Any]],
+        *,
+        force: bool = False,
+    ) -> dict[str, Any]:
+        if self._shutting_down and not force:
+            raise ServiceError(ErrorCode.SHUTTING_DOWN, "server is shutting down")
+        fut: "asyncio.Future[dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        if force:
+            await sess.queue.put((fn, fut))
+        else:
+            try:
+                sess.queue.put_nowait((fn, fut))
+            except asyncio.QueueFull:
+                reg = self.registry
+                if reg is not None:
+                    reg.inc_all({"service.backpressure": 1})
+                raise ServiceError(
+                    ErrorCode.BACKPRESSURE,
+                    f"session {sess.sid!r} queue is full "
+                    f"({self.queue_depth} pending ops)",
+                ) from None
+        return await fut
+
+    async def _worker(self, sess: Session) -> None:
+        while True:
+            item = await sess.queue.get()
+            try:
+                if item is None:
+                    return
+                fn, fut = item
+                self._clock += 1
+                sess.touched = self._clock
+                try:
+                    res = fn()
+                except ServiceError as e:
+                    if not fut.cancelled():
+                        fut.set_exception(e)
+                except Exception as e:  # internal bug: report, keep serving
+                    log.exception("session %s: internal error", sess.sid)
+                    if not fut.cancelled():
+                        fut.set_exception(
+                            ServiceError(
+                                ErrorCode.INTERNAL, f"{type(e).__name__}: {e}"
+                            )
+                        )
+                else:
+                    if not fut.cancelled():
+                        fut.set_result(res)
+            finally:
+                sess.queue.task_done()
+
+    async def _stop_session(self, sess: Session) -> None:
+        await sess.queue.put(None)
+        if sess.worker is not None:
+            await sess.worker
+            sess.worker = None
+
+    # -- operations (run inside the session worker) ----------------------
+
+    def _hydrated(self, sess: Session) -> SchedulerT:
+        sched = sess.scheduler
+        if sched is not None:
+            return sched
+        try:
+            sched, journal, info = recover_scheduler(
+                sess.root,
+                sess.config,
+                fsync=self.fsync,
+                fsync_interval=self.fsync_interval,
+                registry=self.registry,
+                tracer=self.tracer,
+            )
+        except JournalCorrupt as e:
+            raise ServiceError(ErrorCode.JOURNAL_CORRUPT, str(e)) from e
+        sess.scheduler, sess.journal, sess.last_recovery = sched, journal, info
+        if info["replayed"] or info["from_snapshot"]:
+            log.info(
+                "session %s: recovered (%d replayed, snapshot=%s)",
+                sess.sid, info["replayed"], info["from_snapshot"],
+            )
+        self._maybe_evict(exclude=sess.sid)
+        return sched
+
+    def _journal(self, sess: Session) -> Journal:
+        journal = sess.journal
+        assert journal is not None, "journal exists whenever scheduler is live"
+        return journal
+
+    def _maybe_evict(self, exclude: str) -> None:
+        candidates = [
+            s
+            for s in self.sessions.values()
+            if s.live and s.sid != exclude
+        ]
+        excess = len(candidates) + 1 - self.max_live
+        if excess <= 0:
+            return
+        candidates.sort(key=lambda s: s.touched)
+        for victim in candidates[:excess]:
+            try:
+                fut: "asyncio.Future[dict[str, Any]]" = (
+                    asyncio.get_running_loop().create_future()
+                )
+                victim.queue.put_nowait(
+                    (lambda v=victim: self._op_evict(v), fut)
+                )
+            except asyncio.QueueFull:
+                continue  # busy session: not LRU for long; retry later
+
+    def _count_op(self, sess: Session, kind: str) -> None:
+        sess.ops += 1
+        reg = self.registry
+        if reg is not None:
+            reg.inc_all(
+                {
+                    "service.op.count": 1,
+                    f"service.op.{kind}": 1,
+                    f"service.session.{sess.sid}.ops": 1,
+                }
+            )
+
+    def _op_touch(self, sess: Session) -> dict[str, Any]:
+        sched = self._hydrated(sess)
+        return {"active": len(sched), "recovery": dict(sess.last_recovery)}
+
+    def _op_insert(self, sess: Session, name: str, size: int) -> dict[str, Any]:
+        sched = self._hydrated(sess)
+        if name in sched:
+            raise ServiceError(
+                ErrorCode.DUPLICATE_JOB, f"job {name!r} already active"
+            )
+        lsn = self._journal(sess).append("insert", name, size)
+        pj = sched.insert(name, size)
+        self._count_op(sess, "insert")
+        return {
+            "lsn": lsn,
+            "placed": {
+                "name": name,
+                "size": size,
+                "klass": pj.klass,
+                "start": pj.start,
+                "server": pj.server,
+            },
+        }
+
+    def _op_delete(self, sess: Session, name: str) -> dict[str, Any]:
+        sched = self._hydrated(sess)
+        if name not in sched:
+            raise ServiceError(ErrorCode.NO_SUCH_JOB, f"job {name!r} not active")
+        size = sched.placement(name).size
+        lsn = self._journal(sess).append("delete", name, size)
+        sched.delete(name)
+        self._count_op(sess, "delete")
+        return {"lsn": lsn, "size": size}
+
+    def _op_query(
+        self, sess: Session, name: Optional[str], include_jobs: bool
+    ) -> dict[str, Any]:
+        sched = self._hydrated(sess)
+        self._count_op(sess, "query")
+        out: dict[str, Any] = {
+            "active": len(sched),
+            "objective": sched.sum_completion_times(),
+            "volume": sched.total_volume(),
+        }
+        if isinstance(sched, ParallelScheduler):
+            out["makespan"] = max(
+                (child.makespan() for child in sched.servers), default=0
+            )
+        else:
+            out["makespan"] = sched.makespan()
+        if name is not None:
+            try:
+                pj = sched.placement(name)
+            except KeyError:
+                raise ServiceError(
+                    ErrorCode.NO_SUCH_JOB, f"job {name!r} not active"
+                ) from None
+            out["job"] = {
+                "name": name,
+                "size": pj.size,
+                "klass": pj.klass,
+                "start": pj.start,
+                "server": pj.server,
+            }
+        if include_jobs:
+            out["jobs"] = sorted(
+                [
+                    [str(pj.name), pj.size, pj.klass, pj.start, pj.server]
+                    for pj in sched.jobs()
+                ],
+                key=lambda row: (row[4], row[3], row[0]),
+            )
+        return out
+
+    def _op_snapshot(self, sess: Session) -> dict[str, Any]:
+        sched = self._hydrated(sess)
+        lsn = self._journal(sess).checkpoint(take_snapshot(sched))
+        self._count_op(sess, "snapshot")
+        return {"lsn": lsn, "active": len(sched)}
+
+    def _op_evict(self, sess: Session) -> dict[str, Any]:
+        sched = sess.scheduler
+        if sched is None:
+            return {"evicted": False}
+        journal = self._journal(sess)
+        lsn = journal.checkpoint(take_snapshot(sched))
+        journal.close()
+        sess.scheduler = None
+        sess.journal = None
+        reg = self.registry
+        if reg is not None:
+            reg.inc_all({"service.evictions": 1})
+        return {"evicted": True, "lsn": lsn}
+
+
+# ---------------------------------------------------------------------------
+# Offline journal replay (``repro report --journal``)
+
+
+def replay_journal_dir(
+    root: str, *, registry: Optional[MetricsRegistry] = None
+) -> tuple[MetricsRegistry, list[dict[str, Any]]]:
+    """Rebuild every session under ``root`` with instrumentation attached.
+
+    ``root`` may be a single session directory (holding ``config.json``)
+    or a server data directory (holding one subdirectory per session).
+    Returns the registry the replay populated -- the same counters a
+    live, instrumented, uninterrupted run would have produced, which is
+    what lets journal replays feed the PR-1 trace-validation tooling.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    if os.path.isfile(os.path.join(root, _CONFIG_FILE)):
+        found = [(os.path.basename(os.path.abspath(root)), root)]
+    else:
+        found = [
+            (name, os.path.join(root, name))
+            for name in sorted(os.listdir(root))
+            if os.path.isfile(os.path.join(root, name, _CONFIG_FILE))
+        ]
+    if not found:
+        raise ValueError(f"no service sessions under {root!r}")
+    infos: list[dict[str, Any]] = []
+    for sid, sdir in found:
+        with open(os.path.join(sdir, _CONFIG_FILE), encoding="utf-8") as fh:
+            cfg = SessionConfig.from_mapping(json.load(fh))
+        sched, journal, info = recover_scheduler(
+            sdir, cfg, registry=reg, attach_obs=True
+        )
+        journal.close()
+        infos.append(
+            {
+                "session": sid,
+                "active": len(sched),
+                "objective": sched.sum_completion_times(),
+                "config": cfg.to_dict(),
+                **info,
+            }
+        )
+    return reg, infos

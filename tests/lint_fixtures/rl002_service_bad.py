@@ -1,0 +1,9 @@
+# reprolint: path=repro/service/fixture_mod.py
+"""RL002 fixture: the serving layer importing sim/workloads at top level."""
+
+from repro.workloads import generators  # line 4: forbidden
+import repro.sim.runner  # line 5: forbidden
+
+
+def use():
+    return generators, repro.sim.runner

@@ -1,0 +1,15 @@
+# reprolint: path=repro/service/fixture_mod.py
+"""RL002 fixture: service may import core/ and obs/ at top level."""
+
+from repro.core.single import SingleServerScheduler
+from repro.obs.metrics import MetricsRegistry
+
+
+def lazy_workload():
+    from repro.workloads import generators  # function-scope: allowed
+
+    return generators
+
+
+def build(registry: MetricsRegistry) -> SingleServerScheduler:
+    return SingleServerScheduler(64)

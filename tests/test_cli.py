@@ -89,6 +89,37 @@ def test_report_snapshot_file(tmp_path, capsys):
     assert "sched.op.count" in out and "7" in out
 
 
+def test_report_journal_dir(tmp_path, capsys):
+    import json
+
+    from repro.service.journal import Journal
+
+    sdir = tmp_path / "sess"
+    sdir.mkdir()
+    (sdir / "config.json").write_text(json.dumps({"max_size": 32}))
+    with Journal(str(sdir), fsync="never") as j:
+        j.append("insert", "a", 3)
+        j.append("insert", "b", 5)
+        j.append("delete", "a", 3)
+    assert main(["report", "--journal", str(sdir)]) == 0
+    out = capsys.readouterr().out
+    assert "session sess" in out
+    assert "active=1" in out
+    assert "replayed=3" in out
+    # the replayed run repopulates the same instrumentation counters a
+    # live run would have
+    assert "sched.op.count" in out
+
+
+def test_report_journal_errors(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(SystemExit, match="cannot replay"):
+        main(["report", "--journal", str(empty)])
+    with pytest.raises(SystemExit, match="trace/snapshot file or --journal"):
+        main(["report"])
+
+
 def test_log_level_flag(capsys):
     assert main(["--log-level", "warning", "run", "--ops", "40",
                  "--max-size", "16"]) == 0

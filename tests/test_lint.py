@@ -38,6 +38,7 @@ def rules_hit(result):
 @pytest.mark.parametrize("rule_id,bad,lines", [
     ("RL001", "rl001_bad.py", {10, 14, 19}),
     ("RL002", "rl002_bad.py", {4, 5}),
+    ("RL002", "rl002_service_bad.py", {4, 5}),
     ("RL003", "rl003_bad.py", {10, 11, 12, 13}),
     ("RL004", "rl004_bad.py", {9, 10, 11}),
     ("RL005", "rl005_bad.py", {8, 10, 12}),
@@ -52,7 +53,7 @@ def test_bad_fixture_flags_expected_lines(rule_id, bad, lines):
 
 
 @pytest.mark.parametrize("good", [
-    "rl001_good.py", "rl002_good.py", "rl003_good.py",
+    "rl001_good.py", "rl002_good.py", "rl002_service_good.py", "rl003_good.py",
     "rl004_good.py", "rl005_good.py", "rl006_good.py",
 ])
 def test_good_fixture_is_clean(good):

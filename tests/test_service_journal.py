@@ -1,0 +1,216 @@
+"""Write-ahead journal: LSNs, segments, checkpoints, crash recovery."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.journal import Journal, JournalCorrupt, JournalRecord
+
+
+def seg_files(root):
+    return sorted(f for f in os.listdir(root) if f.startswith("wal-"))
+
+
+def snap_files(root):
+    return sorted(f for f in os.listdir(root) if f.startswith("snap-"))
+
+
+def append_n(j, n, start=0):
+    return [j.append("insert", f"j{start + i}", i + 1) for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Appending
+
+
+def test_lsn_assignment_and_reopen_continuity(tmp_path):
+    root = str(tmp_path)
+    with Journal(root, fsync="never") as j:
+        assert j.last_lsn == 0
+        assert append_n(j, 3) == [1, 2, 3]
+    # reopen: scans the durable tail, continues the LSN sequence
+    with Journal(root, fsync="never") as j:
+        assert j.last_lsn == 3
+        assert j.append("delete", "j0", 1) == 4
+    # a fresh segment per open -- never appends to a possibly-torn tail
+    assert len(seg_files(root)) == 2
+
+
+def test_segment_roll(tmp_path):
+    with Journal(str(tmp_path), fsync="never", segment_records=2) as j:
+        append_n(j, 5)
+        assert j.stats()["segments"] == 3
+    assert seg_files(str(tmp_path)) == [
+        "wal-0000000000000001.seg",
+        "wal-0000000000000003.seg",
+        "wal-0000000000000005.seg",
+    ]
+
+
+def test_constructor_validation(tmp_path):
+    with pytest.raises(ValueError):
+        Journal(str(tmp_path), fsync="sometimes")
+    with pytest.raises(ValueError):
+        Journal(str(tmp_path), fsync_interval=0)
+    with pytest.raises(ValueError):
+        Journal(str(tmp_path), segment_records=0)
+
+
+def test_fsync_policies_count(tmp_path):
+    with Journal(str(tmp_path / "a"), fsync="always") as j:
+        append_n(j, 3)
+        assert j.fsyncs == 3
+    with Journal(str(tmp_path / "b"), fsync="interval", fsync_interval=2) as j:
+        append_n(j, 5)
+        assert j.fsyncs == 2  # after appends 2 and 4
+    with Journal(str(tmp_path / "c"), fsync="never") as j:
+        append_n(j, 5)
+        assert j.fsyncs == 0
+
+
+def test_registry_counters(tmp_path):
+    reg = MetricsRegistry()
+    with Journal(str(tmp_path), fsync="never", registry=reg) as j:
+        append_n(j, 2)
+        j.checkpoint({"marker": 1})
+    snap = reg.snapshot()["counters"]
+    assert snap["service.journal.appends"] == 2
+    assert snap["service.journal.bytes"] > 0
+    assert snap["service.journal.checkpoints"] == 1
+
+
+# ----------------------------------------------------------------------
+# Recovery
+
+
+def test_recover_without_snapshot(tmp_path):
+    root = str(tmp_path)
+    with Journal(root, fsync="never", segment_records=2) as j:
+        append_n(j, 5)
+    snap, tail = Journal(root, fsync="never").recover()
+    assert snap is None
+    assert [r.lsn for r in tail] == [1, 2, 3, 4, 5]
+    assert tail[0] == JournalRecord(lsn=1, op="insert", name="j0", size=1)
+
+
+def test_checkpoint_truncates_and_recovers(tmp_path):
+    root = str(tmp_path)
+    with Journal(root, fsync="never") as j:
+        append_n(j, 3)
+        assert j.checkpoint({"marker": "A"}) == 3
+        # covered segments are gone; appends continue past the snapshot
+        assert seg_files(root) == []
+        assert append_n(j, 2, start=3) == [4, 5]
+    with Journal(root, fsync="never") as j:
+        snap, tail = j.recover()
+    assert snap == {"marker": "A"}
+    assert [r.lsn for r in tail] == [4, 5]
+
+
+def test_snapshot_pruning(tmp_path):
+    root = str(tmp_path)
+    with Journal(root, fsync="never") as j:
+        for gen in range(4):
+            append_n(j, 2, start=2 * gen)
+            j.checkpoint({"gen": gen})
+    names = snap_files(root)
+    assert len(names) == 2  # newest + one fallback generation
+    assert names == ["snap-0000000000000006.json", "snap-0000000000000008.json"]
+
+
+def test_torn_final_line_tolerated(tmp_path):
+    root = str(tmp_path)
+    with Journal(root, fsync="never") as j:
+        append_n(j, 3)
+    seg = os.path.join(root, seg_files(root)[0])
+    with open(seg, "ab") as fh:
+        fh.write(b'{"lsn": 4, "op": "ins')  # crash mid-write
+    with Journal(root, fsync="never") as j:
+        assert j.last_lsn == 3  # the torn record was never acknowledged
+        snap, tail = j.recover()
+    assert snap is None
+    assert [r.lsn for r in tail] == [1, 2, 3]
+
+
+def test_mid_segment_corruption_raises(tmp_path):
+    root = str(tmp_path)
+    with Journal(root, fsync="never") as j:
+        append_n(j, 3)
+    seg = os.path.join(root, seg_files(root)[0])
+    lines = open(seg, "rb").read().splitlines(keepends=True)
+    lines[1] = b"garbage\n"
+    with open(seg, "wb") as fh:
+        fh.writelines(lines)
+    # replaying past a hole would silently diverge -> refuse to open
+    with pytest.raises(JournalCorrupt):
+        Journal(root, fsync="never")
+
+
+def test_missing_middle_segment_is_a_hole(tmp_path):
+    root = str(tmp_path)
+    with Journal(root, fsync="never", segment_records=2) as j:
+        append_n(j, 6)
+    os.unlink(os.path.join(root, "wal-0000000000000003.seg"))
+    j = Journal(root, fsync="never")
+    with pytest.raises(JournalCorrupt, match="hole"):
+        j.recover()
+
+
+def test_fallback_to_older_snapshot_when_tail_covers(tmp_path):
+    root = str(tmp_path)
+    with Journal(root, fsync="never") as j:
+        append_n(j, 3)
+        j.checkpoint({"marker": "old"})
+        append_n(j, 2, start=3)  # LSNs 4, 5 stay in the live segment
+    # a later snapshot generation exists but is unreadable
+    bad = os.path.join(root, "snap-0000000000000005.json")
+    with open(bad, "w", encoding="utf-8") as fh:
+        fh.write("{not json")
+    with Journal(root, fsync="never") as j:
+        snap, tail = j.recover()
+    assert snap == {"marker": "old"}
+    assert [r.lsn for r in tail] == [4, 5]
+
+
+def test_unreadable_snapshot_without_covering_tail_raises(tmp_path):
+    root = str(tmp_path)
+    with Journal(root, fsync="never") as j:
+        append_n(j, 3)
+        j.checkpoint({"marker": "old"})
+        append_n(j, 2, start=3)
+        j.checkpoint({"marker": "new"})  # truncates LSNs 4-5 from the log
+    bad = os.path.join(root, "snap-0000000000000005.json")
+    with open(bad, "w", encoding="utf-8") as fh:
+        fh.write("{not json")
+    # acked ops 4-5 exist only in the corrupt snapshot: refuse, don't
+    # silently roll back to LSN 3
+    j = Journal(root, fsync="never")
+    with pytest.raises(JournalCorrupt, match="unreadable"):
+        j.recover()
+
+
+def test_stats_shape(tmp_path):
+    with Journal(str(tmp_path), fsync="always") as j:
+        append_n(j, 2)
+        j.checkpoint({"m": 1})
+        j.append("insert", "x", 1)
+        s = j.stats()
+    assert s["last_lsn"] == 3
+    assert s["appends"] == 3
+    assert s["checkpoints"] == 1
+    assert s["segments"] == 1
+    assert s["snapshots"] == 1
+    assert s["fsyncs"] >= 3
+
+
+def test_snapshot_is_canonical_json(tmp_path):
+    root = str(tmp_path)
+    with Journal(root, fsync="never") as j:
+        j.append("insert", "a", 2)
+        j.checkpoint({"b": 1, "a": {"z": 0, "y": 1}})
+    path = os.path.join(root, snap_files(root)[0])
+    text = open(path, encoding="utf-8").read()
+    assert json.loads(text) == {"b": 1, "a": {"z": 0, "y": 1}}
+    assert text.index('"a"') < text.index('"b"')  # sort_keys on disk

@@ -1,0 +1,150 @@
+"""Wire protocol: strict validation, closed error codes, round-trips."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ErrorCode,
+    Request,
+    ServiceError,
+    SessionConfig,
+    decode_line,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+    request_to_doc,
+    result_from_response,
+)
+
+
+def err_code(line_or_doc):
+    with pytest.raises(ServiceError) as exc:
+        if isinstance(line_or_doc, str):
+            parse_request(line_or_doc)
+        else:
+            parse_request(json.dumps(line_or_doc))
+    return exc.value.code
+
+
+# ----------------------------------------------------------------------
+# Requests
+
+
+def test_parse_each_op():
+    assert parse_request('{"op": "ping"}') == Request(op="ping")
+    r = parse_request('{"op": "insert", "session": "s", "name": "j", "size": 3}')
+    assert (r.op, r.session, r.name, r.size) == ("insert", "s", "j", 3)
+    r = parse_request('{"op": "open", "session": "s", "config": {"p": 2}}')
+    assert r.config == {"p": 2}
+    r = parse_request('{"op": "query", "session": "s", "jobs": true}')
+    assert r.jobs is True
+    assert parse_request('{"op": "stats"}').session is None
+    assert parse_request('{"op": "shutdown"}').op == "shutdown"
+
+
+def test_id_echoed_and_validated():
+    assert parse_request('{"op": "ping", "id": 7}').id == 7
+    assert err_code({"op": "ping", "id": "x"}) is ErrorCode.BAD_REQUEST
+    # bool is not an integer id on the wire
+    assert err_code({"op": "ping", "id": True}) is ErrorCode.BAD_REQUEST
+
+
+def test_rejections():
+    assert err_code("not json") is ErrorCode.BAD_REQUEST
+    assert err_code("[1, 2]") is ErrorCode.BAD_REQUEST
+    assert err_code({"op": "frobnicate"}) is ErrorCode.UNKNOWN_OP
+    assert err_code({"op": 3}) is ErrorCode.BAD_REQUEST
+    # unknown field
+    assert err_code({"op": "ping", "extra": 1}) is ErrorCode.BAD_REQUEST
+    # missing required field
+    assert err_code({"op": "insert", "session": "s", "name": "j"}) \
+        is ErrorCode.BAD_REQUEST
+    # wrong types
+    assert err_code({"op": "insert", "session": "s", "name": "j", "size": "3"}) \
+        is ErrorCode.BAD_REQUEST
+    assert err_code({"op": "insert", "session": "s", "name": "j", "size": True}) \
+        is ErrorCode.BAD_REQUEST
+    assert err_code({"op": "query", "session": "s", "jobs": 1}) \
+        is ErrorCode.BAD_REQUEST
+    # constraints
+    assert err_code({"op": "insert", "session": "s", "name": "j", "size": 0}) \
+        is ErrorCode.BAD_REQUEST
+    assert err_code({"op": "open", "session": "bad/../id"}) is ErrorCode.BAD_REQUEST
+    assert err_code({"op": "open", "session": ""}) is ErrorCode.BAD_REQUEST
+
+
+def test_line_size_cap():
+    line = json.dumps({"op": "ping", "id": 1}) + " " * MAX_LINE_BYTES
+    with pytest.raises(ServiceError):
+        decode_line(line)
+
+
+def test_request_round_trip():
+    for doc in (
+        {"op": "ping"},
+        {"op": "open", "id": 3, "session": "s", "config": {"p": 2}},
+        {"op": "insert", "session": "s", "name": "j", "size": 5},
+        {"op": "query", "session": "s", "name": "j", "jobs": True},
+    ):
+        req = parse_request(json.dumps(doc))
+        assert request_to_doc(req) == doc
+
+
+# ----------------------------------------------------------------------
+# Session config
+
+
+def test_session_config_defaults_and_round_trip():
+    cfg = SessionConfig.from_mapping({})
+    assert cfg == SessionConfig()
+    assert SessionConfig.from_mapping(cfg.to_dict()) == cfg
+
+
+@pytest.mark.parametrize("bad", [
+    {"nope": 1},
+    {"max_size": 0},
+    {"max_size": "64"},
+    {"p": 0},
+    {"p": 1.5},
+    {"delta": 0.0},
+    {"delta": 1.5},
+    {"delta": "half"},
+    {"dynamic": 1},
+])
+def test_session_config_rejects(bad):
+    with pytest.raises(ServiceError) as exc:
+        SessionConfig.from_mapping(bad)
+    assert exc.value.code is ErrorCode.BAD_REQUEST
+
+
+# ----------------------------------------------------------------------
+# Responses
+
+
+def test_response_shapes():
+    ok = ok_response(4, {"pong": True})
+    assert ok == {"ok": True, "id": 4, "result": {"pong": True}}
+    err = error_response(None, ErrorCode.NO_SUCH_JOB, "gone")
+    assert err == {"ok": False,
+                   "error": {"code": "no_such_job", "message": "gone"}}
+    line = encode(ok)
+    assert line.endswith(b"\n") and json.loads(line) == ok
+
+
+def test_result_from_response():
+    assert result_from_response({"ok": True, "result": {"x": 1}}) == {"x": 1}
+    with pytest.raises(ServiceError) as exc:
+        result_from_response(
+            {"ok": False, "error": {"code": "backpressure", "message": "m"}})
+    assert exc.value.code is ErrorCode.BACKPRESSURE
+    # unknown code degrades to INTERNAL instead of crashing the client
+    with pytest.raises(ServiceError) as exc:
+        result_from_response({"ok": False, "error": {"code": "??", "message": ""}})
+    assert exc.value.code is ErrorCode.INTERNAL
+    with pytest.raises(ServiceError):
+        result_from_response({"ok": True})  # missing result
+    with pytest.raises(ServiceError):
+        result_from_response({"weird": 1})

@@ -1,0 +1,175 @@
+"""ServiceServer: sockets, framing, error surfacing, graceful shutdown."""
+
+import asyncio
+import json
+import os
+
+from repro.service.client import AsyncServiceClient, ServiceClient, ServiceError
+from repro.service.protocol import MAX_LINE_BYTES, ErrorCode
+from repro.service.server import ServiceServer
+from repro.service.sessions import SessionManager
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_server(tmp_path, **kw):
+    manager = SessionManager(str(tmp_path / "data"), fsync="never")
+    return ServiceServer(manager, port=0, **kw)
+
+
+async def raw_roundtrip(port, payload, *, expect_close=False):
+    reader, writer = await asyncio.open_connection(
+        "127.0.0.1", port, limit=MAX_LINE_BYTES
+    )
+    writer.write(payload)
+    await writer.drain()
+    line = await reader.readline()
+    tail = None
+    if expect_close:  # b"" once the server dropped us
+        tail = await asyncio.wait_for(reader.readline(), timeout=10)
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError, OSError):
+        pass
+    return json.loads(line), tail
+
+
+def test_tcp_end_to_end(tmp_path):
+    async def main():
+        srv = make_server(tmp_path)
+        await srv.start()
+        assert srv.tcp_port
+        async with AsyncServiceClient(port=srv.tcp_port) as c:
+            assert await c.ping() == {"pong": True}
+            opened = await c.open("s", {"max_size": 64})
+            assert opened["created"] is True
+            ins = await c.insert("s", "a", 5)
+            assert ins["lsn"] == 1
+            q = await c.query("s", "a", jobs=True)
+            assert q["active"] == 1 and q["job"]["size"] == 5
+            try:
+                await c.delete("s", "ghost")
+                raise AssertionError("expected no_such_job")
+            except ServiceError as e:
+                assert e.code is ErrorCode.NO_SUCH_JOB
+            st = await c.stats()
+            assert st["sessions"]["open"] == 1
+        await srv.stop()
+
+    run(main())
+
+
+def test_shutdown_op_stops_run_loop(tmp_path):
+    async def main():
+        srv = make_server(tmp_path)
+        task = asyncio.create_task(srv.run(install_signal_handlers=False))
+        while srv.tcp_port is None:
+            await asyncio.sleep(0.01)
+        async with AsyncServiceClient(port=srv.tcp_port) as c:
+            await c.open("s")
+            await c.insert("s", "a", 2)
+            assert await c.shutdown() == {"stopping": True}
+        await asyncio.wait_for(task, timeout=10)
+        # graceful stop checkpointed the session
+        files = os.listdir(tmp_path / "data" / "s")
+        assert any(f.startswith("snap-") for f in files)
+
+    run(main())
+
+
+def test_malformed_json_keeps_connection(tmp_path):
+    async def main():
+        srv = make_server(tmp_path)
+        await srv.start()
+        reader, writer = await asyncio.open_connection("127.0.0.1", srv.tcp_port)
+        writer.write(b"{nope\n")
+        await writer.drain()
+        err = json.loads(await reader.readline())
+        assert err["ok"] is False
+        assert err["error"]["code"] == "bad_request"
+        # the stream is still line-aligned: the next request works
+        writer.write(b'{"op": "ping", "id": 9}\n')
+        await writer.drain()
+        ok = json.loads(await reader.readline())
+        assert ok == {"ok": True, "id": 9, "result": {"pong": True}}
+        writer.close()
+        await writer.wait_closed()
+        await srv.stop()
+
+    run(main())
+
+
+def test_oversized_line_drops_connection(tmp_path):
+    async def main():
+        srv = make_server(tmp_path)
+        await srv.start()
+        doc, tail = await raw_roundtrip(
+            srv.tcp_port, b"x" * (MAX_LINE_BYTES + 16) + b"\n", expect_close=True
+        )
+        assert doc["ok"] is False and doc["error"]["code"] == "bad_request"
+        assert tail == b""  # position unrecoverable: server hung up
+        await srv.stop()
+
+    run(main())
+
+
+def test_id_echo_on_validation_error(tmp_path):
+    async def main():
+        srv = make_server(tmp_path)
+        await srv.start()
+        doc, _ = await raw_roundtrip(
+            srv.tcp_port, b'{"op": "frobnicate", "id": 42}\n'
+        )
+        assert doc["id"] == 42
+        assert doc["error"]["code"] == "unknown_op"
+        await srv.stop()
+
+    run(main())
+
+
+def test_unix_socket_and_ready_file(tmp_path):
+    sock = str(tmp_path / "svc.sock")
+    ready = str(tmp_path / "ready.json")
+
+    async def main():
+        srv = make_server(tmp_path, unix_path=sock, ready_file=ready)
+        await srv.start()
+        info = json.load(open(ready))
+        assert info == {"pid": os.getpid(), "port": srv.tcp_port, "unix": sock}
+        async with AsyncServiceClient(unix_path=sock) as c:
+            await c.open("u")
+            assert (await c.query("u"))["active"] == 0
+        await srv.stop()
+
+    run(main())
+    assert not os.path.exists(sock)  # unlinked on stop
+
+
+def test_sync_client_from_thread(tmp_path):
+    async def main():
+        srv = make_server(tmp_path)
+        await srv.start()
+        port = srv.tcp_port
+
+        def drive():
+            with ServiceClient(port=port) as c:
+                assert c.ping() == {"pong": True}
+                c.open("s")
+                for i in range(5):
+                    c.insert("s", f"j{i}", i + 1)
+                c.delete("s", "j2")
+                q = c.query("s", jobs=True)
+                assert q["active"] == 4
+                assert sorted(row[0] for row in q["jobs"]) == [
+                    "j0", "j1", "j3", "j4",
+                ]
+                return c.stats("s")
+
+        st = await asyncio.get_running_loop().run_in_executor(None, drive)
+        assert st["ops"] == 7  # 5 inserts + delete + query
+        await srv.stop()
+
+    run(main())

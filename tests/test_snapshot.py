@@ -104,3 +104,34 @@ def test_bad_snapshot_rejected():
         restore_single({"format": 99, "kind": "single"})
     with pytest.raises(ValueError):
         restore_parallel({"format": 1, "kind": "single"})
+
+
+def test_ledger_rides_snapshot_single():
+    from repro.core.costfn import STANDARD_FAMILY
+
+    s = SingleServerScheduler(64, delta=0.5)
+    drive_scheduler(s, 300, 64, seed=8)
+    assert "ledger" not in snapshot_single(s)  # opt-in, off by default
+    r = restore_single(loads(dumps(snapshot_single(s, include_ledger=True))))
+    assert states_equal(s, r)
+    assert r.ledger.summary() == s.ledger.summary()
+    for f in STANDARD_FAMILY.values():
+        # histogram key order differs after the round-trip, so the float
+        # sums may disagree in the last ulp
+        assert r.ledger.competitiveness(f) == pytest.approx(
+            s.ledger.competitiveness(f), rel=1e-12
+        )
+    # cumulative accounting continues identically after restore
+    for i in range(40):
+        s.insert(f"post{i}", (i % 60) + 1)
+        r.insert(f"post{i}", (i % 60) + 1)
+    assert r.ledger.summary() == s.ledger.summary()
+
+
+def test_ledger_rides_snapshot_parallel():
+    p = ParallelScheduler(3, 64, delta=0.5)
+    replay(generators.mixed(250, 64, seed=9), p)
+    assert "ledger" not in snapshot_parallel(p)
+    r = restore_parallel(loads(dumps(snapshot_parallel(p, include_ledger=True))))
+    assert states_equal(p, r)
+    assert r.ledger.summary() == p.ledger.summary()
