@@ -1,0 +1,421 @@
+#!/usr/bin/env python
+"""Chaos soak for the scheduler service: seeded faults + SIGKILLs.
+
+The harness spawns ``repro serve`` with a deterministic fault plan
+(``--faults``; docs/FAULTS.md) active at every registered failpoint,
+drives N sessions from threads of retrying idempotent clients, and
+periodically SIGKILLs the server mid-load, respawning it on the same
+port.  Clients ride out every disruption: transport errors reconnect,
+``retry_later``/``degraded`` responses back off, and stable idempotency
+keys make retries after ambiguous failures exactly-once.
+
+The soak then asserts the cost-obliviousness durability contract end to
+end: because scheduler decisions are a pure function of the op order,
+every session's final schedule -- placements, job table, objective --
+must equal an uninterrupted in-process reference run over exactly the
+ops that were acknowledged, and an offline ``replay_journal_dir`` over
+the surviving journals must agree as well.
+
+Results land in ``benchmarks/results/BENCH_chaos.json``: fault
+injection counts, availability, retry/reconnect totals, and
+kill-to-ready recovery latency percentiles.
+
+Usage::
+
+    python scripts/service_chaos.py --seed 4 --duration 20
+    python scripts/service_chaos.py --sessions 8 --kill-every 2
+"""
+
+import argparse
+import json
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+SRC = os.path.join(ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.service import RetryPolicy, ServiceClient  # noqa: E402
+from repro.service.protocol import (  # noqa: E402
+    ErrorCode,
+    ServiceError,
+    SessionConfig,
+)
+from repro.service.sessions import build_scheduler, replay_journal_dir  # noqa: E402
+
+DEFAULT_OUT = os.path.join(ROOT, "benchmarks", "results", "BENCH_chaos.json")
+MAX_SIZE = 32
+
+#: Every registered failpoint, firing probabilistically off the seeded
+#: plan RNG.  Eviction/rehydration pressure comes from ``--max-live 2``.
+DEFAULT_FAULTS = ";".join([
+    "journal.append.io=error:EIO@p0.01",
+    "journal.append.fsync=delay:0.002@p0.05",
+    "journal.append.fsync=error:ENOSPC@p0.005",
+    "journal.roll.io=error:EIO@p0.01",
+    "journal.checkpoint.io=error:ENOSPC@p0.05",
+    "journal.recover.io=error:EIO@p0.05",
+    "sessions.admit=error:EAGAIN@p0.005",
+    "sessions.evict=error:EIO@p0.1",
+    "sessions.rehydrate=error:EIO@p0.05",
+    "server.conn.accept=drop@p0.02",
+    "server.conn.read=drop@p0.005",
+    "server.conn.write=drop@p0.005",
+])
+
+#: Error codes a worker keeps retrying past the client policy: the
+#: server is down (INTERNAL: connection failed), shedding, or healing.
+_RETRY_CODES = (ErrorCode.INTERNAL, ErrorCode.RETRY_LATER, ErrorCode.DEGRADED)
+
+
+def free_port():
+    s = socket.socket()
+    s.bind(("127.0.0.1", 0))
+    port = s.getsockname()[1]
+    s.close()
+    return port
+
+
+def spawn_server(data_dir, port, *, faults, faults_seed, max_live, timeout=30.0):
+    ready = os.path.join(data_dir, "..", "ready.json")
+    if os.path.exists(ready):
+        os.unlink(ready)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", data_dir,
+         "--port", str(port), "--fsync", "always",
+         "--max-live", str(max_live), "--ready-file", ready,
+         "--faults", faults, "--faults-seed", str(faults_seed)],
+        env=env,
+        cwd=ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(f"server exited on startup rc={proc.returncode}")
+        if os.path.exists(ready):
+            try:
+                with open(ready) as fh:
+                    doc = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                doc = None
+            if doc and doc.get("port"):
+                return proc
+        time.sleep(0.02)
+    proc.kill()
+    raise RuntimeError(f"server not ready within {timeout}s")
+
+
+def make_ops(rng, n):
+    """A seeded insert/delete trace over a bounded active set."""
+    ops, active, seq = [], [], 0
+    for _ in range(n):
+        if not active or (len(active) < 24 and rng.random() < 0.65):
+            name = f"j{seq}"
+            seq += 1
+            ops.append(("insert", name, rng.randint(1, MAX_SIZE)))
+            active.append(name)
+        else:
+            victim = active.pop(rng.randrange(len(active)))
+            ops.append(("delete", victim, None))
+    return ops
+
+
+def reference_run(cfg, ops):
+    """The uninterrupted schedule over the acked ops."""
+    sched = build_scheduler(cfg)
+    placements = {}
+    for op, name, size in ops:
+        if op == "insert":
+            pj = sched.insert(name, size)
+            placements[name] = [pj.name, pj.size, pj.klass, pj.start, pj.server]
+        else:
+            sched.delete(name)
+    jobs = sorted(
+        [[str(pj.name), pj.size, pj.klass, pj.start, pj.server]
+         for pj in sched.jobs()],
+        key=lambda row: (row[4], row[3], row[0]),
+    )
+    return placements, jobs, sched.sum_completion_times()
+
+
+class Worker(threading.Thread):
+    """One session's driver: sequential ops, retried until acked."""
+
+    def __init__(self, idx, sid, cfg, ops, host, port, stop,
+                 snapshot_every=40):
+        super().__init__(name=f"chaos-{sid}", daemon=True)
+        self.sid = sid
+        self.cfg = cfg
+        self.ops = ops
+        self.stop_event = stop
+        self.snapshot_every = snapshot_every
+        self.client = ServiceClient(
+            host, port, timeout=5.0,
+            retry=RetryPolicy(attempts=6, base=0.02, max_delay=0.5,
+                              seed=9000 + idx),
+        )
+        self.acked = []
+        self.placements = {}
+        self.failures = 0  # call() exhausted its policy; retried again
+        self.error = None
+
+    def _call_until_acked(self, fn):
+        """Past the client's own policy, keep going: the server may be
+        mid-respawn after a SIGKILL.  The stable idem key (threaded by
+        the caller) keeps every retry exactly-once."""
+        while True:
+            try:
+                return fn()
+            except ServiceError as e:
+                if e.code not in _RETRY_CODES:
+                    raise
+                self.failures += 1
+                time.sleep(0.05)
+
+    def run(self):
+        try:
+            c = self.client
+            self._call_until_acked(
+                lambda: c.open(self.sid, self.cfg.to_dict()))
+            for op, name, size in self.ops:
+                if self.stop_event.is_set():
+                    break
+                idem = f"{self.sid}.{op[0]}.{name}"
+                if op == "insert":
+                    res = self._call_until_acked(
+                        lambda: c.insert(self.sid, name, size, idem=idem))
+                    p = res["placed"]
+                    self.placements[name] = [p["name"], p["size"], p["klass"],
+                                             p["start"], p["server"]]
+                else:
+                    self._call_until_acked(
+                        lambda: c.delete(self.sid, name, idem=idem))
+                self.acked.append((op, name, size))
+                if self.snapshot_every and len(self.acked) % self.snapshot_every == 0:
+                    try:
+                        c.snapshot(self.sid)
+                    except ServiceError:
+                        pass  # advisory; degraded snapshots may bounce
+        except Exception as e:  # surfaced by the harness, fails the soak
+            self.error = e
+        finally:
+            self.client.close()
+
+
+def percentiles(samples):
+    if not samples:
+        return {"mean": 0.0, "p50": 0.0, "p90": 0.0, "max": 0.0}
+    xs = sorted(samples)
+
+    def pick(q):
+        return xs[min(len(xs) - 1, int(q * len(xs)))]
+
+    return {
+        "mean": sum(xs) / len(xs),
+        "p50": pick(0.50),
+        "p90": pick(0.90),
+        "max": xs[-1],
+    }
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--duration", type=float, default=20.0,
+                    help="soak wall-clock seconds before the drain")
+    ap.add_argument("--sessions", type=int, default=4)
+    ap.add_argument("--kill-every", type=float, default=3.0,
+                    help="seconds between SIGKILLs of the server")
+    ap.add_argument("--max-live", type=int, default=2,
+                    help="server --max-live (small = eviction pressure)")
+    ap.add_argument("--faults", default=DEFAULT_FAULTS,
+                    help="fault spec for the server (docs/FAULTS.md)")
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--out", default=DEFAULT_OUT)
+    a = ap.parse_args(argv)
+
+    rng = random.Random(a.seed)
+    port = free_port()
+    stop = threading.Event()
+    kills, unexpected_exits, recovery_lat = 0, 0, []
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as td:
+        data = os.path.join(td, "data")
+        proc = spawn_server(data, port, faults=a.faults, faults_seed=a.seed,
+                            max_live=a.max_live)
+
+        workers = []
+        for i in range(a.sessions):
+            cfg = SessionConfig(max_size=MAX_SIZE, p=1 + i % 2)
+            ops = make_ops(random.Random(a.seed * 1000 + i), 100_000)
+            w = Worker(i, f"chaos{i}", cfg, ops, a.host, port, stop)
+            workers.append(w)
+            w.start()
+
+        def respawn():
+            nonlocal proc
+            t0 = time.monotonic()
+            proc = spawn_server(data, port, faults=a.faults,
+                                faults_seed=a.seed, max_live=a.max_live)
+            recovery_lat.append(time.monotonic() - t0)
+
+        end = time.monotonic() + a.duration
+        next_kill = time.monotonic() + a.kill_every * (0.5 + rng.random())
+        while time.monotonic() < end:
+            time.sleep(0.05)
+            if proc.poll() is not None:
+                unexpected_exits += 1
+                respawn()
+                continue
+            if time.monotonic() >= next_kill:
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.wait(timeout=30)
+                kills += 1
+                respawn()
+                next_kill = time.monotonic() + a.kill_every * (
+                    0.5 + rng.random()
+                )
+
+        if proc.poll() is not None:
+            unexpected_exits += 1
+            respawn()
+        stop.set()
+        for w in workers:
+            w.join(timeout=120)
+        stuck = [w.sid for w in workers if w.is_alive()]
+        if stuck:
+            raise RuntimeError(f"workers never drained: {stuck}")
+        for w in workers:
+            if w.error is not None:
+                raise RuntimeError(f"worker {w.sid} failed: {w.error}")
+
+        # -- differential verification --------------------------------
+        mismatches = []
+        bad_sids = set()
+
+        def diverged(sid, msg):
+            bad_sids.add(sid)
+            mismatches.append(f"{sid}: {msg}")
+
+        references = {}
+        verify = ServiceClient(
+            a.host, port, timeout=10.0,
+            retry=RetryPolicy(attempts=8, base=0.05, seed=1),
+        )
+        for w in workers:
+            ref_placements, ref_jobs, ref_objective = reference_run(
+                w.cfg, w.acked
+            )
+            references[w.sid] = (ref_jobs, ref_objective)
+            if w.placements != ref_placements:
+                diverged(w.sid, "placements diverge")
+            final = None
+            for _ in range(200):
+                try:
+                    final = verify.query(w.sid, jobs=True)
+                    break
+                except ServiceError as e:
+                    if e.code not in _RETRY_CODES:
+                        raise
+                    time.sleep(0.05)
+            if final is None:
+                diverged(w.sid, "final query never served")
+                continue
+            if final["jobs"] != ref_jobs:
+                diverged(w.sid, "final schedule diverges")
+            if final["objective"] != ref_objective:
+                diverged(
+                    w.sid,
+                    f"objective {final['objective']} != {ref_objective}",
+                )
+        server_stats = verify.stats()
+        try:
+            verify.shutdown()
+        except ServiceError:
+            pass
+        verify.close()
+        rc = proc.wait(timeout=60)
+
+        # -- offline replay over the surviving journals ----------------
+        _, infos = replay_journal_dir(data)
+        by_sid = {i["session"]: i for i in infos}
+        for w in workers:
+            ref_jobs, ref_objective = references[w.sid]
+            info = by_sid.get(w.sid)
+            if info is None:
+                diverged(w.sid, "missing from offline replay")
+            elif (info["active"], info["objective"]) != (
+                len(ref_jobs), ref_objective
+            ):
+                diverged(w.sid, "offline replay diverges")
+
+    acked = sum(len(w.acked) for w in workers)
+    retries = sum(w.client.retries for w in workers)
+    failures = sum(w.failures for w in workers)
+    attempts = acked + retries + failures
+    fault_stats = server_stats.get("faults", {})
+    doc = {
+        "bench": "service_chaos",
+        "seed": a.seed,
+        "duration_s": a.duration,
+        "sessions": a.sessions,
+        "fault_spec": a.faults,
+        "kills": kills,
+        "unexpected_exits": unexpected_exits,
+        "server_exit": rc,
+        "faults": fault_stats,  # final server process only
+        "faults_survived": sum(fault_stats.get("fired", {}).values()),
+        "totals": {
+            "ops_acked": acked,
+            "retries": retries,
+            "policy_exhaustions": failures,
+            "reconnects": sum(w.client.reconnects for w in workers),
+            "availability": acked / attempts if attempts else 1.0,
+        },
+        "recovery_latency_s": percentiles(recovery_lat),
+        "verified": {
+            "sessions": {w.sid: w.sid not in bad_sids for w in workers},
+            "mismatches": mismatches,
+        },
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(a.out)), exist_ok=True)
+    with open(a.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    t = doc["totals"]
+    print(f"wrote {a.out}")
+    print(f"kills={kills} acked={t['ops_acked']} retries={t['retries']} "
+          f"reconnects={t['reconnects']} "
+          f"availability={t['availability']:.4f}")
+    lat = doc["recovery_latency_s"]
+    print(f"recovery s: mean={lat['mean']:.2f} p50={lat['p50']:.2f} "
+          f"p90={lat['p90']:.2f} max={lat['max']:.2f}")
+    print(f"faults fired (last server): {doc['faults_survived']}")
+    if mismatches:
+        print("DIVERGENCE:")
+        for m in mismatches:
+            print(f"  {m}")
+        return 1
+    print(f"all {a.sessions} sessions match the uninterrupted reference "
+          f"(live query + offline replay)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

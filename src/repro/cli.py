@@ -160,9 +160,19 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro import faults
     from repro.obs import MetricsRegistry, Tracer, format_snapshot
     from repro.service import ServiceServer, SessionManager
 
+    try:
+        if args.faults:
+            faults.activate(
+                faults.parse_plan(args.faults, seed=args.faults_seed)
+            )
+        else:
+            faults.activate_from_env()
+    except faults.FaultError as e:
+        raise SystemExit(f"bad fault spec: {e}")
     registry = MetricsRegistry()
     tracer = None
     if args.trace:
@@ -176,6 +186,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         fsync_interval=args.fsync_interval,
         max_live=args.max_live,
         queue_depth=args.queue_depth,
+        dedup_window=args.dedup_window,
         registry=registry,
         tracer=tracer,
     )
@@ -343,7 +354,15 @@ def main(argv: list[str] | None = None) -> int:
     p_srv.add_argument("--max-live", type=int, default=64,
                        help="sessions kept in memory before LRU eviction")
     p_srv.add_argument("--queue-depth", type=int, default=256,
-                       help="per-session op queue bound (backpressure)")
+                       help="per-session op queue bound (load shedding)")
+    p_srv.add_argument("--dedup-window", type=int, default=1024,
+                       help="idempotency keys remembered per session")
+    p_srv.add_argument("--faults", metavar="SPEC",
+                       help="activate deterministic fault injection, e.g. "
+                            "'journal.append.io=error:ENOSPC@p0.05' "
+                            "(docs/FAULTS.md; env REPRO_FAULTS)")
+    p_srv.add_argument("--faults-seed", type=int, default=0,
+                       help="seed for probabilistic fault rules")
     p_srv.add_argument("--ready-file", metavar="PATH",
                        help="write {pid, port, unix} JSON here once listening")
     p_srv.add_argument("--trace", metavar="OUT.jsonl",

@@ -1,0 +1,81 @@
+"""Deterministic fault injection for the serving stack (docs/FAULTS.md).
+
+The activation surface mirrors :mod:`repro.obs.state`: one module-level
+:data:`ACTIVE` plan, ``None`` by default, so an instrumented code path
+costs exactly one attribute test when fault injection is off::
+
+    from repro import faults
+
+    plan = faults.ACTIVE
+    if plan is not None:
+        plan.hit("journal.append.io")
+
+reprolint RL007 enforces that guard discipline across ``repro/service/``
+and RL002 keeps this package stdlib-only (it must be importable from
+the lowest layers without cycles).  Plans come from
+:func:`parse_plan` / :func:`plan_from_env` (``REPRO_FAULTS`` /
+``REPRO_FAULTS_SEED``) or ``repro serve --faults``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.registry import (
+    ENV_SEED,
+    ENV_SPEC,
+    KNOWN_FAILPOINTS,
+    ConnectionDropped,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    parse_plan,
+    parse_rules,
+    plan_from_env,
+)
+
+__all__ = [
+    "ACTIVE",
+    "ConnectionDropped",
+    "ENV_SEED",
+    "ENV_SPEC",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "KNOWN_FAILPOINTS",
+    "activate",
+    "activate_from_env",
+    "deactivate",
+    "is_active",
+    "parse_plan",
+    "parse_rules",
+    "plan_from_env",
+]
+
+#: The active plan; ``None`` means every failpoint is a no-op test.
+ACTIVE: Optional[FaultPlan] = None
+
+
+def activate(plan: FaultPlan) -> FaultPlan:
+    """Install (and return) the process-wide fault plan."""
+    global ACTIVE
+    ACTIVE = plan
+    return plan
+
+
+def activate_from_env() -> Optional[FaultPlan]:
+    """Activate from ``REPRO_FAULTS`` if set; returns the plan or None."""
+    plan = plan_from_env()
+    if plan is not None:
+        activate(plan)
+    return plan
+
+
+def deactivate() -> None:
+    """Drop the active plan (failpoints become no-ops again)."""
+    global ACTIVE
+    ACTIVE = None
+
+
+def is_active() -> bool:
+    return ACTIVE is not None

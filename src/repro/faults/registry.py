@@ -1,0 +1,292 @@
+"""Deterministic fault injection: named failpoints with seeded schedules.
+
+A *failpoint* is a named hook compiled into a production code path
+(``journal.append.io``, ``server.conn.read``, ...).  In normal operation
+the hook costs one module-attribute test (:data:`repro.faults.ACTIVE`
+is ``None``) -- the same zero-overhead discipline as the observer
+attributes of :mod:`repro.obs`, and enforced the same way (reprolint
+RL007).  Under test or chaos load, a :class:`FaultPlan` is activated
+and eligible hits *fire* one of four behaviors:
+
+``error:<ERRNO>``  raise ``OSError(errno.<ERRNO>, ...)`` -- disk full,
+                   I/O error, transient EAGAIN, whatever the site would
+                   see from a failing kernel;
+``delay:<secs>``   sleep, then continue (slow fsync, stalled disk);
+``drop``           raise :class:`ConnectionDropped` (the socket layer
+                   translates this into an abrupt connection close);
+``exit``           ``os._exit(137)`` -- a crash at an exact code point,
+                   the deterministic cousin of an external SIGKILL.
+
+Schedules are *deterministic given the seed*: eligibility counters
+(``after`` / ``every`` / ``times``) are exact per-rule hit counts, and
+probabilistic firing (``p<frac>``) draws from one ``random.Random(seed)``
+owned by the plan, so the same plan over the same hit sequence fires
+identically (reprolint RL003: no unseeded randomness).
+
+Plans are described by a compact spec string (env ``REPRO_FAULTS`` /
+``repro serve --faults``)::
+
+    point=kind[:arg][@mod,mod,...] [; point=... ]
+
+    journal.append.io=error:ENOSPC@p0.05
+    journal.append.fsync=exit@after30,times1
+    server.conn.read=drop@every50;sessions.admit=error:EAGAIN@p0.01
+
+This package is stdlib-only by contract (reprolint RL002): the fault
+layer must be importable from anywhere in the tree -- including the
+journal under test -- without creating cycles or import-time cost.
+Catalogue and semantics: docs/FAULTS.md.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+__all__ = [
+    "ConnectionDropped",
+    "ENV_SEED",
+    "ENV_SPEC",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "KNOWN_FAILPOINTS",
+    "parse_plan",
+    "parse_rules",
+    "plan_from_env",
+]
+
+#: Environment variables honoured by :func:`plan_from_env`.
+ENV_SPEC = "REPRO_FAULTS"
+ENV_SEED = "REPRO_FAULTS_SEED"
+
+#: Every failpoint compiled into the tree.  Specs naming anything else
+#: are rejected up front -- a typo must not silently inject nothing.
+KNOWN_FAILPOINTS: frozenset[str] = frozenset(
+    {
+        "journal.append.io",
+        "journal.append.fsync",
+        "journal.roll.io",
+        "journal.checkpoint.io",
+        "journal.recover.io",
+        "sessions.admit",
+        "sessions.evict",
+        "sessions.rehydrate",
+        "server.conn.accept",
+        "server.conn.read",
+        "server.conn.write",
+    }
+)
+
+_KINDS = ("error", "delay", "drop", "exit")
+
+
+class FaultError(ValueError):
+    """A fault plan spec is malformed (bad point, kind, or modifier)."""
+
+
+class ConnectionDropped(Exception):
+    """An injected connection drop; the socket layer closes the peer."""
+
+
+def _errno_value(name: str) -> int:
+    value = getattr(_errno, name, None)
+    if not isinstance(value, int):
+        raise FaultError(f"unknown errno name {name!r} (want e.g. ENOSPC, EIO)")
+    return value
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One behavior bound to one failpoint, with its eligibility window.
+
+    A hit is *eligible* once ``after`` hits have passed, on every
+    ``every``-th hit thereafter, at most ``times`` total firings
+    (0 = unlimited); an eligible hit then fires with probability
+    ``prob`` (drawn from the plan's seeded RNG when < 1).
+    """
+
+    point: str
+    kind: str
+    error: str = "EIO"
+    delay: float = 0.0
+    prob: float = 1.0
+    after: int = 0
+    every: int = 1
+    times: int = 0
+
+    def __post_init__(self) -> None:
+        if self.point not in KNOWN_FAILPOINTS:
+            raise FaultError(
+                f"unknown failpoint {self.point!r} "
+                f"(known: {', '.join(sorted(KNOWN_FAILPOINTS))})"
+            )
+        if self.kind not in _KINDS:
+            raise FaultError(f"unknown behavior {self.kind!r} (want one of {_KINDS})")
+        if self.kind == "error":
+            _errno_value(self.error)  # validate eagerly
+        if self.delay < 0:
+            raise FaultError("delay must be >= 0")
+        if not (0.0 < self.prob <= 1.0):
+            raise FaultError("p modifier must be in (0, 1]")
+        if self.after < 0 or self.times < 0:
+            raise FaultError("after/times modifiers must be >= 0")
+        if self.every < 1:
+            raise FaultError("every modifier must be >= 1")
+
+
+class _RuleState:
+    __slots__ = ("rule", "hits", "fired")
+
+    def __init__(self, rule: FaultRule) -> None:
+        self.rule = rule
+        self.hits = 0
+        self.fired = 0
+
+
+class FaultPlan:
+    """An activated set of rules plus its deterministic firing state."""
+
+    __slots__ = ("seed", "rules", "_rng", "_states", "_hits", "_fired")
+
+    def __init__(self, rules: Sequence[FaultRule], *, seed: int = 0) -> None:
+        self.seed = seed
+        self.rules = tuple(rules)
+        self._rng = random.Random(seed)
+        self._states: dict[str, list[_RuleState]] = {}
+        for rule in self.rules:
+            self._states.setdefault(rule.point, []).append(_RuleState(rule))
+        self._hits: dict[str, int] = {}
+        self._fired: dict[str, int] = {}
+
+    def hit(self, point: str) -> None:
+        """One pass through the named failpoint; may raise or sleep.
+
+        Call sites guard this behind ``faults.ACTIVE is not None`` so the
+        disabled cost stays one attribute test (reprolint RL007).
+        """
+        states = self._states.get(point)
+        if states is None:
+            return
+        self._hits[point] = self._hits.get(point, 0) + 1
+        for st in states:
+            st.hits += 1
+            rule = st.rule
+            if st.hits <= rule.after:
+                continue
+            if (st.hits - rule.after - 1) % rule.every:
+                continue
+            if rule.times and st.fired >= rule.times:
+                continue
+            if rule.prob < 1.0 and self._rng.random() >= rule.prob:
+                continue
+            st.fired += 1
+            self._fired[point] = self._fired.get(point, 0) + 1
+            self._fire(point, rule)
+
+    @staticmethod
+    def _fire(point: str, rule: FaultRule) -> None:
+        if rule.kind == "delay":
+            time.sleep(rule.delay)
+            return
+        if rule.kind == "drop":
+            raise ConnectionDropped(f"injected connection drop at {point}")
+        if rule.kind == "exit":
+            os._exit(137)
+        raise OSError(
+            _errno_value(rule.error), f"injected {rule.error} at {point}"
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """Hit/fire counts per failpoint (JSON-serializable)."""
+        return {
+            "seed": self.seed,
+            "rules": len(self.rules),
+            "hits": dict(sorted(self._hits.items())),
+            "fired": dict(sorted(self._fired.items())),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing
+
+
+def _parse_mods(mods: str) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for raw in mods.split(","):
+        mod = raw.strip()
+        if not mod:
+            continue
+        try:
+            if mod.startswith("p"):
+                out["prob"] = float(mod[1:])
+            elif mod.startswith("after"):
+                out["after"] = int(mod[len("after") :])
+            elif mod.startswith("every"):
+                out["every"] = int(mod[len("every") :])
+            elif mod.startswith("times"):
+                out["times"] = int(mod[len("times") :])
+            else:
+                raise FaultError(
+                    f"unknown modifier {mod!r} (want p/after/every/times)"
+                )
+        except ValueError as e:
+            raise FaultError(f"bad modifier {mod!r}: {e}") from e
+    return out
+
+
+def parse_rules(spec: str) -> list[FaultRule]:
+    """Parse a spec string (see the module docstring) into rules."""
+    rules: list[FaultRule] = []
+    for raw in spec.split(";"):
+        part = raw.strip()
+        if not part:
+            continue
+        point, eq, rhs = part.partition("=")
+        if not eq or not rhs.strip():
+            raise FaultError(f"rule {part!r} is not of the form point=behavior")
+        behavior, _, mods = rhs.partition("@")
+        kind, colon, arg = behavior.strip().partition(":")
+        kind = kind.strip()
+        arg = arg.strip()
+        kw: dict[str, Any] = {"point": point.strip(), "kind": kind}
+        if kind == "error":
+            if colon:
+                kw["error"] = arg
+        elif kind == "delay":
+            if not colon:
+                raise FaultError("delay needs seconds, e.g. delay:0.05")
+            try:
+                kw["delay"] = float(arg)
+            except ValueError as e:
+                raise FaultError(f"bad delay {arg!r}") from e
+        elif colon:
+            raise FaultError(f"behavior {kind!r} takes no argument")
+        kw.update(_parse_mods(mods))
+        rules.append(FaultRule(**kw))
+    if not rules:
+        raise FaultError("empty fault spec")
+    return rules
+
+
+def parse_plan(spec: str, *, seed: int = 0) -> FaultPlan:
+    """Parse a spec string straight into an (inactive) plan."""
+    return FaultPlan(parse_rules(spec), seed=seed)
+
+
+def plan_from_env(env: Optional[Mapping[str, str]] = None) -> Optional[FaultPlan]:
+    """Build a plan from ``REPRO_FAULTS`` / ``REPRO_FAULTS_SEED``; None if unset."""
+    mapping: Mapping[str, str] = os.environ if env is None else env
+    spec = mapping.get(ENV_SPEC)
+    if not spec:
+        return None
+    raw_seed = mapping.get(ENV_SEED, "0") or "0"
+    try:
+        seed = int(raw_seed)
+    except ValueError as e:
+        raise FaultError(f"{ENV_SEED} must be an integer, got {raw_seed!r}") from e
+    return parse_plan(spec, seed=seed)

@@ -1,4 +1,4 @@
-"""reprolint rule registry: RL001..RL006.
+"""reprolint rule registry: RL001..RL007.
 
 Each rule encodes one project invariant; docs/LINTING.md carries the
 paper / PR rationale per rule.  Rules see one parsed file at a time
@@ -139,9 +139,9 @@ HOT_PATH_MODULES = (
 _OBSERVER_ATTRS = frozenset({"_observer", "observer"})
 
 
-def _observer_read(node: ast.expr) -> Optional[str]:
-    """Unparse string if ``node`` reads an observer attribute, else None."""
-    if isinstance(node, ast.Attribute) and node.attr in _OBSERVER_ATTRS:
+def _attr_read(node: ast.expr, attrs: frozenset[str]) -> Optional[str]:
+    """Unparse string if ``node`` reads one of the policed attributes."""
+    if isinstance(node, ast.Attribute) and node.attr in attrs:
         return ast.unparse(node)
     return None
 
@@ -189,6 +189,11 @@ class RL001ObserverGuard(Rule):
     summary = ("hot-path observer access must sit behind an `is not None` "
                "guard (zero overhead when instrumentation is detached)")
     path_prefixes = HOT_PATH_MODULES
+    #: Attribute names whose reads must be guarded; subclasses (RL007)
+    #: reuse the whole guard-flow analysis with a different set.
+    guard_attrs: frozenset[str] = _OBSERVER_ATTRS
+    #: What the violation message calls the guarded thing.
+    guard_noun: str = "observer"
 
     def check(self, ctx: RuleContext) -> Iterator[Violation]:
         found: list[Violation] = []
@@ -218,7 +223,7 @@ class RL001ObserverGuard(Rule):
             if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
                 tgt = stmt.targets[0]
                 if isinstance(tgt, ast.Name):
-                    if _observer_read(stmt.value) or (
+                    if _attr_read(stmt.value, self.guard_attrs) or (
                         isinstance(stmt.value, ast.Name)
                         and stmt.value.id in aliases
                     ):
@@ -228,7 +233,7 @@ class RL001ObserverGuard(Rule):
                     if tgt.id in aliases:  # rebound to something else
                         aliases.discard(tgt.id)
                         guarded.discard(tgt.id)
-                if _observer_read(tgt):  # writes reset what we know
+                if _attr_read(tgt, self.guard_attrs):  # writes reset what we know
                     guarded.discard(ast.unparse(tgt))
             if isinstance(stmt, ast.If):
                 self._uses(ctx, stmt.test, guarded, aliases, found)
@@ -274,9 +279,9 @@ class RL001ObserverGuard(Rule):
             self._uses(ctx, stmt, guarded, aliases, found)
 
     def _tracked(self, expr_str: str, aliases: set[str]) -> bool:
-        """Only observer expressions and their local aliases are policed."""
+        """Only policed attribute reads and their local aliases count."""
         return (
-            expr_str.rsplit(".", 1)[-1] in _OBSERVER_ATTRS
+            expr_str.rsplit(".", 1)[-1] in self.guard_attrs
             or expr_str in aliases
         )
 
@@ -293,7 +298,7 @@ class RL001ObserverGuard(Rule):
             if isinstance(sub, ast.Attribute):
                 target = sub.value
             elif isinstance(sub, ast.Call):
-                direct = _observer_read(sub.func)
+                direct = _attr_read(sub.func, self.guard_attrs)
                 if direct or (
                     isinstance(sub.func, ast.Name) and sub.func.id in aliases
                 ):
@@ -301,15 +306,15 @@ class RL001ObserverGuard(Rule):
             if target is None:
                 continue
             key = (
-                _observer_read(target)
+                _attr_read(target, self.guard_attrs)
                 or (target.id if isinstance(target, ast.Name)
                     and target.id in aliases else None)
             )
             if key is not None and key not in guarded:
                 found.append(self.violation(
                     ctx, sub,
-                    f"observer access `{ast.unparse(sub)}` outside an "
-                    f"`{key} is not None` guard",
+                    f"{self.guard_noun} access `{ast.unparse(sub)}` outside "
+                    f"an `{key} is not None` guard",
                 ))
 
 
@@ -321,9 +326,13 @@ class RL001ObserverGuard(Rule):
 #: at module top level).  Function-scope (lazy) imports are the
 #: sanctioned pattern -- see `repro.kcursor.accounting.audit_run` for
 #: the canonical example -- because they keep the hot layers importable
-#: with zero observability cost.  The serving layer may build on core/
-#: and obs/ but must stay independent of the simulation/workload stack
-#: (the service generates its own load; see repro/service/__init__.py).
+#: with zero observability cost.  The serving layer may build on core/,
+#: obs/ and faults/ but must stay independent of the simulation/workload
+#: stack (the service generates its own load; see
+#: repro/service/__init__.py).  The fault-injection layer is stdlib-only
+#: by contract: it must be importable from *anywhere* (including the
+#: journal under test) without cycles or import-time cost, so it may
+#: import no other repro package at all.
 LAYERING_CONSTRAINTS: tuple[tuple[tuple[str, ...], tuple[str, ...]], ...] = (
     (
         ("repro/core/", "repro/kcursor/", "repro/pma/"),
@@ -332,6 +341,21 @@ LAYERING_CONSTRAINTS: tuple[tuple[tuple[str, ...], tuple[str, ...]], ...] = (
     (
         ("repro/service/",),
         ("repro.sim", "repro.workloads"),
+    ),
+    (
+        ("repro/faults/",),
+        (
+            "repro.analysis",
+            "repro.cli",
+            "repro.core",
+            "repro.kcursor",
+            "repro.lint",
+            "repro.obs",
+            "repro.pma",
+            "repro.service",
+            "repro.sim",
+            "repro.workloads",
+        ),
     ),
 )
 
@@ -382,7 +406,8 @@ class RL002Layering(Rule):
     id = "RL002"
     summary = ("layering: core/, kcursor/, pma/ must not import sim/, "
                "workloads/ or obs/ at top level; service/ must not import "
-               "sim/ or workloads/; no import cycles anywhere")
+               "sim/ or workloads/; faults/ imports nothing above stdlib; "
+               "no import cycles anywhere")
 
     def applies(self, module_path: str) -> bool:
         # check() is layer-scoped; check_project() sees everything.
@@ -683,3 +708,23 @@ class RL006FrozenMutation(Rule):
                     "object.__setattr__ defeats frozen=True; construct a "
                     "new record (dataclasses.replace) instead",
                 )
+
+
+# ----------------------------------------------------------------------
+# RL007: failpoint access must be guarded (same discipline as RL001)
+
+
+@rule
+class RL007FailpointGuard(RL001ObserverGuard):
+    """The fault-injection twin of RL001: ``faults.ACTIVE`` members may
+    only be touched behind an ``is not None`` guard, so a disabled
+    failpoint costs exactly one module-attribute test on the hot path
+    (see :mod:`repro.faults`)."""
+
+    id = "RL007"
+    summary = ("failpoint access (`faults.ACTIVE.hit/...`) must sit behind "
+               "an `is not None` guard (zero overhead when fault injection "
+               "is off)")
+    path_prefixes = ("repro/service/",)
+    guard_attrs = frozenset({"ACTIVE"})
+    guard_noun = "failpoint"

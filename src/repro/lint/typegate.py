@@ -28,8 +28,15 @@ from collections import Counter
 from typing import Optional, Sequence
 
 #: Packages held to --strict (the guarantee-bearing layers plus the
-#: serving layer, which carries the durability contract).
-STRICT_PACKAGES = ("repro.core", "repro.kcursor", "repro.pma", "repro.service")
+#: serving layer, which carries the durability contract, and the fault
+#: layer it leans on under injected failures).
+STRICT_PACKAGES = (
+    "repro.core",
+    "repro.faults",
+    "repro.kcursor",
+    "repro.pma",
+    "repro.service",
+)
 
 DEFAULT_BASELINE = "mypy-baseline.txt"
 

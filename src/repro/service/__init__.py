@@ -12,19 +12,22 @@ schedulers of :mod:`repro.core` into a served system:
   segments, configurable fsync policy, snapshot checkpoints with
   tail truncation, crash recovery;
 * :mod:`repro.service.sessions` -- many concurrent scheduler sessions
-  with per-session serialization, bounded backpressure, and LRU
-  eviction to snapshots with lazy rehydration;
+  with per-session serialization, load shedding, idempotency-key dedup,
+  degraded (read-only) mode with background recovery, and LRU eviction
+  to snapshots with lazy rehydration;
 * :mod:`repro.service.server`   -- asyncio TCP/UNIX-socket front end;
-* :mod:`repro.service.client`   -- sync + async client library;
+* :mod:`repro.service.client`   -- sync + async client library with
+  per-call timeouts, seeded-backoff retries and idempotency keys;
 * :mod:`repro.service.loadgen`  -- closed-loop load generator backing
   ``benchmarks/results/BENCH_service.json``.
 
-Layering: this package builds on ``repro.core`` and ``repro.obs`` only
-(enforced by reprolint RL002); ``repro.sim`` and ``repro.workloads``
-stay independent of it.  Quick start lives in docs/SERVICE.md.
+Layering: this package builds on ``repro.core``, ``repro.obs`` and
+``repro.faults`` only (enforced by reprolint RL002); ``repro.sim`` and
+``repro.workloads`` stay independent of it.  Quick start lives in
+docs/SERVICE.md; fault injection and retry semantics in docs/FAULTS.md.
 """
 
-from repro.service.client import AsyncServiceClient, ServiceClient
+from repro.service.client import AsyncServiceClient, RetryPolicy, ServiceClient
 from repro.service.journal import Journal, JournalCorrupt, JournalRecord
 from repro.service.loadgen import LoadgenOptions, run_loadgen, run_loadgen_sync
 from repro.service.protocol import (
@@ -48,6 +51,7 @@ __all__ = [
     "MAX_LINE_BYTES",
     "PROTOCOL_VERSION",
     "Request",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "ServiceServer",

@@ -8,15 +8,39 @@ load generator uses to drive many sessions concurrently.
 Both speak the protocol of :mod:`repro.service.protocol`: one JSON line
 out, one JSON line back, ids echoed so replies can be paired with
 requests.  Errors come back as :class:`ServiceError` with the wire code.
+
+Resilience (docs/FAULTS.md):
+
+* **Per-call timeouts.**  Every ``call`` (and convenience method) takes
+  ``timeout=`` seconds; a hung server turns into a transport error
+  instead of blocking forever.  A timed-out connection is torn down --
+  its framing is ambiguous -- and rebuilt on the next attempt.
+* **Retries.**  Pass a :class:`RetryPolicy` to retry transport failures
+  (reconnecting first) and ``retry_later``/``degraded`` responses, with
+  bounded exponential backoff and *seeded* jitter -- the schedule is a
+  pure function of the policy, so tests and chaos runs are exactly
+  reproducible.  A server-supplied ``retry_after`` hint overrides the
+  local schedule for that step.
+* **Idempotency keys.**  Unless ``auto_idem=False``, every mutating op
+  (:data:`~repro.service.protocol.IDEMPOTENT_OPS`) is stamped with a
+  client-generated key, so a retry after an ambiguous failure (dropped
+  connection, timeout) is deduplicated server-side and can never
+  double-apply.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
+import os
+import random
 import socket
+import time
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.service.protocol import (
+    IDEMPOTENT_OPS,
     MAX_LINE_BYTES,
     ErrorCode,
     ServiceError,
@@ -24,6 +48,70 @@ from repro.service.protocol import (
     encode,
     result_from_response,
 )
+
+#: Process-wide idempotency-key counter; combined with the PID the keys
+#: are unique across every client instance of this process, and across
+#: concurrent processes.  (Uniqueness across *sequential* processes that
+#: recycle a PID is bounded by the server's dedup window, which only
+#: spans its most recent mutations.)
+_IDEM_COUNTER = itertools.count(1)
+
+
+def _next_idem() -> str:
+    return f"c{os.getpid():x}-{next(_IDEM_COUNTER):x}"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with seeded jitter.
+
+    ``attempts`` counts *total* tries (first call + retries).  The delay
+    before retry ``k`` is ``min(base * factor**k, max_delay)`` scaled by
+    a jitter factor in ``[1 - jitter, 1 + jitter]`` drawn from
+    ``random.Random(seed)`` -- deterministic per policy value, so two
+    equal policies produce byte-identical schedules (reprolint RL003).
+    """
+
+    attempts: int = 4
+    base: float = 0.02
+    factor: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.25
+    seed: int = 0
+    #: Also retry ``degraded`` responses (the session heals in the
+    #: background); turn off to surface read-only mode immediately.
+    retry_degraded: bool = True
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base < 0 or self.max_delay < 0 or self.factor < 1.0:
+            raise ValueError("base/max_delay must be >= 0 and factor >= 1")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError("jitter must be in [0, 1)")
+
+    def schedule(self) -> list[float]:
+        """The full backoff schedule: one delay per possible retry."""
+        rng = random.Random(self.seed)
+        out: list[float] = []
+        delay = self.base
+        for _ in range(self.attempts - 1):
+            scale = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            out.append(min(delay, self.max_delay) * scale)
+            delay *= self.factor
+        return out
+
+    def retries_code(self, code: ErrorCode) -> bool:
+        if code is ErrorCode.RETRY_LATER:
+            return True
+        return code is ErrorCode.DEGRADED and self.retry_degraded
+
+
+def _retry_wait(policy_delay: float, err: ServiceError) -> float:
+    """Prefer the server's advisory delay over the local schedule."""
+    if err.retry_after is not None:
+        return float(err.retry_after)
+    return policy_delay
 
 
 def _check_id(sent: int, doc: dict[str, Any]) -> None:
@@ -37,50 +125,95 @@ def _check_id(sent: int, doc: dict[str, Any]) -> None:
 class _CallMixin:
     """The op-level convenience surface, shared by both clients.
 
-    Subclasses implement ``call(op, **fields)``; for the async client the
-    returned value is awaitable, so these helpers stay thin pass-throughs.
+    Subclasses implement ``call(op, *, timeout=None, **fields)``; for the
+    async client the returned value is awaitable, so these helpers stay
+    thin pass-throughs.  ``timeout`` bounds that one call end to end;
+    ``idem`` overrides the auto-generated idempotency key.
     """
 
-    def call(self, op: str, **fields: Any) -> Any:
+    def call(self, op: str, *, timeout: Optional[float] = None, **fields: Any) -> Any:
         raise NotImplementedError
 
-    def ping(self) -> Any:
-        return self.call("ping")
+    def ping(self, *, timeout: Optional[float] = None) -> Any:
+        return self.call("ping", timeout=timeout)
 
-    def open(self, session: str, config: Optional[dict[str, Any]] = None) -> Any:
+    def open(
+        self,
+        session: str,
+        config: Optional[dict[str, Any]] = None,
+        *,
+        timeout: Optional[float] = None,
+    ) -> Any:
         if config is None:
-            return self.call("open", session=session)
-        return self.call("open", session=session, config=config)
+            return self.call("open", session=session, timeout=timeout)
+        return self.call("open", session=session, config=config, timeout=timeout)
 
-    def insert(self, session: str, name: str, size: int) -> Any:
-        return self.call("insert", session=session, name=name, size=size)
+    def insert(
+        self,
+        session: str,
+        name: str,
+        size: int,
+        *,
+        idem: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        fields: dict[str, Any] = {"session": session, "name": name, "size": size}
+        if idem is not None:
+            fields["idem"] = idem
+        return self.call("insert", timeout=timeout, **fields)
 
-    def delete(self, session: str, name: str) -> Any:
-        return self.call("delete", session=session, name=name)
+    def delete(
+        self,
+        session: str,
+        name: str,
+        *,
+        idem: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        fields: dict[str, Any] = {"session": session, "name": name}
+        if idem is not None:
+            fields["idem"] = idem
+        return self.call("delete", timeout=timeout, **fields)
 
     def query(
-        self, session: str, name: Optional[str] = None, *, jobs: bool = False
+        self,
+        session: str,
+        name: Optional[str] = None,
+        *,
+        jobs: bool = False,
+        timeout: Optional[float] = None,
     ) -> Any:
         fields: dict[str, Any] = {"session": session}
         if name is not None:
             fields["name"] = name
         if jobs:
             fields["jobs"] = True
-        return self.call("query", **fields)
+        return self.call("query", timeout=timeout, **fields)
 
-    def snapshot(self, session: str) -> Any:
-        return self.call("snapshot", session=session)
+    def snapshot(self, session: str, *, timeout: Optional[float] = None) -> Any:
+        return self.call("snapshot", session=session, timeout=timeout)
 
-    def stats(self, session: Optional[str] = None) -> Any:
+    def stats(
+        self, session: Optional[str] = None, *, timeout: Optional[float] = None
+    ) -> Any:
         if session is None:
-            return self.call("stats")
-        return self.call("stats", session=session)
+            return self.call("stats", timeout=timeout)
+        return self.call("stats", session=session, timeout=timeout)
 
-    def close_session(self, session: str) -> Any:
-        return self.call("close", session=session)
+    def close_session(
+        self,
+        session: str,
+        *,
+        idem: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        fields: dict[str, Any] = {"session": session}
+        if idem is not None:
+            fields["idem"] = idem
+        return self.call("close", timeout=timeout, **fields)
 
-    def shutdown(self) -> Any:
-        return self.call("shutdown")
+    def shutdown(self, *, timeout: Optional[float] = None) -> Any:
+        return self.call("shutdown", timeout=timeout)
 
 
 class ServiceClient(_CallMixin):
@@ -93,36 +226,113 @@ class ServiceClient(_CallMixin):
         *,
         unix_path: Optional[str] = None,
         timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        auto_idem: bool = True,
     ) -> None:
         if (port is None) == (unix_path is None):
             raise ValueError("pass exactly one of port= or unix_path=")
-        if unix_path is not None:
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(unix_path)
-        else:
-            assert port is not None
-            self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._fh = self._sock.makefile("rwb")
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.timeout = timeout
+        self.retry = retry
+        self.auto_idem = auto_idem
+        self._sock: Optional[socket.socket] = None
+        self._fh: Optional[Any] = None
         self._next_id = 0
+        self.retries = 0
+        self.reconnects = 0
+        self._connect()
 
-    def call(self, op: str, **fields: Any) -> dict[str, Any]:
+    def _connect(self) -> None:
+        if self.unix_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.unix_path)
+        else:
+            assert self.port is not None
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        self._sock = sock
+        self._fh = sock.makefile("rwb")
+
+    def _teardown(self) -> None:
+        fh, sock = self._fh, self._sock
+        self._fh = self._sock = None
+        try:
+            if fh is not None:
+                fh.close()
+        except OSError:
+            pass
+        try:
+            if sock is not None:
+                sock.close()
+        except OSError:
+            pass
+
+    def _call_once(
+        self, op: str, fields: dict[str, Any], timeout: Optional[float]
+    ) -> dict[str, Any]:
+        fh, sock = self._fh, self._sock
+        assert fh is not None and sock is not None
         self._next_id += 1
         req_id = self._next_id
-        self._fh.write(encode({"op": op, "id": req_id, **fields}))
-        self._fh.flush()
-        raw = self._fh.readline(MAX_LINE_BYTES + 1)
+        if timeout is not None:
+            sock.settimeout(timeout)
+        try:
+            fh.write(encode({"op": op, "id": req_id, **fields}))
+            fh.flush()
+            raw = fh.readline(MAX_LINE_BYTES + 1)
+        finally:
+            if timeout is not None:
+                sock.settimeout(self.timeout)
         if not raw:
-            raise ServiceError(ErrorCode.INTERNAL, "server closed the connection")
+            raise ConnectionError("server closed the connection")
         doc = decode_line(raw.decode("utf-8"))
         _check_id(req_id, doc)
         return result_from_response(doc)
 
+    def call(
+        self, op: str, *, timeout: Optional[float] = None, **fields: Any
+    ) -> dict[str, Any]:
+        if self.auto_idem and op in IDEMPOTENT_OPS and "idem" not in fields:
+            fields = {**fields, "idem": _next_idem()}
+        delays = self.retry.schedule() if self.retry is not None else []
+        step = 0
+        while True:
+            try:
+                if self._fh is None:
+                    self.reconnects += 1
+                    self._connect()
+                return self._call_once(op, fields, timeout)
+            except ServiceError as e:
+                if (
+                    self.retry is None
+                    or not self.retry.retries_code(e.code)
+                    or step >= len(delays)
+                ):
+                    raise
+                wait = _retry_wait(delays[step], e)
+                step += 1
+                self.retries += 1
+                time.sleep(wait)
+            except (OSError, EOFError) as e:
+                # Transport failure mid-call: the request's fate is
+                # unknown, so tear down and (with idem keys making the
+                # retry safe) reconnect on the next attempt.
+                self._teardown()
+                if self.retry is None or step >= len(delays):
+                    raise ServiceError(
+                        ErrorCode.INTERNAL, f"connection failed: {e}"
+                    ) from e
+                wait = delays[step]
+                step += 1
+                self.retries += 1
+                time.sleep(wait)
+
     def close(self) -> None:
-        try:
-            self._fh.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -145,16 +355,22 @@ class AsyncServiceClient(_CallMixin):
         port: Optional[int] = None,
         *,
         unix_path: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        auto_idem: bool = True,
     ) -> None:
         if (port is None) == (unix_path is None):
             raise ValueError("pass exactly one of port= or unix_path=")
         self.host = host
         self.port = port
         self.unix_path = unix_path
+        self.retry = retry
+        self.auto_idem = auto_idem
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._lock = asyncio.Lock()
         self._next_id = 0
+        self.retries = 0
+        self.reconnects = 0
 
     async def connect(self) -> "AsyncServiceClient":
         if self.unix_path is not None:
@@ -168,7 +384,19 @@ class AsyncServiceClient(_CallMixin):
             )
         return self
 
-    async def call(self, op: str, **fields: Any) -> dict[str, Any]:
+    async def _teardown(self) -> None:
+        writer = self._writer
+        self._reader = self._writer = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _call_once(
+        self, op: str, fields: dict[str, Any], timeout: Optional[float]
+    ) -> dict[str, Any]:
         reader, writer = self._reader, self._writer
         if reader is None or writer is None:
             raise ServiceError(ErrorCode.INTERNAL, "client is not connected")
@@ -176,22 +404,57 @@ class AsyncServiceClient(_CallMixin):
             self._next_id += 1
             req_id = self._next_id
             writer.write(encode({"op": op, "id": req_id, **fields}))
-            await writer.drain()
-            raw = await reader.readline()
+            if timeout is not None:
+                await asyncio.wait_for(writer.drain(), timeout)
+                raw = await asyncio.wait_for(reader.readline(), timeout)
+            else:
+                await writer.drain()
+                raw = await reader.readline()
         if not raw:
-            raise ServiceError(ErrorCode.INTERNAL, "server closed the connection")
+            raise ConnectionError("server closed the connection")
         doc = decode_line(raw.decode("utf-8"))
         _check_id(req_id, doc)
         return result_from_response(doc)
 
-    async def close(self) -> None:
-        if self._writer is not None:
-            self._writer.close()
+    async def call(
+        self, op: str, *, timeout: Optional[float] = None, **fields: Any
+    ) -> dict[str, Any]:
+        if self.auto_idem and op in IDEMPOTENT_OPS and "idem" not in fields:
+            fields = {**fields, "idem": _next_idem()}
+        delays = self.retry.schedule() if self.retry is not None else []
+        step = 0
+        while True:
             try:
-                await self._writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):
-                pass
-        self._reader = self._writer = None
+                if self._reader is None and self.retry is not None and step > 0:
+                    self.reconnects += 1
+                    await self.connect()
+                return await self._call_once(op, fields, timeout)
+            except ServiceError as e:
+                if (
+                    self.retry is None
+                    or not self.retry.retries_code(e.code)
+                    or step >= len(delays)
+                ):
+                    raise
+                wait = _retry_wait(delays[step], e)
+                step += 1
+                self.retries += 1
+                await asyncio.sleep(wait)
+            except (OSError, EOFError) as e:
+                # Includes TimeoutError from wait_for: after a timeout
+                # the stream framing is unknown, so always tear down.
+                await self._teardown()
+                if self.retry is None or step >= len(delays):
+                    raise ServiceError(
+                        ErrorCode.INTERNAL, f"connection failed: {e}"
+                    ) from e
+                wait = delays[step]
+                step += 1
+                self.retries += 1
+                await asyncio.sleep(wait)
+
+    async def close(self) -> None:
+        await self._teardown()
 
     async def __aenter__(self) -> "AsyncServiceClient":
         return await self.connect()

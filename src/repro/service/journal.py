@@ -37,6 +37,16 @@ generator; see docs/SERVICE.md):
 ``interval``  fsync every N appends (default 64) -- bounded loss window;
 ``never``     flush to the OS only -- survives process crash (SIGKILL),
               not power loss.
+
+Failure atomicity: :meth:`Journal.append` either completes (record
+written, counters advanced, LSN assigned) or leaves no trace -- on any
+I/O error the partial write is truncated away, so an op that was never
+acknowledged can never be replayed.  If even the truncation fails the
+handle is dropped; recovery then tolerates the orphan as a torn tail,
+and the client-side idempotency keys (carried in each record's ``i``
+field) close the remaining ambiguity.  I/O failure paths are exercised
+deterministically through the ``journal.*`` failpoints
+(:mod:`repro.faults`; catalogue in docs/FAULTS.md).
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro import faults
 from repro.obs.logsetup import get_logger
 from repro.obs.metrics import MetricsRegistry
 
@@ -66,12 +77,18 @@ class JournalCorrupt(Exception):
 
 @dataclass(frozen=True)
 class JournalRecord:
-    """One durable mutating request."""
+    """One durable mutating request.
+
+    ``idem`` is the client's idempotency key, when one was supplied;
+    replaying it lets recovery rebuild the server-side dedup window so
+    retries stay exactly-once across a crash.
+    """
 
     lsn: int
     op: str  # "insert" | "delete"
     name: str
     size: int
+    idem: Optional[str] = None
 
 
 def _seg_name(start_lsn: int) -> str:
@@ -83,7 +100,11 @@ def _snap_name(lsn: int) -> str:
 
 
 def _encode_record(rec: JournalRecord) -> bytes:
-    body = {"lsn": rec.lsn, "op": rec.op, "name": rec.name, "size": rec.size}
+    body: dict[str, Any] = {
+        "lsn": rec.lsn, "op": rec.op, "name": rec.name, "size": rec.size,
+    }
+    if rec.idem is not None:
+        body["i"] = rec.idem
     payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
     body["c"] = zlib.crc32(payload.encode("utf-8"))
     return (json.dumps(body, sort_keys=True, separators=(",", ":")) + "\n").encode(
@@ -103,12 +124,14 @@ def _decode_record(line: str) -> Optional[JournalRecord]:
     payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     if crc != zlib.crc32(payload.encode("utf-8")):
         return None
+    idem = doc.get("i")
     try:
         return JournalRecord(
             lsn=int(doc["lsn"]),
             op=str(doc["op"]),
             name=str(doc["name"]),
             size=int(doc["size"]),
+            idem=str(idem) if idem is not None else None,
         )
     except (KeyError, TypeError, ValueError):
         return None
@@ -233,31 +256,77 @@ class Journal:
     def last_lsn(self) -> int:
         return self._lsn
 
-    def append(self, op: str, name: str, size: int) -> int:
-        """Durably log one mutating request; returns its LSN."""
+    def append(self, op: str, name: str, size: int, *, idem: Optional[str] = None) -> int:
+        """Durably log one mutating request; returns its LSN.
+
+        All-or-nothing: on an I/O error (real or injected via the
+        ``journal.append.*`` failpoints) the partial write is rewound
+        and the LSN is not consumed, so the journal stays replayable --
+        the caller decides whether to degrade the session.
+        """
         if self._fh is None or self._seg_records >= self.segment_records:
             self._roll()
-        assert self._fh is not None
-        self._lsn += 1
-        rec = JournalRecord(lsn=self._lsn, op=op, name=name, size=size)
+        fh = self._fh
+        assert fh is not None
+        rec = JournalRecord(lsn=self._lsn + 1, op=op, name=name, size=size, idem=idem)
         data = _encode_record(rec)
-        self._fh.write(data)
-        self._fh.flush()
+        do_fsync = self.fsync == "always" or (
+            self.fsync == "interval" and self._since_fsync + 1 >= self.fsync_interval
+        )
+        pos = fh.tell()
+        try:
+            plan = faults.ACTIVE
+            if plan is not None:
+                plan.hit("journal.append.io")
+            fh.write(data)
+            fh.flush()
+            if do_fsync:
+                if plan is not None:
+                    plan.hit("journal.append.fsync")
+                os.fsync(fh.fileno())
+        except OSError:
+            self._rewind(pos)
+            raise
+        self._lsn = rec.lsn
         self._seg_records += 1
         self.appends += 1
-        self._since_fsync += 1
-        if self.fsync == "always" or (
-            self.fsync == "interval" and self._since_fsync >= self.fsync_interval
-        ):
-            os.fsync(self._fh.fileno())
+        if do_fsync:
             self.fsyncs += 1
             self._since_fsync = 0
+        else:
+            self._since_fsync += 1
         reg = self.registry
         if reg is not None:
             reg.inc_all(
                 {"service.journal.appends": 1, "service.journal.bytes": len(data)}
             )
         return self._lsn
+
+    def _rewind(self, pos: int) -> None:
+        """Drop whatever a failed append left past ``pos``.
+
+        Best effort: if even the truncation fails, the handle is dropped
+        so the next append (or the degraded-mode recovery sweep) starts
+        from a fresh scan -- recovery tolerates the orphan bytes as a
+        torn tail, and in the worst double-fault case (record fully
+        flushed, fsync *and* truncate both failing) an unacknowledged
+        record may survive to be replayed; the client idempotency keys
+        carried in the records keep retries exactly-once regardless.
+        """
+        fh = self._fh
+        if fh is None:
+            return
+        try:
+            fh.seek(pos)
+            fh.truncate(pos)
+            fh.flush()
+        except OSError:
+            log.warning("journal %s: could not rewind failed append", self.root)
+            try:
+                fh.close()
+            except OSError:
+                pass
+            self._fh = None
 
     def _roll(self) -> None:
         """Close the open segment and start a fresh one at ``lsn + 1``.
@@ -271,6 +340,10 @@ class Journal:
                 os.fsync(self._fh.fileno())
                 self.fsyncs += 1
             self._fh.close()
+            self._fh = None
+        plan = faults.ACTIVE
+        if plan is not None:
+            plan.hit("journal.roll.io")
         path = os.path.join(self.root, _seg_name(self._lsn + 1))
         self._fh = open(path, "wb")
         self._seg_records = 0
@@ -290,11 +363,21 @@ class Journal:
         lsn = self._lsn
         path = os.path.join(self.root, _snap_name(lsn))
         tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(snapshot_doc, fh, sort_keys=True)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
+        try:
+            plan = faults.ACTIVE
+            if plan is not None:
+                plan.hit("journal.checkpoint.io")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(snapshot_doc, fh, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         _fsync_dir(self.root)
         # Now the tail is redundant: drop covered segments + old snaps.
         if self._fh is not None:
@@ -321,6 +404,9 @@ class Journal:
         Falls back to an older snapshot generation if the newest one is
         unreadable, provided the journal tail still covers the gap.
         """
+        plan = faults.ACTIVE
+        if plan is not None:
+            plan.hit("journal.recover.io")
         snap_doc: Optional[dict[str, Any]] = None
         snap_lsn = 0
         for lsn, path in reversed(self._snapshots()):

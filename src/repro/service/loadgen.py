@@ -109,10 +109,12 @@ async def _drive_session(
                     await client.delete(sid, victim)
                     deletes += 1
             except ServiceError as e:
-                if e.code is ErrorCode.BACKPRESSURE:
+                if e.code in (ErrorCode.RETRY_LATER, ErrorCode.DEGRADED):
                     retries += 1
                     registry.inc_all({"service.client.retries": 1})
-                    await asyncio.sleep(0.001)
+                    await asyncio.sleep(
+                        e.retry_after if e.retry_after is not None else 0.001
+                    )
                     continue
                 raise
             dt = time.perf_counter() - t0

@@ -42,7 +42,14 @@ _SESSION_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
 
 
 class ErrorCode(enum.Enum):
-    """Closed set of machine-readable error codes."""
+    """Closed set of machine-readable error codes.
+
+    Retry semantics (the full table lives in docs/FAULTS.md):
+    ``RETRY_LATER`` is always safe to retry after the advisory
+    ``retry_after`` delay; ``DEGRADED`` means the session is read-only
+    until its journal recovers -- mutations fail fast, reads keep
+    serving; everything else is a definitive answer.
+    """
 
     BAD_REQUEST = "bad_request"
     UNKNOWN_OP = "unknown_op"
@@ -50,19 +57,31 @@ class ErrorCode(enum.Enum):
     SESSION_EXISTS = "session_exists"
     NO_SUCH_JOB = "no_such_job"
     DUPLICATE_JOB = "duplicate_job"
-    BACKPRESSURE = "backpressure"
+    RETRY_LATER = "retry_later"
+    DEGRADED = "degraded"
     SHUTTING_DOWN = "shutting_down"
     JOURNAL_CORRUPT = "journal_corrupt"
     INTERNAL = "internal"
 
 
 class ServiceError(Exception):
-    """A request failed; carries the :class:`ErrorCode` for the wire."""
+    """A request failed; carries the :class:`ErrorCode` for the wire.
 
-    def __init__(self, code: ErrorCode, message: str) -> None:
+    ``retry_after`` is an advisory client delay in seconds, set on
+    load-shedding (``RETRY_LATER``) and degraded-mode errors.
+    """
+
+    def __init__(
+        self,
+        code: ErrorCode,
+        message: str,
+        *,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(message)
         self.code = code
         self.message = message
+        self.retry_after = retry_after
 
 
 def _bad(message: str) -> ServiceError:
@@ -125,14 +144,30 @@ class SessionConfig:
 REQUEST_FIELDS: dict[str, dict[str, tuple[type, bool]]] = {
     "ping": {},
     "open": {"session": (str, True), "config": (dict, False)},
-    "insert": {"session": (str, True), "name": (str, True), "size": (int, True)},
-    "delete": {"session": (str, True), "name": (str, True)},
+    "insert": {
+        "session": (str, True),
+        "name": (str, True),
+        "size": (int, True),
+        "idem": (str, False),
+    },
+    "delete": {"session": (str, True), "name": (str, True), "idem": (str, False)},
     "query": {"session": (str, True), "name": (str, False), "jobs": (bool, False)},
     "snapshot": {"session": (str, True)},
     "stats": {"session": (str, False)},
-    "close": {"session": (str, True)},
+    "close": {"session": (str, True), "idem": (str, False)},
     "shutdown": {},
 }
+
+#: Ops accepting a client-generated idempotency key (``idem``): the
+#: mutating ones, where a retry after an ambiguous failure must not
+#: double-apply.  The server keeps a per-session dedup window keyed by
+#: these (see :mod:`repro.service.sessions`).
+IDEMPOTENT_OPS = frozenset(
+    op for op, spec in REQUEST_FIELDS.items() if "idem" in spec
+)
+
+#: Idempotency keys ride in journal records; keep them short and clean.
+_IDEM_RE = re.compile(r"^[\x21-\x7e]{1,128}$")
 
 
 @dataclass(frozen=True)
@@ -146,6 +181,7 @@ class Request:
     size: Optional[int] = None
     jobs: bool = False
     config: Optional[dict[str, Any]] = None
+    idem: Optional[str] = None
 
 
 def decode_line(line: str) -> dict[str, Any]:
@@ -200,6 +236,9 @@ def request_from_doc(doc: Mapping[str, Any]) -> Request:
     size = values.get("size")
     if size is not None and size < 1:
         raise _bad("'size' must be >= 1")
+    idem = values.get("idem")
+    if idem is not None and not _IDEM_RE.match(idem):
+        raise _bad("'idem' must be 1-128 printable non-space ASCII chars")
     return Request(op=op, id=req_id, **values)
 
 
@@ -223,6 +262,8 @@ def request_to_doc(req: Request) -> dict[str, Any]:
         doc["jobs"] = True
     if req.config is not None:
         doc["config"] = req.config
+    if req.idem is not None:
+        doc["idem"] = req.idem
     return doc
 
 
@@ -238,12 +279,16 @@ def ok_response(req_id: Optional[int], result: Mapping[str, Any]) -> dict[str, A
 
 
 def error_response(
-    req_id: Optional[int], code: ErrorCode, message: str
+    req_id: Optional[int],
+    code: ErrorCode,
+    message: str,
+    *,
+    retry_after: Optional[float] = None,
 ) -> dict[str, Any]:
-    resp: dict[str, Any] = {
-        "ok": False,
-        "error": {"code": code.value, "message": message},
-    }
+    err: dict[str, Any] = {"code": code.value, "message": message}
+    if retry_after is not None:
+        err["retry_after"] = retry_after
+    resp: dict[str, Any] = {"ok": False, "error": err}
     if req_id is not None:
         resp["id"] = req_id
     return resp
@@ -268,4 +313,9 @@ def result_from_response(doc: Mapping[str, Any]) -> dict[str, Any]:
         code = ErrorCode(err.get("code"))
     except ValueError:
         code = ErrorCode.INTERNAL
-    raise ServiceError(code, str(err.get("message", "")))
+    retry_after = err.get("retry_after")
+    if not isinstance(retry_after, (int, float)) or isinstance(retry_after, bool):
+        retry_after = None
+    raise ServiceError(
+        code, str(err.get("message", "")), retry_after=retry_after
+    )

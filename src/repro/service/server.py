@@ -21,6 +21,8 @@ import os
 import signal
 from typing import Any, Optional
 
+from repro import faults
+from repro.faults import ConnectionDropped
 from repro.obs.logsetup import get_logger
 from repro.service.protocol import (
     MAX_LINE_BYTES,
@@ -132,39 +134,75 @@ class ServiceServer:
 
     # -- connection handling ---------------------------------------------
 
+    def _abort_conn(self, reason: str) -> None:
+        """One connection died abnormally: log, count, move on.
+
+        A bad frame or a mid-request disconnect affects only its own
+        connection -- the server and every other client keep serving.
+        """
+        log.warning("connection aborted: %s", reason)
+        reg = self.manager.registry
+        if reg is not None:
+            reg.inc_all({"service.conn.aborted": 1})
+
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._conns.add(writer)
         try:
+            plan = faults.ACTIVE
+            if plan is not None:
+                try:
+                    plan.hit("server.conn.accept")
+                except (ConnectionDropped, OSError) as e:
+                    self._abort_conn(f"injected accept failure: {e}")
+                    return
             while not self._stop.is_set():
                 try:
+                    plan = faults.ACTIVE
+                    if plan is not None:
+                        plan.hit("server.conn.read")
                     raw = await reader.readline()
                 except (asyncio.LimitOverrunError, ValueError):
                     # Oversized line: the stream position is unrecoverable.
-                    writer.write(
-                        encode(
-                            error_response(
-                                None,
-                                ErrorCode.BAD_REQUEST,
-                                f"line exceeds {MAX_LINE_BYTES} bytes",
+                    self._abort_conn(f"line exceeds {MAX_LINE_BYTES} bytes")
+                    try:
+                        writer.write(
+                            encode(
+                                error_response(
+                                    None,
+                                    ErrorCode.BAD_REQUEST,
+                                    f"line exceeds {MAX_LINE_BYTES} bytes",
+                                )
                             )
                         )
-                    )
-                    await writer.drain()
+                        await writer.drain()
+                    except (ConnectionResetError, BrokenPipeError):
+                        pass
                     break
-                except (ConnectionResetError, BrokenPipeError):
+                except (ConnectionDropped, ConnectionResetError, BrokenPipeError, OSError) as e:
+                    self._abort_conn(f"read failed: {e}")
                     break
                 if not raw:
+                    break
+                if not raw.endswith(b"\n"):
+                    # EOF mid-line: the client died with a half-written
+                    # frame.  Never parse it -- a truncated request could
+                    # decode to something the client didn't mean.
+                    self._abort_conn(f"half-written frame ({len(raw)} bytes) at EOF")
                     break
                 line = raw.decode("utf-8", errors="replace").strip()
                 if not line:
                     continue
                 resp = await self._respond(line)
                 try:
+                    plan = faults.ACTIVE
+                    if plan is not None:
+                        plan.hit("server.conn.write")
                     writer.write(encode(resp))
                     await writer.drain()
-                except (ConnectionResetError, BrokenPipeError):
+                except (ConnectionDropped, ConnectionResetError, BrokenPipeError, OSError) as e:
+                    self._abort_conn(f"write failed: {e}")
                     break
         finally:
             self._conns.discard(writer)
@@ -183,14 +221,18 @@ class ServiceServer:
                 req_id = rid
             req = request_from_doc(doc)
         except ServiceError as e:
-            return error_response(req_id, e.code, e.message)
+            return error_response(
+                req_id, e.code, e.message, retry_after=e.retry_after
+            )
         if req.op == "shutdown":
             self._stop.set()
             return ok_response(req.id, {"stopping": True})
         try:
             result = await self.manager.dispatch(req)
         except ServiceError as e:
-            return error_response(req.id, e.code, e.message)
+            return error_response(
+                req.id, e.code, e.message, retry_after=e.retry_after
+            )
         except Exception as e:  # defense: a bug must not kill the server
             log.exception("internal error handling op %r", req.op)
             return error_response(

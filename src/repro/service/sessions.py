@@ -8,9 +8,6 @@ asyncio event loop and provides the guarantees the protocol promises:
   through that session's bounded queue and is executed by its worker
   task, so the journal order *is* the execution order -- the property
   recovery relies on.  Different sessions proceed concurrently.
-* **Bounded backpressure.**  A full queue rejects immediately with
-  ``backpressure`` instead of buffering unboundedly; the closed-loop
-  client retries or slows down.
 * **LRU eviction + lazy rehydration.**  At most ``max_live`` sessions
   keep a scheduler in memory.  The least-recently-used one is
   checkpointed (snapshot with ledger + journal truncation) and dropped;
@@ -19,9 +16,27 @@ asyncio event loop and provides the guarantees the protocol promises:
 * **Write-ahead ordering.**  Mutations are validated, journaled (per
   the fsync policy), then applied; an acknowledged op is exactly as
   durable as the policy promises.
+* **Exactly-once retries.**  Mutating requests may carry a client
+  idempotency key; a bounded per-session :class:`DedupWindow` maps keys
+  to their original results, so a retry after an ambiguous failure
+  (dropped connection, timeout) returns the first answer instead of
+  double-applying.  Keys ride in the journal records and the snapshot
+  sidecar, so the window survives eviction and crash recovery.
+* **Graceful degradation.**  A journal I/O failure (real, or injected
+  through the ``journal.*`` failpoints of :mod:`repro.faults`) flips
+  the session into an explicit *degraded* read-only state instead of
+  crashing: queries/stats keep serving from memory, mutations fail
+  fast with ``DEGRADED``, and a background recovery sweep retries a
+  journal reopen + checkpoint with exponential backoff.  Because the
+  write-ahead discipline means every acknowledged op is already on
+  disk, a degraded session can always be dropped to its journal.
+* **Load shedding.**  A full queue (or an injected ``sessions.admit``
+  fault) rejects immediately with ``RETRY_LATER`` plus an advisory
+  ``retry_after`` delay instead of buffering unboundedly.
 
-Layering (reprolint RL002): this package builds on ``repro.core`` and
-``repro.obs`` only -- never ``repro.sim`` or ``repro.workloads``.
+Layering (reprolint RL002): this package builds on ``repro.core``,
+``repro.obs`` and ``repro.faults`` only -- never ``repro.sim`` or
+``repro.workloads``.
 """
 
 from __future__ import annotations
@@ -31,7 +46,10 @@ import json
 import os
 import re
 import time
+from collections import OrderedDict
 from typing import Any, Callable, Optional, Union
+
+from repro import faults
 
 from repro.core.costfn import STANDARD_FAMILY
 from repro.core.parallel import ParallelScheduler
@@ -112,7 +130,10 @@ def recover_scheduler(
     """Crash recovery: latest snapshot + journal-tail replay.
 
     Returns the rebuilt scheduler, the (re-opened) journal, and an info
-    dict (``replayed``, ``from_snapshot``, ``last_lsn``).  With
+    dict (``replayed``, ``from_snapshot``, ``last_lsn``, ``dedup``).
+    The recovered idempotency-dedup entries (snapshot sidecar plus keys
+    replayed from the tail) ride under the private ``"_dedup_entries"``
+    key, which callers pop before exposing the info dict.  With
     ``attach_obs=True`` the replay itself is instrumented, so the
     recovered run feeds the PR-1 counter-delta replay validation
     (``repro report --journal``).
@@ -127,14 +148,26 @@ def recover_scheduler(
     t0 = time.perf_counter()
     try:
         snap_doc, tail = journal.recover()
-        sched = restore_snapshot(snap_doc) if snap_doc is not None else build_scheduler(cfg)
+        dedup_entries: list[tuple[str, dict[str, Any]]] = []
+        if snap_doc is not None:
+            for item in snap_doc.pop("service_dedup", []):
+                if (
+                    isinstance(item, list)
+                    and len(item) == 2
+                    and isinstance(item[0], str)
+                    and isinstance(item[1], dict)
+                ):
+                    dedup_entries.append((item[0], item[1]))
+            sched = restore_snapshot(snap_doc)
+        else:
+            sched = build_scheduler(cfg)
         attachment = (
             attach(sched, registry, tracer)
             if attach_obs and (registry is not None or tracer is not None)
             else None
         )
         try:
-            _replay_tail(sched, tail)
+            dedup_entries.extend(_replay_tail(sched, tail))
         finally:
             if attachment is not None:
                 attachment.detach()
@@ -145,6 +178,8 @@ def recover_scheduler(
         "replayed": len(tail),
         "from_snapshot": snap_doc is not None,
         "last_lsn": journal.last_lsn,
+        "dedup": len(dedup_entries),
+        "_dedup_entries": dedup_entries,
     }
     if registry is not None:
         registry.inc_all(
@@ -156,23 +191,91 @@ def recover_scheduler(
     return sched, journal, info
 
 
-def _replay_tail(sched: SchedulerT, tail: list[JournalRecord]) -> None:
+def _replay_tail(
+    sched: SchedulerT, tail: list[JournalRecord]
+) -> list[tuple[str, dict[str, Any]]]:
+    """Apply the journal tail; rebuild dedup entries from keyed records.
+
+    The reconstructed results mirror what :meth:`SessionManager._op_insert`
+    / ``_op_delete`` originally returned, so a client retrying across a
+    crash gets byte-identical answers.
+    """
+    entries: list[tuple[str, dict[str, Any]]] = []
     for rec in tail:
         try:
             if rec.op == "insert":
-                sched.insert(rec.name, rec.size)
+                pj = sched.insert(rec.name, rec.size)
+                if rec.idem is not None:
+                    entries.append(
+                        (
+                            rec.idem,
+                            {
+                                "lsn": rec.lsn,
+                                "placed": {
+                                    "name": rec.name,
+                                    "size": rec.size,
+                                    "klass": pj.klass,
+                                    "start": pj.start,
+                                    "server": pj.server,
+                                },
+                            },
+                        )
+                    )
             elif rec.op == "delete":
                 sched.delete(rec.name)
+                if rec.idem is not None:
+                    entries.append((rec.idem, {"lsn": rec.lsn, "size": rec.size}))
             else:
                 raise JournalCorrupt(f"unknown journal op {rec.op!r} at LSN {rec.lsn}")
         except KeyError:
             # Ops are validated before journaling, so this indicates a
             # journal written by a buggy/foreign writer; warn, don't die.
             log.warning("replay: op at LSN %d no longer applies", rec.lsn)
+    return entries
 
 
 # ---------------------------------------------------------------------------
 # Sessions
+
+
+class DedupWindow:
+    """Bounded FIFO map of idempotency key -> original op result.
+
+    ``put`` evicts the oldest entries past ``cap`` (FIFO, not LRU: a
+    *hit* must not extend a key's lifetime, or a pathological retry loop
+    could pin the window forever).  Entries round-trip through the
+    snapshot sidecar via :meth:`entries`.
+    """
+
+    __slots__ = ("cap", "_map")
+
+    def __init__(self, cap: int) -> None:
+        self.cap = cap
+        self._map: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def get(self, key: str) -> Optional[dict[str, Any]]:
+        return self._map.get(key)
+
+    def put(self, key: str, result: dict[str, Any]) -> int:
+        """Record a result; returns how many old entries were evicted."""
+        if self.cap < 1:
+            return 0
+        self._map[key] = result
+        evicted = 0
+        while len(self._map) > self.cap:
+            self._map.popitem(last=False)
+            evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        self._map.clear()
+
+    def entries(self) -> list[tuple[str, dict[str, Any]]]:
+        """Oldest-first (insertion-order) entries, for the snapshot sidecar."""
+        return list(self._map.items())
 
 
 class Session:
@@ -189,6 +292,9 @@ class Session:
         "touched",
         "ops",
         "last_recovery",
+        "degraded",
+        "dedup",
+        "sweeper",
     )
 
     def __init__(
@@ -197,6 +303,8 @@ class Session:
         root: str,
         config: SessionConfig,
         queue: "asyncio.Queue[_QueueItem]",
+        *,
+        dedup_window: int = 1024,
     ) -> None:
         self.sid = sid
         self.root = root
@@ -208,6 +316,11 @@ class Session:
         self.touched = 0
         self.ops = 0
         self.last_recovery: dict[str, Any] = {}
+        #: Reason string while read-only (journal failure); None = healthy.
+        self.degraded: Optional[str] = None
+        self.dedup = DedupWindow(dedup_window)
+        #: Background recovery-sweep task while degraded.
+        self.sweeper: Optional["asyncio.Task[None]"] = None
 
     @property
     def live(self) -> bool:
@@ -225,6 +338,10 @@ class SessionManager:
         fsync_interval: int = 64,
         max_live: int = 64,
         queue_depth: int = 256,
+        dedup_window: int = 1024,
+        retry_after_hint: float = 0.05,
+        recover_backoff: float = 0.05,
+        recover_backoff_max: float = 2.0,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
@@ -232,11 +349,20 @@ class SessionManager:
             raise ValueError("max_live must be >= 1")
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
+        if dedup_window < 0:
+            raise ValueError("dedup_window must be >= 0")
+        if recover_backoff <= 0 or recover_backoff_max < recover_backoff:
+            raise ValueError("recover backoff bounds must be positive and ordered")
         self.root = root
         self.fsync = fsync
         self.fsync_interval = fsync_interval
         self.max_live = max_live
         self.queue_depth = queue_depth
+        self.dedup_window = dedup_window
+        #: Advisory client delay attached to RETRY_LATER responses.
+        self.retry_after_hint = retry_after_hint
+        self.recover_backoff = recover_backoff
+        self.recover_backoff_max = recover_backoff_max
         self.registry = registry
         self.tracer = tracer
         self.sessions: dict[str, Session] = {}
@@ -274,14 +400,16 @@ class SessionManager:
         sess = self._attach(req.session, None, create=False)[0]
         if op == "insert":
             assert req.name is not None and req.size is not None
-            name, size = req.name, req.size
+            name, size, idem = req.name, req.size, req.idem
             return await self._enqueue(
-                sess, lambda: self._op_insert(sess, name, size)
+                sess, lambda: self._op_insert(sess, name, size, idem)
             )
         if op == "delete":
             assert req.name is not None
-            name = req.name
-            return await self._enqueue(sess, lambda: self._op_delete(sess, name))
+            name, idem = req.name, req.idem
+            return await self._enqueue(
+                sess, lambda: self._op_delete(sess, name, idem)
+            )
         if op == "query":
             return await self._enqueue(
                 sess, lambda: self._op_query(sess, req.name, req.jobs)
@@ -302,6 +430,11 @@ class SessionManager:
         }
 
     async def close(self, sid: str) -> dict[str, Any]:
+        # Close is naturally idempotent: re-closing a session that is
+        # already checkpointed to disk (e.g. a retry after a dropped
+        # connection) is a no-op success, not NO_SUCH_SESSION.
+        if sid not in self.sessions and sid in self.session_ids_on_disk():
+            return {"closed": True, "noop": True}
         sess = self._attach(sid, None, create=False)[0]
         res = await self._enqueue(sess, lambda: self._op_evict(sess))
         await self._stop_session(sess)
@@ -309,6 +442,8 @@ class SessionManager:
         out: dict[str, Any] = {"closed": True}
         if "lsn" in res:
             out["checkpoint_lsn"] = res["lsn"]
+        if res.get("degraded"):
+            out["degraded"] = True
         return out
 
     def stats(self, sid: Optional[str] = None) -> dict[str, Any]:
@@ -327,7 +462,10 @@ class SessionManager:
                 "ops": sess.ops,
                 "config": sess.config.to_dict(),
                 "queue_depth": sess.queue.qsize(),
+                "dedup": len(sess.dedup),
             }
+            if sess.degraded is not None:
+                out["degraded"] = sess.degraded
             sched = sess.scheduler
             if sched is not None:
                 out["active"] = len(sched)
@@ -340,17 +478,24 @@ class SessionManager:
             if sess.journal is not None:
                 out["journal"] = sess.journal.stats()
             return out
-        return {
+        totals: dict[str, Any] = {
             "sessions": {
                 "open": len(self.sessions),
                 "live": self.live_count(),
                 "on_disk": len(self.session_ids_on_disk()),
+                "degraded": sum(
+                    1 for s in self.sessions.values() if s.degraded is not None
+                ),
             },
             "ops": sum(s.ops for s in self.sessions.values()),
             "max_live": self.max_live,
             "queue_depth": self.queue_depth,
             "fsync": self.fsync,
         }
+        plan = faults.ACTIVE
+        if plan is not None:
+            totals["faults"] = plan.stats()
+        return totals
 
     async def shutdown(self) -> dict[str, int]:
         """Checkpoint and stop every session (graceful shutdown)."""
@@ -406,7 +551,13 @@ class SessionManager:
             os.replace(tmp, cfg_path)
             created = True
         queue: "asyncio.Queue[_QueueItem]" = asyncio.Queue(maxsize=self.queue_depth)
-        sess = Session(sid=sid, root=sdir, config=cfg, queue=queue)
+        sess = Session(
+            sid=sid,
+            root=sdir,
+            config=cfg,
+            queue=queue,
+            dedup_window=self.dedup_window,
+        )
         sess.worker = asyncio.get_running_loop().create_task(self._worker(sess))
         self.sessions[sid] = sess
         reg = self.registry
@@ -436,6 +587,18 @@ class SessionManager:
     ) -> dict[str, Any]:
         if self._shutting_down and not force:
             raise ServiceError(ErrorCode.SHUTTING_DOWN, "server is shutting down")
+        if not force:
+            plan = faults.ACTIVE
+            if plan is not None:
+                try:
+                    plan.hit("sessions.admit")
+                except OSError as e:
+                    self._shed()
+                    raise ServiceError(
+                        ErrorCode.RETRY_LATER,
+                        f"admission refused for session {sess.sid!r}: {e}",
+                        retry_after=self.retry_after_hint,
+                    ) from e
         fut: "asyncio.Future[dict[str, Any]]" = (
             asyncio.get_running_loop().create_future()
         )
@@ -445,15 +608,19 @@ class SessionManager:
             try:
                 sess.queue.put_nowait((fn, fut))
             except asyncio.QueueFull:
-                reg = self.registry
-                if reg is not None:
-                    reg.inc_all({"service.backpressure": 1})
+                self._shed()
                 raise ServiceError(
-                    ErrorCode.BACKPRESSURE,
+                    ErrorCode.RETRY_LATER,
                     f"session {sess.sid!r} queue is full "
-                    f"({self.queue_depth} pending ops)",
+                    f"({self.queue_depth} pending ops); retry later",
+                    retry_after=self.retry_after_hint,
                 ) from None
         return await fut
+
+    def _shed(self) -> None:
+        reg = self.registry
+        if reg is not None:
+            reg.inc_all({"service.shed": 1})
 
     async def _worker(self, sess: Session) -> None:
         while True:
@@ -484,6 +651,14 @@ class SessionManager:
                 sess.queue.task_done()
 
     async def _stop_session(self, sess: Session) -> None:
+        sweeper = sess.sweeper
+        if sweeper is not None:
+            sweeper.cancel()
+            try:
+                await sweeper
+            except asyncio.CancelledError:
+                pass
+            sess.sweeper = None
         await sess.queue.put(None)
         if sess.worker is not None:
             await sess.worker
@@ -495,6 +670,16 @@ class SessionManager:
         sched = sess.scheduler
         if sched is not None:
             return sched
+        plan = faults.ACTIVE
+        if plan is not None:
+            try:
+                plan.hit("sessions.rehydrate")
+            except OSError as e:
+                raise ServiceError(
+                    ErrorCode.RETRY_LATER,
+                    f"session {sess.sid!r} rehydration failed: {e}",
+                    retry_after=self.retry_after_hint,
+                ) from e
         try:
             sched, journal, info = recover_scheduler(
                 sess.root,
@@ -506,11 +691,24 @@ class SessionManager:
             )
         except JournalCorrupt as e:
             raise ServiceError(ErrorCode.JOURNAL_CORRUPT, str(e)) from e
+        except OSError as e:
+            # Transient I/O during recovery (including an injected
+            # journal.recover.io fault): nothing was mutated, retry.
+            raise ServiceError(
+                ErrorCode.RETRY_LATER,
+                f"session {sess.sid!r} recovery failed: {e}",
+                retry_after=self.retry_after_hint,
+            ) from e
+        entries = info.pop("_dedup_entries", [])
+        sess.dedup.clear()
+        for key, result in entries:
+            sess.dedup.put(key, result)
         sess.scheduler, sess.journal, sess.last_recovery = sched, journal, info
+        sess.degraded = None
         if info["replayed"] or info["from_snapshot"]:
             log.info(
-                "session %s: recovered (%d replayed, snapshot=%s)",
-                sess.sid, info["replayed"], info["from_snapshot"],
+                "session %s: recovered (%d replayed, snapshot=%s, %d dedup keys)",
+                sess.sid, info["replayed"], info["from_snapshot"], len(sess.dedup),
             )
         self._maybe_evict(exclude=sess.sid)
         return sched
@@ -524,7 +722,9 @@ class SessionManager:
         candidates = [
             s
             for s in self.sessions.values()
-            if s.live and s.sid != exclude
+            # Degraded sessions stay resident: their reads keep serving
+            # from memory and the recovery sweep needs the scheduler.
+            if s.live and s.sid != exclude and s.degraded is None
         ]
         excess = len(candidates) + 1 - self.max_live
         if excess <= 0:
@@ -534,6 +734,12 @@ class SessionManager:
             try:
                 fut: "asyncio.Future[dict[str, Any]]" = (
                     asyncio.get_running_loop().create_future()
+                )
+                # Background eviction: retrieve the outcome so a failed
+                # checkpoint (-> degraded) never surfaces as an
+                # unhandled future exception.
+                fut.add_done_callback(
+                    lambda f: None if f.cancelled() else f.exception()
                 )
                 victim.queue.put_nowait(
                     (lambda v=victim: self._op_evict(v), fut)
@@ -557,16 +763,54 @@ class SessionManager:
         sched = self._hydrated(sess)
         return {"active": len(sched), "recovery": dict(sess.last_recovery)}
 
-    def _op_insert(self, sess: Session, name: str, size: int) -> dict[str, Any]:
+    def _dedup_lookup(self, sess: Session, idem: Optional[str]) -> Optional[dict[str, Any]]:
+        """Return the cached result for a retried mutation, if any.
+
+        Checked *before* validation and the degraded gate: a retry of an
+        op that was applied just before the journal failed must still
+        get its original answer, and must not trip DUPLICATE_JOB.
+        """
+        if idem is None:
+            return None
+        cached = sess.dedup.get(idem)
+        if cached is None:
+            return None
+        reg = self.registry
+        if reg is not None:
+            reg.inc_all({"service.dedup.hits": 1})
+        return dict(cached)
+
+    def _dedup_store(
+        self, sess: Session, idem: Optional[str], result: dict[str, Any]
+    ) -> None:
+        if idem is None:
+            return
+        evicted = sess.dedup.put(idem, dict(result))
+        if evicted:
+            reg = self.registry
+            if reg is not None:
+                reg.inc_all({"service.dedup.evictions": evicted})
+
+    def _op_insert(
+        self, sess: Session, name: str, size: int, idem: Optional[str] = None
+    ) -> dict[str, Any]:
         sched = self._hydrated(sess)
+        cached = self._dedup_lookup(sess, idem)
+        if cached is not None:
+            return cached
+        if sess.degraded is not None:
+            raise self._degraded_error(sess)
         if name in sched:
             raise ServiceError(
                 ErrorCode.DUPLICATE_JOB, f"job {name!r} already active"
             )
-        lsn = self._journal(sess).append("insert", name, size)
+        try:
+            lsn = self._journal(sess).append("insert", name, size, idem=idem)
+        except OSError as e:
+            raise self._degrade(sess, e) from e
         pj = sched.insert(name, size)
         self._count_op(sess, "insert")
-        return {
+        result = {
             "lsn": lsn,
             "placed": {
                 "name": name,
@@ -576,16 +820,30 @@ class SessionManager:
                 "server": pj.server,
             },
         }
+        self._dedup_store(sess, idem, result)
+        return result
 
-    def _op_delete(self, sess: Session, name: str) -> dict[str, Any]:
+    def _op_delete(
+        self, sess: Session, name: str, idem: Optional[str] = None
+    ) -> dict[str, Any]:
         sched = self._hydrated(sess)
+        cached = self._dedup_lookup(sess, idem)
+        if cached is not None:
+            return cached
+        if sess.degraded is not None:
+            raise self._degraded_error(sess)
         if name not in sched:
             raise ServiceError(ErrorCode.NO_SUCH_JOB, f"job {name!r} not active")
         size = sched.placement(name).size
-        lsn = self._journal(sess).append("delete", name, size)
+        try:
+            lsn = self._journal(sess).append("delete", name, size, idem=idem)
+        except OSError as e:
+            raise self._degrade(sess, e) from e
         sched.delete(name)
         self._count_op(sess, "delete")
-        return {"lsn": lsn, "size": size}
+        result = {"lsn": lsn, "size": size}
+        self._dedup_store(sess, idem, result)
+        return result
 
     def _op_query(
         self, sess: Session, name: Optional[str], include_jobs: bool
@@ -627,9 +885,30 @@ class SessionManager:
             )
         return out
 
+    def _snapshot_doc(self, sess: Session, sched: SchedulerT) -> dict[str, Any]:
+        """Scheduler snapshot plus the dedup-window sidecar."""
+        doc = take_snapshot(sched)
+        entries = sess.dedup.entries()
+        if entries:
+            doc["service_dedup"] = [[k, v] for k, v in entries]
+        return doc
+
     def _op_snapshot(self, sess: Session) -> dict[str, Any]:
         sched = self._hydrated(sess)
-        lsn = self._journal(sess).checkpoint(take_snapshot(sched))
+        if sess.degraded is not None:
+            # An explicit snapshot request is a natural recovery point:
+            # try to heal right now instead of waiting for the sweep.
+            restored = self._op_restore(sess)
+            self._count_op(sess, "snapshot")
+            return {
+                "lsn": restored.get("lsn", 0),
+                "active": len(sched),
+                "recovered": True,
+            }
+        try:
+            lsn = self._journal(sess).checkpoint(self._snapshot_doc(sess, sched))
+        except OSError as e:
+            raise self._degrade(sess, e) from e
         self._count_op(sess, "snapshot")
         return {"lsn": lsn, "active": len(sched)}
 
@@ -637,15 +916,142 @@ class SessionManager:
         sched = sess.scheduler
         if sched is None:
             return {"evicted": False}
+        plan = faults.ACTIVE
+        if plan is not None:
+            try:
+                plan.hit("sessions.evict")
+            except OSError as e:
+                raise self._degrade(sess, e) from e
+        reg = self.registry
+        if sess.degraded is not None:
+            # Read-only: no checkpoint is possible, but the write-ahead
+            # discipline means every acknowledged op is already in the
+            # on-disk journal, so dropping the in-memory scheduler loses
+            # nothing -- the next touch replays it.
+            sess.scheduler = None
+            sess.journal = None
+            if reg is not None:
+                reg.inc_all({"service.evictions": 1})
+            return {"evicted": True, "degraded": True}
         journal = self._journal(sess)
-        lsn = journal.checkpoint(take_snapshot(sched))
-        journal.close()
+        try:
+            lsn = journal.checkpoint(self._snapshot_doc(sess, sched))
+            journal.close()
+        except OSError as e:
+            raise self._degrade(sess, e) from e
         sess.scheduler = None
         sess.journal = None
-        reg = self.registry
         if reg is not None:
             reg.inc_all({"service.evictions": 1})
         return {"evicted": True, "lsn": lsn}
+
+    # -- degraded mode -----------------------------------------------------
+
+    def _degraded_error(self, sess: Session) -> ServiceError:
+        return ServiceError(
+            ErrorCode.DEGRADED,
+            f"session {sess.sid!r} is read-only (journal failure: "
+            f"{sess.degraded}); reads still serve, recovery in progress",
+            retry_after=self.recover_backoff,
+        )
+
+    def _degrade(self, sess: Session, exc: BaseException) -> ServiceError:
+        """Flip the session read-only after a journal failure.
+
+        Idempotent; closes the journal handle best-effort, spawns the
+        recovery sweep, and returns the error the caller should raise.
+        """
+        if sess.degraded is None:
+            sess.degraded = f"{type(exc).__name__}: {exc}"
+            journal = sess.journal
+            sess.journal = None
+            if journal is not None:
+                try:
+                    journal.close()
+                except OSError:
+                    pass
+            log.error(
+                "session %s: journal failure, entering degraded "
+                "(read-only) mode: %s",
+                sess.sid,
+                sess.degraded,
+            )
+            reg = self.registry
+            if reg is not None:
+                reg.inc_all(
+                    {"service.degraded.entered": 1, "service.journal.errors": 1}
+                )
+            if not self._shutting_down and sess.sweeper is None:
+                sess.sweeper = asyncio.get_running_loop().create_task(
+                    self._recovery_sweep(sess)
+                )
+        return self._degraded_error(sess)
+
+    def _op_restore(self, sess: Session) -> dict[str, Any]:
+        """Leave degraded mode: reopen the journal and checkpoint into it.
+
+        The checkpoint persists the full in-memory state (scheduler +
+        dedup window), so nothing depends on the dead journal's tail.
+        Raises DEGRADED (with backoff advice) if the disk still fails.
+        """
+        if sess.degraded is None:
+            return {"recovered": False, "degraded": False}
+        sched = sess.scheduler
+        if sched is None:
+            # Evicted while degraded: disk already has everything; the
+            # next touch rehydrates and clears the flag.
+            sess.degraded = None
+            return {"recovered": True, "rehydrate": True}
+        journal: Optional[Journal] = None
+        try:
+            journal = Journal(
+                sess.root,
+                fsync=self.fsync,
+                fsync_interval=self.fsync_interval,
+                registry=self.registry,
+            )
+            lsn = journal.checkpoint(self._snapshot_doc(sess, sched))
+        except OSError as e:
+            if journal is not None:
+                try:
+                    journal.close()
+                except OSError:
+                    pass
+            raise ServiceError(
+                ErrorCode.DEGRADED,
+                f"session {sess.sid!r} still degraded: {e}",
+                retry_after=self.recover_backoff,
+            ) from e
+        sess.journal = journal
+        sess.degraded = None
+        reg = self.registry
+        if reg is not None:
+            reg.inc_all({"service.degraded.recovered": 1})
+        log.info(
+            "session %s: journal recovered, leaving degraded mode "
+            "(checkpoint LSN %d)",
+            sess.sid,
+            lsn,
+        )
+        return {"recovered": True, "lsn": lsn}
+
+    async def _recovery_sweep(self, sess: Session) -> None:
+        """Retry the journal reopen with exponential backoff until healed."""
+        delay = self.recover_backoff
+        while not self._shutting_down:
+            await asyncio.sleep(delay)
+            if self.sessions.get(sess.sid) is not sess or sess.degraded is None:
+                return
+            try:
+                res = await self._enqueue(
+                    sess, lambda: self._op_restore(sess), force=True
+                )
+                if res.get("recovered"):
+                    sess.sweeper = None
+                    return
+            except ServiceError:
+                pass  # still failing; back off and try again
+            delay = min(delay * 2.0, self.recover_backoff_max)
 
 
 # ---------------------------------------------------------------------------
@@ -681,6 +1087,7 @@ def replay_journal_dir(
         sched, journal, info = recover_scheduler(
             sdir, cfg, registry=reg, attach_obs=True
         )
+        info.pop("_dedup_entries", None)
         journal.close()
         infos.append(
             {

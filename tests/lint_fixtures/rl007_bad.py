@@ -1,0 +1,22 @@
+# reprolint: path=repro/service/fixture_faults.py
+"""RL007 fixture: failpoints touched without an `is not None` guard."""
+
+from repro import faults
+
+
+def append(data):
+    faults.ACTIVE.hit("journal.append.io")  # line 8: unguarded
+    return data
+
+
+def roll():
+    plan = faults.ACTIVE
+    plan.hit("journal.roll.io")  # line 14: unguarded alias
+    return None
+
+
+def guarded_then_not():
+    plan = faults.ACTIVE
+    if plan is not None:
+        plan.hit("sessions.admit")
+    return plan.stats()  # line 22: outside the guard

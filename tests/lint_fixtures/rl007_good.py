@@ -1,0 +1,24 @@
+# reprolint: path=repro/service/fixture_faults.py
+"""RL007 fixture: every failpoint access behind the sanctioned guards."""
+
+from repro import faults
+
+
+def append(data):
+    plan = faults.ACTIVE
+    if plan is not None:
+        plan.hit("journal.append.io")
+    return data
+
+
+def direct_guard():
+    if faults.ACTIVE is not None:
+        faults.ACTIVE.hit("journal.roll.io")
+    return None
+
+
+def early_return():
+    plan = faults.ACTIVE
+    if plan is None:
+        return None
+    return plan.stats()

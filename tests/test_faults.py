@@ -1,0 +1,246 @@
+"""Fault-injection registry: spec parsing, determinism, behaviors."""
+
+import errno
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    ConnectionDropped,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    KNOWN_FAILPOINTS,
+    parse_plan,
+    parse_rules,
+    plan_from_env,
+)
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+SRC = os.path.join(REPO, "src")
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    yield
+    faults.deactivate()
+
+
+# ----------------------------------------------------------------------
+# Spec parsing
+
+
+def test_parse_each_kind():
+    rules = parse_rules(
+        "journal.append.io=error:ENOSPC;"
+        "journal.append.fsync=delay:0.25;"
+        "server.conn.read=drop;"
+        "server.conn.write=exit"
+    )
+    assert [r.kind for r in rules] == ["error", "delay", "drop", "exit"]
+    assert rules[0].error == "ENOSPC"
+    assert rules[1].delay == 0.25
+    # error defaults to EIO when no argument is given
+    assert parse_rules("journal.roll.io=error")[0].error == "EIO"
+
+
+def test_parse_modifiers():
+    (r,) = parse_rules("sessions.admit=error:EAGAIN@p0.5,after3,every2,times4")
+    assert (r.prob, r.after, r.every, r.times) == (0.5, 3, 2, 4)
+    # whitespace and empty clauses are tolerated
+    rules = parse_rules(" journal.append.io = error ; ;journal.roll.io=drop ")
+    assert [r.point for r in rules] == ["journal.append.io", "journal.roll.io"]
+
+
+@pytest.mark.parametrize("bad", [
+    "",
+    "   ;  ",
+    "journal.append.io",                    # no behavior
+    "journal.append.io=",                   # empty behavior
+    "no.such.point=error",                  # unknown failpoint
+    "journal.append.io=frobnicate",         # unknown kind
+    "journal.append.io=error:EWHATEVER",    # unknown errno name
+    "journal.append.io=delay",              # delay needs seconds
+    "journal.append.io=delay:fast",
+    "journal.append.io=drop:now",           # drop takes no argument
+    "journal.append.io=error@flux2",        # unknown modifier
+    "journal.append.io=error@p0",           # prob must be in (0, 1]
+    "journal.append.io=error@p1.5",
+    "journal.append.io=error@every0",
+    "journal.append.io=error@after-1",
+    "journal.append.io=error@timesX",
+])
+def test_parse_rejects(bad):
+    with pytest.raises(FaultError):
+        parse_rules(bad)
+
+
+def test_rule_validation_is_eager():
+    with pytest.raises(FaultError):
+        FaultRule(point="journal.append.io", kind="error", error="ENOTREAL")
+    with pytest.raises(FaultError):
+        FaultRule(point="typo.point", kind="drop")
+    with pytest.raises(FaultError):
+        FaultRule(point="journal.append.io", kind="delay", delay=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Eligibility counters
+
+
+def hits_that_fire(plan, point, n):
+    fired = []
+    for i in range(1, n + 1):
+        try:
+            plan.hit(point)
+        except OSError:
+            fired.append(i)
+    return fired
+
+
+def test_after_every_times_window():
+    plan = parse_plan("journal.append.io=error@after2,every3,times2")
+    # eligible from hit 3, on hits 3, 6, 9, ...; capped at 2 firings
+    assert hits_that_fire(plan, "journal.append.io", 12) == [3, 6]
+    st = plan.stats()
+    assert st["hits"] == {"journal.append.io": 12}
+    assert st["fired"] == {"journal.append.io": 2}
+
+
+def test_unknown_point_hit_is_inert():
+    plan = parse_plan("journal.append.io=error")
+    plan.hit("server.conn.read")  # no rule -> not even counted
+    assert plan.stats()["hits"] == {}
+
+
+def test_prob_schedule_is_deterministic():
+    spec = "journal.append.io=error@p0.3"
+    a = parse_plan(spec, seed=7)
+    b = parse_plan(spec, seed=7)
+    other = parse_plan(spec, seed=8)
+    fa = hits_that_fire(a, "journal.append.io", 200)
+    fb = hits_that_fire(b, "journal.append.io", 200)
+    fc = hits_that_fire(other, "journal.append.io", 200)
+    assert fa == fb               # same seed, same hit sequence -> identical
+    assert fa != fc               # and the seed actually matters
+    assert 20 < len(fa) < 100     # p0.3 over 200 hits
+
+
+def test_multiple_rules_per_point():
+    plan = parse_plan(
+        "journal.append.io=delay:0@times1;journal.append.io=error@after1"
+    )
+    plan.hit("journal.append.io")  # delay fires (a no-op sleep), no error
+    with pytest.raises(OSError):
+        plan.hit("journal.append.io")
+    assert plan.stats()["fired"] == {"journal.append.io": 2}
+
+
+# ----------------------------------------------------------------------
+# Behaviors
+
+
+def test_error_carries_errno():
+    plan = parse_plan("journal.append.io=error:ENOSPC")
+    with pytest.raises(OSError) as exc:
+        plan.hit("journal.append.io")
+    assert exc.value.errno == errno.ENOSPC
+    assert "journal.append.io" in str(exc.value)
+
+
+def test_drop_raises_connection_dropped():
+    plan = parse_plan("server.conn.read=drop")
+    with pytest.raises(ConnectionDropped):
+        plan.hit("server.conn.read")
+
+
+def test_delay_sleeps_then_continues():
+    plan = parse_plan("journal.append.fsync=delay:0.05")
+    t0 = time.monotonic()
+    plan.hit("journal.append.fsync")  # returns normally
+    assert time.monotonic() - t0 >= 0.04
+
+
+def test_exit_kills_the_process():
+    code = (
+        "import sys; sys.path.insert(0, sys.argv[1])\n"
+        "from repro import faults\n"
+        "faults.activate(faults.parse_plan('journal.append.io=exit'))\n"
+        "faults.ACTIVE.hit('journal.append.io')\n"
+        "print('unreachable')\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code, SRC], capture_output=True, text=True
+    )
+    assert proc.returncode == 137
+    assert "unreachable" not in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# Activation
+
+
+def test_activate_deactivate_round_trip():
+    assert faults.ACTIVE is None and not faults.is_active()
+    plan = parse_plan("journal.append.io=error")
+    faults.activate(plan)
+    assert faults.ACTIVE is plan and faults.is_active()
+    faults.deactivate()
+    assert faults.ACTIVE is None
+
+
+def test_plan_from_env():
+    assert plan_from_env({}) is None
+    assert plan_from_env({faults.ENV_SPEC: ""}) is None
+    plan = plan_from_env(
+        {faults.ENV_SPEC: "journal.append.io=error@p0.5", faults.ENV_SEED: "9"}
+    )
+    assert plan is not None and plan.seed == 9
+    # empty seed string falls back to 0
+    plan = plan_from_env(
+        {faults.ENV_SPEC: "journal.append.io=error", faults.ENV_SEED: ""}
+    )
+    assert plan is not None and plan.seed == 0
+    with pytest.raises(FaultError):
+        plan_from_env(
+            {faults.ENV_SPEC: "journal.append.io=error", faults.ENV_SEED: "x"}
+        )
+
+
+def test_activate_from_env_reads_environ(monkeypatch):
+    monkeypatch.setenv(faults.ENV_SPEC, "sessions.admit=error:EAGAIN")
+    monkeypatch.setenv(faults.ENV_SEED, "3")
+    faults.activate_from_env()
+    assert faults.is_active()
+    plan = faults.ACTIVE
+    assert plan is not None
+    assert plan.seed == 3 and plan.rules[0].point == "sessions.admit"
+
+
+def test_known_failpoints_catalogue():
+    # the catalogue is the contract docs/FAULTS.md documents; a rename
+    # must update both (and every compiled-in hit site)
+    assert KNOWN_FAILPOINTS == {
+        "journal.append.io", "journal.append.fsync", "journal.roll.io",
+        "journal.checkpoint.io", "journal.recover.io",
+        "sessions.admit", "sessions.evict", "sessions.rehydrate",
+        "server.conn.accept", "server.conn.read", "server.conn.write",
+    }
+
+
+def test_stats_shape():
+    plan = FaultPlan(parse_rules("journal.append.io=error@times1"), seed=5)
+    with pytest.raises(OSError):
+        plan.hit("journal.append.io")
+    plan.hit("journal.append.io")
+    assert plan.stats() == {
+        "seed": 5,
+        "rules": 1,
+        "hits": {"journal.append.io": 2},
+        "fired": {"journal.append.io": 1},
+    }

@@ -191,6 +191,88 @@ def test_unreadable_snapshot_without_covering_tail_raises(tmp_path):
         j.recover()
 
 
+def test_truncated_crc_final_record_is_a_torn_tail(tmp_path):
+    root = str(tmp_path)
+    with Journal(root, fsync="never") as j:
+        append_n(j, 3)
+    seg = os.path.join(root, seg_files(root)[0])
+    lines = open(seg, "rb").read().splitlines(keepends=True)
+    last = lines[-1]
+    # cut the final record in the middle of its CRC digits: the record
+    # fails to decode, exactly like a crash mid-write of the checksum
+    cut = last[: last.index(b'"c":') + 7]
+    with open(seg, "wb") as fh:
+        fh.writelines(lines[:-1])
+        fh.write(cut)
+    with Journal(root, fsync="never") as j:
+        assert j.last_lsn == 2  # the truncated record was never acked
+        snap, tail = j.recover()
+    assert snap is None
+    assert [r.lsn for r in tail] == [1, 2]
+
+
+def test_duplicate_lsn_is_corruption(tmp_path):
+    root = str(tmp_path)
+    with Journal(root, fsync="never") as j:
+        append_n(j, 2)
+    seg = os.path.join(root, seg_files(root)[0])
+    from repro.service.journal import _encode_record
+
+    # a well-formed record (valid CRC) re-using an existing LSN: replay
+    # must refuse rather than silently double-apply
+    dup = _encode_record(JournalRecord(lsn=2, op="insert", name="dup", size=1))
+    with open(seg, "ab") as fh:
+        fh.write(dup)
+    j = Journal(root, fsync="never")
+    with pytest.raises(JournalCorrupt, match="expected 3"):
+        j.recover()
+
+
+def test_zero_length_segment_is_tolerated(tmp_path):
+    root = str(tmp_path)
+    with Journal(root, fsync="never") as j:
+        append_n(j, 3)
+    # a crash right after a roll, before the first append, leaves an
+    # empty segment behind; recovery must skip it, not choke
+    open(os.path.join(root, "wal-0000000000000004.seg"), "wb").close()
+    with Journal(root, fsync="never") as j:
+        assert j.last_lsn == 3
+        snap, tail = j.recover()
+    assert snap is None
+    assert [r.lsn for r in tail] == [1, 2, 3]
+
+
+def test_idem_key_round_trips(tmp_path):
+    with Journal(str(tmp_path), fsync="never") as j:
+        j.append("insert", "a", 2, idem="cdeadbeef-1")
+        j.append("delete", "a", 2)
+    snap, tail = Journal(str(tmp_path), fsync="never").recover()
+    assert snap is None
+    assert tail[0].idem == "cdeadbeef-1"
+    assert tail[1].idem is None
+
+
+def test_injected_append_fault_consumes_no_lsn(tmp_path):
+    from repro import faults
+
+    root = str(tmp_path)
+    with Journal(root, fsync="never") as j:
+        j.append("insert", "a", 1)
+        faults.activate(
+            faults.parse_plan("journal.append.io=error:ENOSPC@times1")
+        )
+        try:
+            with pytest.raises(OSError):
+                j.append("insert", "b", 2)
+            # all-or-nothing: the failed append left no trace
+            assert j.last_lsn == 1
+            assert j.append("insert", "b", 2) == 2
+        finally:
+            faults.deactivate()
+    snap, tail = Journal(root, fsync="never").recover()
+    assert [(r.lsn, r.name) for r in tail] == [(1, "a"), (2, "b")]
+
+
 def test_stats_shape(tmp_path):
     with Journal(str(tmp_path), fsync="always") as j:
         append_n(j, 2)

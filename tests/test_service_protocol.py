@@ -138,8 +138,17 @@ def test_result_from_response():
     assert result_from_response({"ok": True, "result": {"x": 1}}) == {"x": 1}
     with pytest.raises(ServiceError) as exc:
         result_from_response(
-            {"ok": False, "error": {"code": "backpressure", "message": "m"}})
-    assert exc.value.code is ErrorCode.BACKPRESSURE
+            {"ok": False,
+             "error": {"code": "retry_later", "message": "m", "retry_after": 0.25}})
+    assert exc.value.code is ErrorCode.RETRY_LATER
+    assert exc.value.retry_after == 0.25
+    # a bool retry_after is malformed and must not be trusted
+    with pytest.raises(ServiceError) as exc:
+        result_from_response(
+            {"ok": False,
+             "error": {"code": "degraded", "message": "m", "retry_after": True}})
+    assert exc.value.code is ErrorCode.DEGRADED
+    assert exc.value.retry_after is None
     # unknown code degrades to INTERNAL instead of crashing the client
     with pytest.raises(ServiceError) as exc:
         result_from_response({"ok": False, "error": {"code": "??", "message": ""}})

@@ -1,4 +1,4 @@
-"""SessionManager: serialization, backpressure, LRU eviction, recovery."""
+"""SessionManager: serialization, load shedding, LRU eviction, recovery."""
 
 import asyncio
 import os
@@ -121,10 +121,10 @@ def test_reopen_is_idempotent(tmp_path):
 
 
 # ----------------------------------------------------------------------
-# Backpressure
+# Load shedding
 
 
-def test_backpressure_is_exact(tmp_path):
+def test_shedding_is_exact(tmp_path):
     async def main():
         reg = MetricsRegistry()
         m = SessionManager(
@@ -144,8 +144,9 @@ def test_backpressure_is_exact(tmp_path):
         rejected = [r for r in results if isinstance(r, ServiceError)]
         accepted = [r for r in results if isinstance(r, dict)]
         assert len(accepted) == 4 and len(rejected) == 6
-        assert all(r.code is ErrorCode.BACKPRESSURE for r in rejected)
-        assert reg.snapshot()["counters"]["service.backpressure"] == 6
+        assert all(r.code is ErrorCode.RETRY_LATER for r in rejected)
+        assert all(r.retry_after is not None for r in rejected)
+        assert reg.snapshot()["counters"]["service.shed"] == 6
         q = await m.dispatch(req("query", session="s"))
         assert q["active"] == 4
         await m.shutdown()
@@ -266,7 +267,9 @@ def test_shutdown_checkpoints_and_rejects(tmp_path):
             await m.dispatch(req("open", session="late"))
         assert exc.value.code is ErrorCode.SHUTTING_DOWN
         # global stats still serve (read-only), sessions survive on disk
-        assert m.stats()["sessions"] == {"open": 0, "live": 0, "on_disk": 3}
+        assert m.stats()["sessions"] == {
+            "open": 0, "live": 0, "on_disk": 3, "degraded": 0,
+        }
 
     run(main())
 
