@@ -18,7 +18,11 @@ the surviving journals must agree as well.
 
 Results land in ``benchmarks/results/BENCH_chaos.json``: fault
 injection counts, availability, retry/reconnect totals, and
-kill-to-ready recovery latency percentiles.
+kill-to-ready recovery latency percentiles.  The default plan also arms
+``exit`` behaviors inside journal appends and checkpoints (a crash at
+the exact torn-record point), every server incarnation writes its own
+request trace, and the soak asserts all killed-run trace files still
+parse -- tolerating only a torn final line.
 
 Usage::
 
@@ -44,6 +48,8 @@ SRC = os.path.join(ROOT, "src")
 if SRC not in sys.path:
     sys.path.insert(0, SRC)
 
+from repro.obs.metrics import summarize  # noqa: E402
+from repro.obs.trace import read_trace  # noqa: E402
 from repro.service import RetryPolicy, ServiceClient  # noqa: E402
 from repro.service.protocol import (  # noqa: E402
     ErrorCode,
@@ -57,12 +63,19 @@ MAX_SIZE = 32
 
 #: Every registered failpoint, firing probabilistically off the seeded
 #: plan RNG.  Eviction/rehydration pressure comes from ``--max-live 2``.
+#: The ``exit`` rules crash the server *inside* a journal append or
+#: checkpoint -- the deterministic cousin of the harness's SIGKILLs,
+#: landing at the exact point where a torn record is possible.  They are
+#: safe to arm: startup recovery only reads (no append/checkpoint hits),
+#: so a respawn cannot crash-loop.
 DEFAULT_FAULTS = ";".join([
     "journal.append.io=error:EIO@p0.01",
+    "journal.append.io=exit@p0.0005",
     "journal.append.fsync=delay:0.002@p0.05",
     "journal.append.fsync=error:ENOSPC@p0.005",
     "journal.roll.io=error:EIO@p0.01",
     "journal.checkpoint.io=error:ENOSPC@p0.05",
+    "journal.checkpoint.io=exit@p0.002",
     "journal.recover.io=error:EIO@p0.05",
     "sessions.admit=error:EAGAIN@p0.005",
     "sessions.evict=error:EIO@p0.1",
@@ -85,7 +98,8 @@ def free_port():
     return port
 
 
-def spawn_server(data_dir, port, *, faults, faults_seed, max_live, timeout=30.0):
+def spawn_server(data_dir, port, *, faults, faults_seed, max_live,
+                 trace=None, timeout=30.0):
     ready = os.path.join(data_dir, "..", "ready.json")
     if os.path.exists(ready):
         os.unlink(ready)
@@ -93,11 +107,14 @@ def spawn_server(data_dir, port, *, faults, faults_seed, max_live, timeout=30.0)
     env["PYTHONPATH"] = SRC + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    cmd = [sys.executable, "-m", "repro", "serve", data_dir,
+           "--port", str(port), "--fsync", "always",
+           "--max-live", str(max_live), "--ready-file", ready,
+           "--faults", faults, "--faults-seed", str(faults_seed)]
+    if trace is not None:
+        cmd += ["--trace", trace]
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", data_dir,
-         "--port", str(port), "--fsync", "always",
-         "--max-live", str(max_live), "--ready-file", ready,
-         "--faults", faults, "--faults-seed", str(faults_seed)],
+        cmd,
         env=env,
         cwd=ROOT,
         stdout=subprocess.DEVNULL,
@@ -217,22 +234,6 @@ class Worker(threading.Thread):
             self.client.close()
 
 
-def percentiles(samples):
-    if not samples:
-        return {"mean": 0.0, "p50": 0.0, "p90": 0.0, "max": 0.0}
-    xs = sorted(samples)
-
-    def pick(q):
-        return xs[min(len(xs) - 1, int(q * len(xs)))]
-
-    return {
-        "mean": sum(xs) / len(xs),
-        "p50": pick(0.50),
-        "p90": pick(0.90),
-        "max": xs[-1],
-    }
-
-
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--seed", type=int, default=0)
@@ -256,8 +257,19 @@ def main(argv=None):
 
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as td:
         data = os.path.join(td, "data")
+        # One trace file per server incarnation: all but the last writer
+        # die by SIGKILL or an injected exit, so the post-soak assertion
+        # that every file still parses (tolerant of the torn tail only)
+        # exercises exactly the crash-forensics path.
+        trace_files = []
+
+        def next_trace():
+            path = os.path.join(td, f"trace-{len(trace_files)}.jsonl")
+            trace_files.append(path)
+            return path
+
         proc = spawn_server(data, port, faults=a.faults, faults_seed=a.seed,
-                            max_live=a.max_live)
+                            max_live=a.max_live, trace=next_trace())
 
         workers = []
         for i in range(a.sessions):
@@ -271,8 +283,18 @@ def main(argv=None):
             nonlocal proc
             t0 = time.monotonic()
             proc = spawn_server(data, port, faults=a.faults,
-                                faults_seed=a.seed, max_live=a.max_live)
+                                faults_seed=a.seed, max_live=a.max_live,
+                                trace=next_trace())
             recovery_lat.append(time.monotonic() - t0)
+
+        def ensure_server():
+            """Injected ``exit`` faults can kill the server at any
+            journal write -- including after the kill loop has ended, so
+            the drain and verification phases watchdog it too."""
+            nonlocal unexpected_exits
+            if proc.poll() is not None:
+                unexpected_exits += 1
+                respawn()
 
         end = time.monotonic() + a.duration
         next_kill = time.monotonic() + a.kill_every * (0.5 + rng.random())
@@ -291,13 +313,17 @@ def main(argv=None):
                     0.5 + rng.random()
                 )
 
-        if proc.poll() is not None:
-            unexpected_exits += 1
-            respawn()
+        ensure_server()
         stop.set()
-        for w in workers:
-            w.join(timeout=120)
-        stuck = [w.sid for w in workers if w.is_alive()]
+        drain_deadline = time.monotonic() + 120
+        pending = list(workers)
+        while pending and time.monotonic() < drain_deadline:
+            ensure_server()
+            for w in list(pending):
+                w.join(timeout=0.2)
+                if not w.is_alive():
+                    pending.remove(w)
+        stuck = [w.sid for w in pending]
         if stuck:
             raise RuntimeError(f"workers never drained: {stuck}")
         for w in workers:
@@ -326,6 +352,7 @@ def main(argv=None):
                 diverged(w.sid, "placements diverge")
             final = None
             for _ in range(200):
+                ensure_server()
                 try:
                     final = verify.query(w.sid, jobs=True)
                     break
@@ -343,7 +370,11 @@ def main(argv=None):
                     w.sid,
                     f"objective {final['objective']} != {ref_objective}",
                 )
-        server_stats = verify.stats()
+        try:
+            server_stats = verify.stats()
+        except ServiceError:
+            ensure_server()
+            server_stats = verify.stats()
         try:
             verify.shutdown()
         except ServiceError:
@@ -363,6 +394,23 @@ def main(argv=None):
                 len(ref_jobs), ref_objective
             ):
                 diverged(w.sid, "offline replay diverges")
+
+        # -- killed-run traces must still parse ------------------------
+        # Every incarnation but the last died abruptly; the tolerant
+        # reader may drop a torn final line but anything else raises
+        # TraceSchemaError and fails the soak.
+        trace_stats = {"files": 0, "records": 0, "server_ops": 0,
+                       "fault_events": 0}
+        for path in trace_files:
+            if not os.path.exists(path):
+                continue
+            trace_stats["files"] += 1
+            for rec in read_trace(path, tolerant=True):
+                trace_stats["records"] += 1
+                if rec.get("name") == "server.op" and rec["type"] == "span_start":
+                    trace_stats["server_ops"] += 1
+                elif rec["type"] == "span_event" and rec.get("name") == "fault.fired":
+                    trace_stats["fault_events"] += 1
 
     acked = sum(len(w.acked) for w in workers)
     retries = sum(w.client.retries for w in workers)
@@ -387,7 +435,8 @@ def main(argv=None):
             "reconnects": sum(w.client.reconnects for w in workers),
             "availability": acked / attempts if attempts else 1.0,
         },
-        "recovery_latency_s": percentiles(recovery_lat),
+        "recovery_latency_s": summarize(recovery_lat),
+        "traces": trace_stats,
         "verified": {
             "sessions": {w.sid: w.sid not in bad_sids for w in workers},
             "mismatches": mismatches,
@@ -407,6 +456,10 @@ def main(argv=None):
     print(f"recovery s: mean={lat['mean']:.2f} p50={lat['p50']:.2f} "
           f"p90={lat['p90']:.2f} max={lat['max']:.2f}")
     print(f"faults fired (last server): {doc['faults_survived']}")
+    ts = doc["traces"]
+    print(f"traces: {ts['files']} file(s) parsed, {ts['records']} records, "
+          f"{ts['server_ops']} server ops, {ts['fault_events']} fault "
+          f"events (all killed-run files readable)")
     if mismatches:
         print("DIVERGENCE:")
         for m in mismatches:

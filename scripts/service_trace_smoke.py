@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Traced-service smoke gate: the end-to-end span-tree join (CI).
+
+Spawns ``repro serve --trace``, drives a traced loadgen run against it
+(one client-side trace shared by every session), then SIGKILLs the
+server -- a clean shutdown would checkpoint the sessions and truncate
+their journals, destroying exactly the LSNs this gate wants to join.
+It then asserts the observability contract of docs/OBSERVABILITY.md:
+
+* both trace files validate against the schema (the server's read
+  tolerantly: its writer was killed, so only a torn final line may be
+  dropped);
+* every ``server.op`` span joins to a ``client.attempt`` span by
+  ``(trace, pspan)`` -- no orphaned server work;
+* the latency decomposition on every joined op satisfies
+  ``queue_wait + journal + execute <= total`` (plus rounding slop);
+* every journal record surviving on disk resolves through the trace to
+  the request that wrote it (``repro report --journal --trace``
+  semantics, exercised via the same library call).
+
+Exit code 0 = all assertions hold.  Runs in a few seconds; wired into
+CI as the ``trace-smoke`` job.
+"""
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+SRC = os.path.join(ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.obs.trace import Tracer, read_trace  # noqa: E402
+from repro.service.introspect import (  # noqa: E402
+    collect_spans,
+    join_traces,
+    journal_trace_report,
+)
+from repro.service.loadgen import LoadgenOptions, run_loadgen_sync  # noqa: E402
+
+#: Slack for the decomposition inequality: every part is rounded to
+#: microseconds independently before it lands on the span.
+DECOMP_SLOP_S = 1e-4
+
+
+def free_port():
+    s = socket.socket()
+    s.bind(("127.0.0.1", 0))
+    port = s.getsockname()[1]
+    s.close()
+    return port
+
+
+def spawn_server(data_dir, port, trace_path, timeout=30.0):
+    ready = os.path.join(data_dir, "..", "ready.json")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", data_dir,
+         "--port", str(port), "--fsync", "always",
+         "--ready-file", ready, "--trace", trace_path],
+        env=env,
+        cwd=ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(f"server exited on startup rc={proc.returncode}")
+        if os.path.exists(ready):
+            try:
+                with open(ready) as fh:
+                    doc = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                doc = None
+            if doc and doc.get("port"):
+                return proc
+        time.sleep(0.02)
+    proc.kill()
+    raise RuntimeError(f"server not ready within {timeout}s")
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--sessions", type=int, default=4)
+    ap.add_argument("--ops", type=int, default=40, help="ops per session")
+    ap.add_argument("--seed", type=int, default=1)
+    a = ap.parse_args(argv)
+
+    failures = []
+    port = free_port()
+    with tempfile.TemporaryDirectory(prefix="repro-trace-smoke-") as td:
+        data = os.path.join(td, "data")
+        server_trace = os.path.join(td, "server.jsonl")
+        client_trace = os.path.join(td, "client.jsonl")
+
+        proc = spawn_server(data, port, server_trace)
+        try:
+            with Tracer(client_trace, label="loadgen") as tracer:
+                bench = run_loadgen_sync(
+                    LoadgenOptions(sessions=a.sessions, ops=a.ops,
+                                   max_size=32, seed=a.seed),
+                    port=port, tracer=tracer,
+                )
+        finally:
+            # SIGKILL, deliberately: graceful shutdown checkpoints every
+            # session and truncates its journal -- no LSNs left to join.
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        # -- schema validation -----------------------------------------
+        client_recs = list(read_trace(client_trace))  # clean writer: strict
+        server_recs = list(read_trace(server_trace, tolerant=True))
+        client_spans = collect_spans(client_recs)
+        server_spans = collect_spans(server_recs)
+
+        # -- the cross-process join ------------------------------------
+        rows = join_traces(client_spans, server_spans)
+        if not rows:
+            failures.append("no server.op spans in the server trace")
+        unjoined = [r for r in rows if not r["joined"]]
+        if unjoined:
+            failures.append(
+                f"{len(unjoined)}/{len(rows)} server ops have no client "
+                f"attempt span (first: {unjoined[0]})"
+            )
+
+        # -- latency decomposition -------------------------------------
+        decomposed = 0
+        for r in rows:
+            if "total" not in r or "queue_wait" not in r:
+                continue
+            decomposed += 1
+            parts = (r.get("queue_wait", 0.0) + r.get("journal", 0.0)
+                     + r.get("execute", 0.0))
+            if parts > r["total"] + DECOMP_SLOP_S:
+                failures.append(
+                    f"decomposition exceeds total on span "
+                    f"{r['server_span']}: {parts:.6f} > {r['total']:.6f}"
+                )
+        if decomposed == 0:
+            failures.append("no server op carried a latency decomposition")
+        if not any(r.get("journal") for r in rows):
+            failures.append("no server op recorded journal time")
+
+        # -- journal LSN -> trace resolution ---------------------------
+        rep = journal_trace_report(data, server_trace, tolerant=True)
+        if rep["records"] == 0:
+            failures.append("no journal records survived on disk")
+        elif rep["resolved"] != rep["records"]:
+            failures.append(
+                f"only {rep['resolved']}/{rep['records']} journal records "
+                f"resolve to a trace span"
+            )
+
+    ops = bench["totals"]["ops"]
+    print(f"loadgen: {ops} ops over {a.sessions} session(s)")
+    print(f"client trace: {len(client_recs)} records, "
+          f"{len(client_spans)} spans")
+    print(f"server trace: {len(server_recs)} records, "
+          f"{len(server_spans)} spans")
+    print(f"join: {len(rows)} server ops, "
+          f"{sum(1 for r in rows if r['joined'])} joined, "
+          f"{decomposed} decomposed")
+    print(f"journal: {rep['resolved']}/{rep['records']} records resolved "
+          f"to trace spans")
+    if failures:
+        print("TRACE SMOKE FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("trace smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,10 +7,14 @@ run         replay a workload file (or a generated workload) on a scheduler
             structured event trace, ``--metrics`` prints the registry
 report      pretty-print a metrics snapshot from a JSONL trace (replayed)
             or a JSON snapshot file; ``--validate`` checks the schema only;
-            ``--journal DIR`` replays a service journal directory instead
+            ``--journal DIR`` replays a service journal directory instead;
+            ``--journal DIR --trace FILE`` joins on-disk journal LSNs back
+            to the server trace spans that wrote them (docs/OBSERVABILITY.md)
 serve       run the durable scheduler service (TCP/UNIX, WAL + recovery;
             see docs/SERVICE.md)
 client      send one request to a running service and print the result
+top         refreshing terminal dashboard for a running service (sessions,
+            queues, degraded state, latency percentiles)
 experiments run experiments from the registry (alias of repro.sim.experiments)
 gen         generate a workload trace file
 inspect     pretty-print a k-cursor table driven by a trace of district ops
@@ -115,6 +119,32 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     from repro.obs import TraceSchemaError, format_snapshot, read_trace, replay_trace
 
+    if args.journal and args.trace:
+        from repro.service.introspect import journal_trace_report
+
+        try:
+            rep = journal_trace_report(
+                args.journal, args.trace, tolerant=args.tolerant
+            )
+        except (OSError, TraceSchemaError) as e:
+            raise SystemExit(f"cannot join {args.journal} with {args.trace}: {e}")
+        for sid, sess in rep["sessions"].items():
+            print(f"session {sid}: {sess['records']} journal record(s)")
+            for row in sess["rows"]:
+                line = (f"  lsn {row['lsn']:>6}  {row['op']:<7} "
+                        f"{row['name']:<20}")
+                if row["resolved"]:
+                    line += f" trace={row['trace']} span={row['server_span']}"
+                    if "journal_s" in row:
+                        line += f" journal={row['journal_s'] * 1000:.3f}ms"
+                    if "fsync_s" in row:
+                        line += f" fsync={row['fsync_s'] * 1000:.3f}ms"
+                else:
+                    line += " (no trace span)"
+                print(line)
+        print(f"resolved {rep['resolved']}/{rep['records']} journal "
+              f"record(s) against {rep['spans']} trace span(s)")
+        return 0
     if args.journal:
         from repro.service import JournalCorrupt, replay_journal_dir
 
@@ -176,10 +206,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
     tracer = None
     if args.trace:
+        from repro.service.tracing import fault_observer
+
         try:
             tracer = Tracer(args.trace, label="service")
         except OSError as e:
             raise SystemExit(f"cannot write trace to {args.trace}: {e.strerror}")
+        # Fault firings become span events on the in-flight request trace
+        # (even `exit` crashes leave the event behind: it is written and
+        # flushed before the behavior runs).
+        faults.set_fire_observer(fault_observer(tracer))
     manager = SessionManager(
         args.data,
         fsync=args.fsync,
@@ -230,9 +266,17 @@ def cmd_client(args: argparse.Namespace) -> int:
             fields["config"] = json.loads(args.config)
         except json.JSONDecodeError as e:
             raise SystemExit(f"client: --config is not valid JSON: {e.msg}")
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        try:
+            tracer = Tracer(args.trace, label="client")
+        except OSError as e:
+            raise SystemExit(f"cannot write trace to {args.trace}: {e.strerror}")
     try:
         client = ServiceClient(args.host, args.port, unix_path=args.unix,
-                               timeout=args.timeout)
+                               timeout=args.timeout, tracer=tracer)
     except OSError as e:
         raise SystemExit(f"client: cannot connect: {e}")
     try:
@@ -243,8 +287,47 @@ def cmd_client(args: argparse.Namespace) -> int:
         return 1
     finally:
         client.close()
+        if tracer is not None:
+            tracer.close()
     print(json.dumps(result, indent=2, sort_keys=True))
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service import ServiceClient, ServiceError
+    from repro.service.top import render_top
+
+    if (args.port is None) == (args.unix is None):
+        raise SystemExit("top: pass exactly one of --port or --unix")
+    target = args.unix if args.unix else f"{args.host}:{args.port}"
+    frames = 0
+    try:
+        while True:
+            try:
+                client = ServiceClient(args.host, args.port,
+                                       unix_path=args.unix,
+                                       timeout=args.timeout)
+            except OSError as e:
+                raise SystemExit(f"top: cannot connect to {target}: {e}")
+            try:
+                stats = client.call("stats")
+            except ServiceError as e:
+                raise SystemExit(f"top: {e.code.value}: {e.message}")
+            finally:
+                client.close()
+            frames += 1
+            if not args.once:
+                print("\x1b[2J\x1b[H", end="")
+            print(render_top(stats, target=target,
+                             max_sessions=args.sessions),
+                  flush=True)
+            if args.once or (args.frames and frames >= args.frames):
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_gen(args: argparse.Namespace) -> int:
@@ -336,6 +419,11 @@ def main(argv: list[str] | None = None) -> int:
     p_rep.add_argument("--journal", metavar="DIR",
                        help="replay a service journal directory (a session "
                             "dir or a server data dir) instead of a trace")
+    p_rep.add_argument("--trace", metavar="FILE",
+                       help="with --journal: join on-disk LSNs back to the "
+                            "server trace spans that wrote them")
+    p_rep.add_argument("--tolerant", action="store_true",
+                       help="accept a torn final trace line (killed writer)")
     p_rep.set_defaults(fn=cmd_report)
 
     p_srv = sub.add_parser("serve", help="run the durable scheduler service "
@@ -373,9 +461,9 @@ def main(argv: list[str] | None = None) -> int:
 
     p_cli = sub.add_parser("client", help="send one request to a running "
                                           "service and print the result")
-    p_cli.add_argument("op", choices=["ping", "open", "insert", "delete",
-                                      "query", "snapshot", "stats", "close",
-                                      "shutdown"])
+    p_cli.add_argument("op", choices=["ping", "health", "open", "insert",
+                                      "delete", "query", "snapshot", "stats",
+                                      "close", "shutdown"])
     p_cli.add_argument("--host", default="127.0.0.1")
     p_cli.add_argument("--port", type=int)
     p_cli.add_argument("--unix", metavar="PATH")
@@ -387,7 +475,26 @@ def main(argv: list[str] | None = None) -> int:
     p_cli.add_argument("--config", metavar="JSON",
                        help='session config for open, e.g. \'{"p": 2}\'')
     p_cli.add_argument("--timeout", type=float, default=30.0)
+    p_cli.add_argument("--trace", metavar="OUT.jsonl",
+                       help="write client-side spans (call/attempt/retry) "
+                            "to a JSONL trace joinable with the server's")
     p_cli.set_defaults(fn=cmd_client)
+
+    p_top = sub.add_parser("top", help="refreshing dashboard for a running "
+                                       "service (ctrl-C to quit)")
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int)
+    p_top.add_argument("--unix", metavar="PATH")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between refreshes")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one frame (no screen clearing) and exit")
+    p_top.add_argument("--frames", type=int, default=0,
+                       help="exit after N frames (0 = run until ctrl-C)")
+    p_top.add_argument("--sessions", type=int, default=20,
+                       help="max rows in the per-session table")
+    p_top.add_argument("--timeout", type=float, default=5.0)
+    p_top.set_defaults(fn=cmd_top)
 
     p_gen = sub.add_parser("gen", help="generate a workload trace")
     p_gen.add_argument("kind", choices=["mixed", "churn", "grow-shrink", "cascade",

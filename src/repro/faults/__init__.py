@@ -19,8 +19,9 @@ the lowest layers without cycles).  Plans come from
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
+from repro.faults import registry as _registry
 from repro.faults.registry import (
     ENV_SEED,
     ENV_SPEC,
@@ -50,6 +51,7 @@ __all__ = [
     "parse_plan",
     "parse_rules",
     "plan_from_env",
+    "set_fire_observer",
 ]
 
 #: The active plan; ``None`` means every failpoint is a no-op test.
@@ -79,3 +81,14 @@ def deactivate() -> None:
 
 def is_active() -> bool:
     return ACTIVE is not None
+
+
+def set_fire_observer(cb: Optional[Callable[[str, str], None]]) -> None:
+    """Install (or clear, with ``None``) the fault-firing observer.
+
+    The callback receives ``(point, kind)`` before the fired behavior
+    runs -- see :data:`repro.faults.registry.ON_FIRE`.  The service
+    layer uses this to stamp ``fault.fired`` span events onto the
+    in-flight request trace (:func:`repro.service.tracing.fault_observer`).
+    """
+    _registry.ON_FIRE = cb

@@ -45,7 +45,7 @@ import os
 import random
 import time
 from dataclasses import dataclass
-from typing import Any, Mapping, Optional, Sequence
+from typing import Any, Callable, Mapping, Optional, Sequence
 
 __all__ = [
     "ConnectionDropped",
@@ -55,6 +55,7 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "KNOWN_FAILPOINTS",
+    "ON_FIRE",
     "parse_plan",
     "parse_rules",
     "plan_from_env",
@@ -83,6 +84,14 @@ KNOWN_FAILPOINTS: frozenset[str] = frozenset(
 )
 
 _KINDS = ("error", "delay", "drop", "exit")
+
+#: Optional observer called as ``cb(point, kind)`` every time a rule
+#: fires, *before* its behavior runs -- so even an ``exit`` crash leaves
+#: a record behind (the tracer flushes per line).  Kept a plain callable
+#: (not an import of repro.obs) to preserve the stdlib-only contract;
+#: the service layer installs a tracer-backed observer via
+#: :func:`repro.faults.set_fire_observer`.
+ON_FIRE: Optional[Callable[[str, str], None]] = None
 
 
 class FaultError(ValueError):
@@ -190,6 +199,9 @@ class FaultPlan:
 
     @staticmethod
     def _fire(point: str, rule: FaultRule) -> None:
+        cb = ON_FIRE
+        if cb is not None:
+            cb(point, rule.kind)
         if rule.kind == "delay":
             time.sleep(rule.delay)
             return

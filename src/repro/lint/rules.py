@@ -728,3 +728,24 @@ class RL007FailpointGuard(RL001ObserverGuard):
     path_prefixes = ("repro/service/",)
     guard_attrs = frozenset({"ACTIVE"})
     guard_noun = "failpoint"
+
+
+# ----------------------------------------------------------------------
+# RL008: tracer access in the service stack must be guarded
+
+
+@rule
+class RL008TracerGuard(RL001ObserverGuard):
+    """The request-tracing twin of RL001/RL007 for the serving stack:
+    ``tracer`` attributes and the per-op ``tracing.CURRENT`` hand-off may
+    only be dereferenced behind an ``is not None`` guard, so serving with
+    tracing disabled costs exactly one attribute test per instrumentation
+    site (the acceptance bar in docs/OBSERVABILITY.md)."""
+
+    id = "RL008"
+    summary = ("tracer access (`self.tracer.…`/`tracing.CURRENT.…`) must "
+               "sit behind an `is not None` guard (zero overhead when "
+               "request tracing is off)")
+    path_prefixes = ("repro/service/",)
+    guard_attrs = frozenset({"tracer", "_tracer", "CURRENT"})
+    guard_noun = "tracer"

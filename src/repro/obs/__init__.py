@@ -40,8 +40,11 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    Series,
     Timer,
     format_snapshot,
+    percentile,
+    summarize,
 )
 from repro.obs.profile import NULL_CONTEXT, profile_span, profiled
 from repro.obs.state import disable, enable, is_enabled
@@ -66,6 +69,7 @@ __all__ = [
     "NULL_CONTEXT",
     "PMAObserver",
     "SCHEMA_VERSION",
+    "Series",
     "TRACE_SCHEMA",
     "Timer",
     "TraceSchemaError",
@@ -78,9 +82,11 @@ __all__ = [
     "format_snapshot",
     "get_logger",
     "is_enabled",
+    "percentile",
     "profile_span",
     "profiled",
     "read_trace",
+    "summarize",
     "replay_trace",
     "validate_record",
 ]

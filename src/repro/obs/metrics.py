@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Optional
+from typing import Optional, Sequence
 
 
 class Counter:
@@ -53,13 +53,55 @@ class Gauge:
 
 
 def _bucket(v: float) -> str:
-    """Power-of-two bucket label: smallest ``2^e >= v`` (``"0"`` for v<=0)."""
+    """Power-of-two bucket label: smallest ``2^e >= v``.
+
+    Non-positive values land in ``"0"``; non-finite observations get
+    their own ``"inf"`` / ``"nan"`` buckets (``math.frexp`` returns a
+    zero exponent for them, which used to mislabel both as ``"2^0"``).
+    The invariants are pinned by a hypothesis property test.
+    """
+    if math.isnan(v):
+        return "nan"
     if v <= 0:
         return "0"
+    if math.isinf(v):
+        return "inf"
     m, e = math.frexp(v)  # v = m * 2**e, m in [0.5, 1)
     if m == 0.5:  # exact power of two: it is its own bucket bound
         e -= 1
     return f"2^{e}"
+
+
+def percentile(sorted_vals: Sequence[float], q: float) -> float:
+    """Exact q-quantile (nearest-rank) of an ascending list; 0.0 if empty.
+
+    The one shared implementation (loadgen, the chaos harness and the
+    service latency series all report through it), so every BENCH
+    document means the same thing by "p99".
+    """
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, max(0, math.ceil(q * len(sorted_vals)) - 1))
+    return sorted_vals[idx]
+
+
+def summarize(values: Sequence[float], *, scale: float = 1.0) -> dict[str, float]:
+    """Mean + nearest-rank p50/p90/p99/max of raw observations.
+
+    ``scale`` converts units in one place (1000.0 renders seconds as
+    milliseconds).  ``count`` rides along so consumers can judge how
+    much data backs the percentiles.
+    """
+    ordered = sorted(values)
+    n = len(ordered)
+    return {
+        "count": float(n),
+        "mean": (sum(ordered) / n) * scale if n else 0.0,
+        "p50": percentile(ordered, 0.50) * scale,
+        "p90": percentile(ordered, 0.90) * scale,
+        "p99": percentile(ordered, 0.99) * scale,
+        "max": ordered[-1] * scale if n else 0.0,
+    }
 
 
 class Histogram:
@@ -88,6 +130,47 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+
+class Series:
+    """Bounded ring of raw observations for exact tail percentiles.
+
+    Power-of-two histogram buckets are too coarse for p99 latencies, so
+    latency decomposition keeps the raw samples -- bounded by ``cap``
+    (the *window*; the newest samples win) while ``count``/``total``
+    stay exact over the series' lifetime.
+    """
+
+    __slots__ = ("name", "cap", "count", "total", "_ring", "_head")
+
+    def __init__(self, name: str, cap: int = 8192) -> None:
+        if cap < 1:
+            raise ValueError("cap must be >= 1")
+        self.name = name
+        self.cap = cap
+        self.count = 0
+        self.total = 0.0
+        self._ring: list[float] = []
+        self._head = 0
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        if len(self._ring) < self.cap:
+            self._ring.append(v)
+        else:
+            self._ring[self._head] = v
+            self._head = (self._head + 1) % self.cap
+
+    def values(self) -> list[float]:
+        """The retained window, oldest first."""
+        return self._ring[self._head:] + self._ring[: self._head]
+
+    def summary(self, *, scale: float = 1.0) -> dict[str, float]:
+        """:func:`summarize` over the window; ``count`` is lifetime-exact."""
+        out = summarize(self._ring, scale=scale)
+        out["count"] = float(self.count)
+        return out
 
 
 class Timer:
@@ -120,6 +203,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._series: dict[str, Series] = {}
 
     # -- get-or-create ---------------------------------------------------
 
@@ -144,12 +228,19 @@ class MetricsRegistry:
             h = self._histograms[name] = Histogram(name)
         return h
 
+    def series(self, name: str, cap: int = 8192) -> Series:
+        s = self._series.get(name)
+        if s is None:
+            self._check_fresh(name, self._series)
+            s = self._series[name] = Series(name, cap)
+        return s
+
     def timer(self, name: str) -> Timer:
         """Fresh timer feeding ``histogram(name)`` (name it ``*.seconds``)."""
         return Timer(self.histogram(name))
 
     def _check_fresh(self, name: str, own: dict) -> None:
-        for kind in (self._counters, self._gauges, self._histograms):
+        for kind in (self._counters, self._gauges, self._histograms, self._series):
             if kind is not own and name in kind:
                 raise ValueError(f"metric {name!r} already registered as another kind")
 
@@ -172,6 +263,17 @@ class MetricsRegistry:
             return self._gauges[name].value
         return 0
 
+    def series_summaries(
+        self, prefix: str = "", *, scale: float = 1.0
+    ) -> dict[str, dict[str, float]]:
+        """Summaries of every series under ``prefix``, keyed by the name
+        with the prefix stripped (``service.op.`` -> ``queue_wait`` ...)."""
+        return {
+            n[len(prefix):]: s.summary(scale=scale)
+            for n, s in sorted(self._series.items())
+            if n.startswith(prefix)
+        }
+
     def snapshot(self) -> dict:
         """JSON-serializable view of every instrument."""
         return {
@@ -188,12 +290,16 @@ class MetricsRegistry:
                 }
                 for n, h in sorted(self._histograms.items())
             },
+            "series": {
+                n: s.summary() for n, s in sorted(self._series.items())
+            },
         }
 
     def clear(self) -> None:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+        self._series.clear()
 
 
 def format_snapshot(snap: dict, title: Optional[str] = None) -> str:
@@ -204,7 +310,10 @@ def format_snapshot(snap: dict, title: Optional[str] = None) -> str:
     counters = snap.get("counters", {})
     gauges = snap.get("gauges", {})
     histograms = snap.get("histograms", {})
-    width = max((len(n) for n in (*counters, *gauges, *histograms)), default=0)
+    series = snap.get("series", {})
+    width = max(
+        (len(n) for n in (*counters, *gauges, *histograms, *series)), default=0
+    )
     if counters:
         lines.append("counters:")
         for n, v in counters.items():
@@ -219,6 +328,14 @@ def format_snapshot(snap: dict, title: Optional[str] = None) -> str:
             lines.append(
                 f"  {n:<{width}} count={h['count']} mean={h['mean']:.6g} "
                 f"min={h['min']:.6g} max={h['max']:.6g}"
+            )
+    if series:
+        lines.append("series:")
+        for n, s in series.items():
+            lines.append(
+                f"  {n:<{width}} count={s['count']:g} mean={s['mean']:.6g} "
+                f"p50={s['p50']:.6g} p90={s['p90']:.6g} p99={s['p99']:.6g} "
+                f"max={s['max']:.6g}"
             )
     if len(lines) <= (1 if title else 0):
         lines.append("(no metrics recorded)")

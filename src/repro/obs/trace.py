@@ -21,6 +21,21 @@ k-cursor table ops and their rebuild cascades, then the job
 reallocations, are emitted with ``parent`` pointing into that span; the
 ``span_end`` record carries the request's metric deltas.  A single
 insert therefore reads as one contiguous, self-describing block.
+
+Cross-process linkage (the service stack): span ids are only unique
+within one trace file, so records may additionally carry ``trace`` (a
+client-generated request trace id, a string) and -- on the server side
+-- ``pspan`` (the *remote* parent span id, from the peer's trace file).
+Joining a client trace and a server trace on ``(trace, pspan)`` yields
+one request's full span tree across both processes; see
+:mod:`repro.service.introspect` and docs/OBSERVABILITY.md.
+
+Stack vs. detached spans: ``begin_span``/``end_span`` track a single
+open-span stack -- right for one synchronous run.  A server interleaves
+many requests on one tracer, so it uses the detached API
+(:meth:`Tracer.open_span` / :meth:`Tracer.close_span` /
+:meth:`Tracer.event`) where the caller carries the span id and parent
+linkage explicitly.
 """
 
 from __future__ import annotations
@@ -42,6 +57,7 @@ TRACE_SCHEMA: dict[str, tuple[str, ...]] = {
     "trace_start": ("label",),
     "span_start": ("span", "name"),
     "span_end": ("span", "name"),
+    "span_event": ("name",),
     "table_op": ("span", "kind", "district", "units", "cost", "m"),
     "rebuild": ("parent", "level", "grow", "window", "cost"),
     "realloc": ("parent", "job", "size", "kind"),
@@ -97,6 +113,7 @@ class Tracer:
         self._seq = 0
         self._next_span = 1
         self._stack: list[int] = []
+        self._detached: dict[int, str] = {}
         self._closed = False
         self.emit("trace_start", {"label": label})
 
@@ -162,7 +179,54 @@ class Tracer:
         finally:
             self.end_span(name)
 
+    # -- detached spans (interleaved request flows) ----------------------
+
+    def open_span(self, name: str, payload: Optional[dict] = None) -> int:
+        """Start a span *outside* the stack; the caller keeps the id.
+
+        Parent linkage is explicit: put ``parent`` (a local span id),
+        ``trace`` (a cross-process trace id) and/or ``pspan`` (the
+        remote parent span id) into ``payload``.  Detached spans from
+        many concurrent requests interleave freely in the file.
+        """
+        sid = self.new_span_id()
+        rec = {"span": sid, "name": name}
+        if payload:
+            rec.update(payload)
+        self.emit("span_start", rec)
+        self._detached[sid] = name
+        return sid
+
+    def close_span(
+        self, sid: int, name: str, payload: Optional[dict] = None
+    ) -> None:
+        """End a detached span previously returned by :meth:`open_span`."""
+        self._detached.pop(sid, None)
+        rec = {"span": sid, "name": name}
+        if payload:
+            rec.update(payload)
+        self.emit("span_end", rec)
+
+    def event(self, name: str, payload: Optional[dict] = None) -> None:
+        """A point-in-time ``span_event`` (retry, fault fired, shed...).
+
+        Link it to a span via ``span``/``trace`` keys in ``payload``.
+        """
+        rec = {"name": name}
+        if payload:
+            rec.update(payload)
+        self.emit("span_event", rec)
+
     # -- lifecycle -------------------------------------------------------
+
+    def flush(self) -> None:
+        """Push buffered records to the sink now.
+
+        ``emit`` does not flush (hot-path cost); callers that must
+        survive an abrupt ``os._exit`` -- e.g. the ``fault.fired``
+        observer ahead of an injected crash -- flush explicitly.
+        """
+        self._fh.flush()
 
     def close(self) -> None:
         if self._closed:
@@ -170,6 +234,9 @@ class Tracer:
         self._closed = True
         while self._stack:
             self.end_span("<unclosed>")
+        for sid, name in sorted(self._detached.items()):
+            self.emit("span_end", {"span": sid, "name": name, "unclosed": True})
+        self._detached.clear()
         self.emit("trace_end", {"records": self._seq + 1})
         self._fh.flush()
         if self._owns:
@@ -186,27 +253,57 @@ class Tracer:
 # Reading / replaying
 
 
-def read_trace(source: Union[str, "io.TextIOBase"], *, validate: bool = True) -> Iterator[dict]:
-    """Yield records from a JSONL trace file (or open text stream)."""
+def read_trace(
+    source: Union[str, "io.TextIOBase"],
+    *,
+    validate: bool = True,
+    tolerant: bool = False,
+) -> Iterator[dict]:
+    """Yield records from a JSONL trace file (or open text stream).
+
+    ``tolerant=True`` reads traces from *killed* writers: a final line
+    that is torn (undecodable or schema-incomplete -- the process died
+    mid-``write``) is dropped silently, and a missing ``trace_end`` is
+    fine.  Garbage anywhere *before* the last line still raises -- a
+    crash can only tear the tail, so mid-file corruption is a real bug.
+    """
     fh = open(source) if isinstance(source, (str, bytes)) else source
     try:
+        pending: Optional[tuple[int, str]] = None
+        lineno = 0
         for lineno, line in enumerate(fh, 1):
-            line = line.strip()
-            if not line:
+            stripped = line.strip()
+            if tolerant:
+                # Hold each line back one step: only a line with a
+                # successor is guaranteed not to be the torn tail.
+                if pending is not None:
+                    yield _decode_trace_line(*pending, validate=validate)
+                pending = (lineno, stripped) if stripped else None
                 continue
+            if not stripped:
+                continue
+            yield _decode_trace_line(lineno, stripped, validate=validate)
+        if pending is not None:
             try:
-                rec = json.loads(line)
-            except json.JSONDecodeError as e:
-                raise TraceSchemaError(f"line {lineno}: not JSON: {e}") from e
-            if validate:
-                try:
-                    validate_record(rec)
-                except TraceSchemaError as e:
-                    raise TraceSchemaError(f"line {lineno}: {e}") from e
-            yield rec
+                yield _decode_trace_line(*pending, validate=validate)
+            except TraceSchemaError:
+                pass  # torn tail from a killed writer: never acknowledged
     finally:
         if isinstance(source, (str, bytes)):
             fh.close()
+
+
+def _decode_trace_line(lineno: int, line: str, *, validate: bool) -> dict:
+    try:
+        rec = json.loads(line)
+    except json.JSONDecodeError as e:
+        raise TraceSchemaError(f"line {lineno}: not JSON: {e}") from e
+    if validate:
+        try:
+            validate_record(rec)
+        except TraceSchemaError as e:
+            raise TraceSchemaError(f"line {lineno}: {e}") from e
+    return rec
 
 
 def replay_trace(

@@ -26,6 +26,15 @@ Resilience (docs/FAULTS.md):
   client-generated key, so a retry after an ambiguous failure (dropped
   connection, timeout) is deduplicated server-side and can never
   double-apply.
+
+Tracing (docs/OBSERVABILITY.md): pass ``tracer=`` and every ``call``
+becomes a ``client.call`` span with one ``client.attempt`` child per
+try, all sharing one trace id that is *stable across retries* and
+stamped into the wire ``trace`` field -- a traced server links its
+``server.op`` spans back to the exact attempt that caused them, so a
+retried-then-deduplicated insert reads as one trace with two attempts
+and a single application.  Without a tracer the cost is one ``None``
+test per call (reprolint RL008).
 """
 
 from __future__ import annotations
@@ -39,6 +48,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro.obs.trace import Tracer
 from repro.service.protocol import (
     IDEMPOTENT_OPS,
     MAX_LINE_BYTES,
@@ -59,6 +69,16 @@ _IDEM_COUNTER = itertools.count(1)
 
 def _next_idem() -> str:
     return f"c{os.getpid():x}-{next(_IDEM_COUNTER):x}"
+
+
+#: Trace ids follow the same uniqueness scheme as idempotency keys: one
+#: id per logical ``call``, stable across its retries, unique across the
+#: clients of this process and across concurrent processes.
+_TRACE_COUNTER = itertools.count(1)
+
+
+def next_trace_id() -> str:
+    return f"t{os.getpid():x}-{next(_TRACE_COUNTER):x}"
 
 
 @dataclass(frozen=True)
@@ -228,6 +248,7 @@ class ServiceClient(_CallMixin):
         timeout: float = 30.0,
         retry: Optional[RetryPolicy] = None,
         auto_idem: bool = True,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if (port is None) == (unix_path is None):
             raise ValueError("pass exactly one of port= or unix_path=")
@@ -237,6 +258,7 @@ class ServiceClient(_CallMixin):
         self.timeout = timeout
         self.retry = retry
         self.auto_idem = auto_idem
+        self.tracer = tracer
         self._sock: Optional[socket.socket] = None
         self._fh: Optional[Any] = None
         self._next_id = 0
@@ -298,15 +320,59 @@ class ServiceClient(_CallMixin):
     ) -> dict[str, Any]:
         if self.auto_idem and op in IDEMPOTENT_OPS and "idem" not in fields:
             fields = {**fields, "idem": _next_idem()}
+        tracer = self.tracer
+        if tracer is None:
+            return self._call_loop(op, fields, timeout, None, "", 0)
+        tid = next_trace_id()
+        payload: dict[str, Any] = {"op": op, "trace": tid}
+        if "session" in fields:
+            payload["session"] = fields["session"]
+        root = tracer.open_span("client.call", payload)
+        try:
+            result = self._call_loop(op, fields, timeout, tracer, tid, root)
+        except ServiceError as e:
+            tracer.close_span(
+                root, "client.call", {"trace": tid, "outcome": e.code.value}
+            )
+            raise
+        tracer.close_span(root, "client.call", {"trace": tid, "outcome": "ok"})
+        return result
+
+    def _call_loop(
+        self,
+        op: str,
+        fields: dict[str, Any],
+        timeout: Optional[float],
+        tracer: Optional[Tracer],
+        tid: str,
+        root: int,
+    ) -> dict[str, Any]:
         delays = self.retry.schedule() if self.retry is not None else []
         step = 0
+        attempt = 0
         while True:
+            attempt += 1
+            afields = fields
+            aspan: Optional[int] = None
+            if tracer is not None:
+                aspan = tracer.open_span(
+                    "client.attempt",
+                    {"op": op, "parent": root, "trace": tid, "attempt": attempt},
+                )
+                afields = {**fields, "trace": {"tid": tid, "span": aspan}}
             try:
                 if self._fh is None:
                     self.reconnects += 1
+                    if tracer is not None:
+                        tracer.event("client.reconnect", {"trace": tid})
                     self._connect()
-                return self._call_once(op, fields, timeout)
+                result = self._call_once(op, afields, timeout)
             except ServiceError as e:
+                if tracer is not None and aspan is not None:
+                    tracer.close_span(
+                        aspan, "client.attempt",
+                        {"trace": tid, "outcome": e.code.value},
+                    )
                 if (
                     self.retry is None
                     or not self.retry.retries_code(e.code)
@@ -316,11 +382,23 @@ class ServiceClient(_CallMixin):
                 wait = _retry_wait(delays[step], e)
                 step += 1
                 self.retries += 1
+                if tracer is not None:
+                    tracer.event(
+                        "client.retry",
+                        {"trace": tid, "error": e.code.value,
+                         "wait": round(wait, 6)},
+                    )
                 time.sleep(wait)
             except (OSError, EOFError) as e:
                 # Transport failure mid-call: the request's fate is
                 # unknown, so tear down and (with idem keys making the
                 # retry safe) reconnect on the next attempt.
+                if tracer is not None and aspan is not None:
+                    tracer.close_span(
+                        aspan, "client.attempt",
+                        {"trace": tid, "outcome": "transport",
+                         "error": f"{type(e).__name__}: {e}"},
+                    )
                 self._teardown()
                 if self.retry is None or step >= len(delays):
                     raise ServiceError(
@@ -329,7 +407,19 @@ class ServiceClient(_CallMixin):
                 wait = delays[step]
                 step += 1
                 self.retries += 1
+                if tracer is not None:
+                    tracer.event(
+                        "client.retry",
+                        {"trace": tid, "error": "transport",
+                         "wait": round(wait, 6)},
+                    )
                 time.sleep(wait)
+            else:
+                if tracer is not None and aspan is not None:
+                    tracer.close_span(
+                        aspan, "client.attempt", {"trace": tid, "outcome": "ok"}
+                    )
+                return result
 
     def close(self) -> None:
         self._teardown()
@@ -357,6 +447,7 @@ class AsyncServiceClient(_CallMixin):
         unix_path: Optional[str] = None,
         retry: Optional[RetryPolicy] = None,
         auto_idem: bool = True,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if (port is None) == (unix_path is None):
             raise ValueError("pass exactly one of port= or unix_path=")
@@ -365,6 +456,7 @@ class AsyncServiceClient(_CallMixin):
         self.unix_path = unix_path
         self.retry = retry
         self.auto_idem = auto_idem
+        self.tracer = tracer
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._lock = asyncio.Lock()
@@ -421,15 +513,59 @@ class AsyncServiceClient(_CallMixin):
     ) -> dict[str, Any]:
         if self.auto_idem and op in IDEMPOTENT_OPS and "idem" not in fields:
             fields = {**fields, "idem": _next_idem()}
+        tracer = self.tracer
+        if tracer is None:
+            return await self._call_loop(op, fields, timeout, None, "", 0)
+        tid = next_trace_id()
+        payload: dict[str, Any] = {"op": op, "trace": tid}
+        if "session" in fields:
+            payload["session"] = fields["session"]
+        root = tracer.open_span("client.call", payload)
+        try:
+            result = await self._call_loop(op, fields, timeout, tracer, tid, root)
+        except ServiceError as e:
+            tracer.close_span(
+                root, "client.call", {"trace": tid, "outcome": e.code.value}
+            )
+            raise
+        tracer.close_span(root, "client.call", {"trace": tid, "outcome": "ok"})
+        return result
+
+    async def _call_loop(
+        self,
+        op: str,
+        fields: dict[str, Any],
+        timeout: Optional[float],
+        tracer: Optional[Tracer],
+        tid: str,
+        root: int,
+    ) -> dict[str, Any]:
         delays = self.retry.schedule() if self.retry is not None else []
         step = 0
+        attempt = 0
         while True:
+            attempt += 1
+            afields = fields
+            aspan: Optional[int] = None
+            if tracer is not None:
+                aspan = tracer.open_span(
+                    "client.attempt",
+                    {"op": op, "parent": root, "trace": tid, "attempt": attempt},
+                )
+                afields = {**fields, "trace": {"tid": tid, "span": aspan}}
             try:
                 if self._reader is None and self.retry is not None and step > 0:
                     self.reconnects += 1
+                    if tracer is not None:
+                        tracer.event("client.reconnect", {"trace": tid})
                     await self.connect()
-                return await self._call_once(op, fields, timeout)
+                result = await self._call_once(op, afields, timeout)
             except ServiceError as e:
+                if tracer is not None and aspan is not None:
+                    tracer.close_span(
+                        aspan, "client.attempt",
+                        {"trace": tid, "outcome": e.code.value},
+                    )
                 if (
                     self.retry is None
                     or not self.retry.retries_code(e.code)
@@ -439,10 +575,22 @@ class AsyncServiceClient(_CallMixin):
                 wait = _retry_wait(delays[step], e)
                 step += 1
                 self.retries += 1
+                if tracer is not None:
+                    tracer.event(
+                        "client.retry",
+                        {"trace": tid, "error": e.code.value,
+                         "wait": round(wait, 6)},
+                    )
                 await asyncio.sleep(wait)
             except (OSError, EOFError) as e:
                 # Includes TimeoutError from wait_for: after a timeout
                 # the stream framing is unknown, so always tear down.
+                if tracer is not None and aspan is not None:
+                    tracer.close_span(
+                        aspan, "client.attempt",
+                        {"trace": tid, "outcome": "transport",
+                         "error": f"{type(e).__name__}: {e}"},
+                    )
                 await self._teardown()
                 if self.retry is None or step >= len(delays):
                     raise ServiceError(
@@ -451,7 +599,19 @@ class AsyncServiceClient(_CallMixin):
                 wait = delays[step]
                 step += 1
                 self.retries += 1
+                if tracer is not None:
+                    tracer.event(
+                        "client.retry",
+                        {"trace": tid, "error": "transport",
+                         "wait": round(wait, 6)},
+                    )
                 await asyncio.sleep(wait)
+            else:
+                if tracer is not None and aspan is not None:
+                    tracer.close_span(
+                        aspan, "client.attempt", {"trace": tid, "outcome": "ok"}
+                    )
+                return result
 
     async def close(self) -> None:
         await self._teardown()

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Any, Optional
@@ -60,6 +61,7 @@ from typing import Any, Optional
 from repro import faults
 from repro.obs.logsetup import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.service import tracing
 
 log = get_logger("service.journal")
 
@@ -274,6 +276,9 @@ class Journal:
             self.fsync == "interval" and self._since_fsync + 1 >= self.fsync_interval
         )
         pos = fh.tell()
+        ot = tracing.CURRENT
+        if ot is not None:
+            ot.journal_begin("append")
         try:
             plan = faults.ACTIVE
             if plan is not None:
@@ -283,9 +288,16 @@ class Journal:
             if do_fsync:
                 if plan is not None:
                     plan.hit("journal.append.fsync")
-                os.fsync(fh.fileno())
-        except OSError:
+                if ot is not None:
+                    t_f = time.perf_counter()
+                    os.fsync(fh.fileno())
+                    ot.fsync_done(time.perf_counter() - t_f)
+                else:
+                    os.fsync(fh.fileno())
+        except OSError as e:
             self._rewind(pos)
+            if ot is not None:
+                ot.journal_end(error=f"{type(e).__name__}: {e}")
             raise
         self._lsn = rec.lsn
         self._seg_records += 1
@@ -300,6 +312,8 @@ class Journal:
             reg.inc_all(
                 {"service.journal.appends": 1, "service.journal.bytes": len(data)}
             )
+        if ot is not None:
+            ot.journal_end(self._lsn)
         return self._lsn
 
     def _rewind(self, pos: int) -> None:
@@ -363,6 +377,9 @@ class Journal:
         lsn = self._lsn
         path = os.path.join(self.root, _snap_name(lsn))
         tmp = path + ".tmp"
+        ot = tracing.CURRENT
+        if ot is not None:
+            ot.journal_begin("checkpoint")
         try:
             plan = faults.ACTIVE
             if plan is not None:
@@ -370,13 +387,20 @@ class Journal:
             with open(tmp, "w", encoding="utf-8") as fh:
                 json.dump(snapshot_doc, fh, sort_keys=True)
                 fh.flush()
-                os.fsync(fh.fileno())
+                if ot is not None:
+                    t_f = time.perf_counter()
+                    os.fsync(fh.fileno())
+                    ot.fsync_done(time.perf_counter() - t_f)
+                else:
+                    os.fsync(fh.fileno())
             os.replace(tmp, path)
-        except OSError:
+        except OSError as e:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+            if ot is not None:
+                ot.journal_end(error=f"{type(e).__name__}: {e}")
             raise
         _fsync_dir(self.root)
         # Now the tail is redundant: drop covered segments + old snaps.
@@ -394,6 +418,8 @@ class Journal:
         reg = self.registry
         if reg is not None:
             reg.inc_all({"service.journal.checkpoints": 1})
+        if ot is not None:
+            ot.journal_end(lsn)
         return lsn
 
     # -- recovery --------------------------------------------------------
@@ -469,3 +495,42 @@ class Journal:
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+
+def read_journal_records(root: str) -> dict[str, list[JournalRecord]]:
+    """Valid on-disk records per session, in LSN order (LSNs are
+    per-session, so the map key is part of the join identity).
+
+    Offline forensics helper (``repro report --journal --trace``): unlike
+    :meth:`Journal.recover` it ignores snapshots entirely -- it answers
+    "which LSNs are still in the segment files", which is exactly the set
+    a trace join can resolve back to requests.  ``root`` may be a single
+    session directory (key = its basename) or a server data directory
+    (one level of session subdirectories is scanned).
+    """
+
+    def _segment_files(d: str) -> list[str]:
+        return sorted(
+            n
+            for n in os.listdir(d)
+            if n.startswith(_SEG_PREFIX)
+            and n.endswith(_SEG_SUFFIX)
+            and n[len(_SEG_PREFIX) : -len(_SEG_SUFFIX)].isdigit()
+        )
+
+    if _segment_files(root) or os.path.isfile(os.path.join(root, "config.json")):
+        roots = [(os.path.basename(os.path.abspath(root)), root)]
+    else:
+        roots = [
+            (n, os.path.join(root, n))
+            for n in sorted(os.listdir(root))
+            if os.path.isdir(os.path.join(root, n))
+        ]
+    out: dict[str, list[JournalRecord]] = {}
+    for sid, r in roots:
+        records: list[JournalRecord] = []
+        for name in _segment_files(r):
+            for rec, _ in Journal._read_segment(os.path.join(r, name)):
+                records.append(rec)
+        out[sid] = sorted(records, key=lambda rec: rec.lsn)
+    return out

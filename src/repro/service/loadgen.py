@@ -18,15 +18,25 @@ percentiles).  The result document is what
 from __future__ import annotations
 
 import asyncio
-import math
 import random
 import time
 from dataclasses import asdict, dataclass
 from typing import Any, Optional
 
-from repro.obs.metrics import MetricsRegistry
+# Re-exported for backward compatibility: the one exact nearest-rank
+# implementation now lives in repro.obs.metrics (shared with the chaos
+# harness and the service latency series).
+from repro.obs.metrics import MetricsRegistry, percentile, summarize
+from repro.obs.trace import Tracer
 from repro.service.client import AsyncServiceClient
 from repro.service.protocol import ErrorCode, ServiceError
+
+__all__ = [
+    "LoadgenOptions",
+    "percentile",
+    "run_loadgen",
+    "run_loadgen_sync",
+]
 
 
 @dataclass(frozen=True)
@@ -46,24 +56,10 @@ class LoadgenOptions:
     session_prefix: str = "lg"
 
 
-def percentile(sorted_vals: list[float], q: float) -> float:
-    """Exact q-quantile (nearest-rank) of an ascending list; 0.0 if empty."""
-    if not sorted_vals:
-        return 0.0
-    idx = min(len(sorted_vals) - 1, max(0, math.ceil(q * len(sorted_vals)) - 1))
-    return sorted_vals[idx]
-
-
 def _latency_summary(lat_s: list[float]) -> dict[str, float]:
-    ordered = sorted(lat_s)
-    ms = 1000.0
-    return {
-        "mean": (sum(ordered) / len(ordered)) * ms if ordered else 0.0,
-        "p50": percentile(ordered, 0.50) * ms,
-        "p90": percentile(ordered, 0.90) * ms,
-        "p99": percentile(ordered, 0.99) * ms,
-        "max": ordered[-1] * ms if ordered else 0.0,
-    }
+    out = summarize(lat_s, scale=1000.0)
+    out.pop("count")
+    return out
 
 
 async def _drive_session(
@@ -75,6 +71,7 @@ async def _drive_session(
     host: str,
     port: Optional[int],
     unix_path: Optional[str],
+    tracer: Optional[Tracer] = None,
 ) -> dict[str, Any]:
     rng = random.Random((opts.seed << 16) ^ index)
     sid = f"{opts.session_prefix}{index}"
@@ -83,7 +80,9 @@ async def _drive_session(
     seq = 0
     inserts = deletes = retries = 0
     active: list[str] = []
-    async with AsyncServiceClient(host, port, unix_path=unix_path) as client:
+    async with AsyncServiceClient(
+        host, port, unix_path=unix_path, tracer=tracer
+    ) as client:
         await client.open(
             sid,
             config={"max_size": opts.max_size, "p": opts.p, "delta": opts.delta},
@@ -141,8 +140,14 @@ async def run_loadgen(
     port: Optional[int] = None,
     unix_path: Optional[str] = None,
     registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
 ) -> dict[str, Any]:
-    """Run the closed loop; returns the BENCH_service result document."""
+    """Run the closed loop; returns the BENCH_service result document.
+
+    ``tracer`` is shared by every driven session's client (the detached
+    span API interleaves safely), so one loadgen run produces a single
+    client-side trace file joinable against the server's.
+    """
     if (opts.ops is None) == (opts.duration is None):
         raise ValueError("set exactly one of ops= or duration=")
     if opts.sessions < 1:
@@ -153,7 +158,8 @@ async def run_loadgen(
     per_session = await asyncio.gather(
         *(
             _drive_session(
-                i, opts, reg, deadline, host=host, port=port, unix_path=unix_path
+                i, opts, reg, deadline,
+                host=host, port=port, unix_path=unix_path, tracer=tracer,
             )
             for i in range(opts.sessions)
         )
@@ -185,10 +191,16 @@ def run_loadgen_sync(
     port: Optional[int] = None,
     unix_path: Optional[str] = None,
     registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
 ) -> dict[str, Any]:
     """Blocking wrapper around :func:`run_loadgen` (CLI/scripts)."""
     return asyncio.run(
         run_loadgen(
-            opts, host=host, port=port, unix_path=unix_path, registry=registry
+            opts,
+            host=host,
+            port=port,
+            unix_path=unix_path,
+            registry=registry,
+            tracer=tracer,
         )
     )

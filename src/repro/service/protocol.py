@@ -17,6 +17,14 @@ missing required fields and wrong types are all rejected with
 codes are a closed enum (:class:`ErrorCode`) so clients can dispatch on
 them; the human-readable message is advisory.
 
+Every op additionally accepts an optional ``trace`` object --
+``{"tid": "<trace id>", "span": <client span id>}`` -- carrying the
+client's trace context (:class:`TraceContext`).  A traced server
+continues the trace: its ``server.op`` span records ``tid`` and the
+client span as ``pspan``, which is what joins the two processes' trace
+files into one span tree (docs/OBSERVABILITY.md).  Like ``id``, the
+field changes nothing about execution.
+
 The protocol is deliberately state-light: the only connection state is
 the byte stream itself.  Sessions are named server-side entities
 addressed by the ``session`` field, so any number of connections can
@@ -139,8 +147,8 @@ class SessionConfig:
 # ---------------------------------------------------------------------------
 # Requests
 
-#: Field spec per op: name -> (json type, required).  ``id`` is accepted
-#: on every op; anything else must be listed here.
+#: Field spec per op: name -> (json type, required).  ``id`` and
+#: ``trace`` are accepted on every op; anything else must be listed here.
 REQUEST_FIELDS: dict[str, dict[str, tuple[type, bool]]] = {
     "ping": {},
     "open": {"session": (str, True), "config": (dict, False)},
@@ -154,6 +162,7 @@ REQUEST_FIELDS: dict[str, dict[str, tuple[type, bool]]] = {
     "query": {"session": (str, True), "name": (str, False), "jobs": (bool, False)},
     "snapshot": {"session": (str, True)},
     "stats": {"session": (str, False)},
+    "health": {},
     "close": {"session": (str, True), "idem": (str, False)},
     "shutdown": {},
 }
@@ -169,6 +178,43 @@ IDEMPOTENT_OPS = frozenset(
 #: Idempotency keys ride in journal records; keep them short and clean.
 _IDEM_RE = re.compile(r"^[\x21-\x7e]{1,128}$")
 
+#: Trace ids ride in span records on both sides of the wire.
+_TID_RE = re.compile(r"^[\x21-\x7e]{1,64}$")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Client trace context propagated on the wire (``trace`` field).
+
+    ``tid`` is the request's trace id -- one per client ``call``, stable
+    across retries, so every attempt (and the server-side execution of
+    each) lands in the same logical trace.  ``span`` is the client-side
+    span id of the *attempt* that sent this request; the server records
+    it as ``pspan``, the remote parent.
+    """
+
+    tid: str
+    span: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"tid": self.tid, "span": self.span}
+
+
+def trace_context_from_doc(v: Any) -> TraceContext:
+    """Validate a wire ``trace`` object; raises ``bad_request``."""
+    if not isinstance(v, dict):
+        raise _bad("'trace' must be an object {tid, span}")
+    unknown = set(v) - {"tid", "span"}
+    if unknown:
+        raise _bad(f"unknown trace field(s): {', '.join(sorted(unknown))}")
+    tid = v.get("tid")
+    span = v.get("span")
+    if not isinstance(tid, str) or not _TID_RE.match(tid):
+        raise _bad("'trace.tid' must be 1-64 printable non-space ASCII chars")
+    if type(span) is not int or span < 0:
+        raise _bad("'trace.span' must be a non-negative integer")
+    return TraceContext(tid=tid, span=span)
+
 
 @dataclass(frozen=True)
 class Request:
@@ -182,6 +228,7 @@ class Request:
     jobs: bool = False
     config: Optional[dict[str, Any]] = None
     idem: Optional[str] = None
+    trace: Optional[TraceContext] = None
 
 
 def decode_line(line: str) -> dict[str, Any]:
@@ -208,9 +255,11 @@ def request_from_doc(doc: Mapping[str, Any]) -> Request:
     req_id = doc.get("id")
     if req_id is not None and type(req_id) is not int:
         raise _bad("'id' must be an integer")
-    unknown = set(doc) - set(spec) - {"op", "id"}
+    unknown = set(doc) - set(spec) - {"op", "id", "trace"}
     if unknown:
         raise _bad(f"unknown field(s) for {op!r}: {', '.join(sorted(unknown))}")
+    trace_doc = doc.get("trace")
+    trace = trace_context_from_doc(trace_doc) if trace_doc is not None else None
     values: dict[str, Any] = {}
     for field, (ftype, required) in spec.items():
         v = doc.get(field)
@@ -239,7 +288,7 @@ def request_from_doc(doc: Mapping[str, Any]) -> Request:
     idem = values.get("idem")
     if idem is not None and not _IDEM_RE.match(idem):
         raise _bad("'idem' must be 1-128 printable non-space ASCII chars")
-    return Request(op=op, id=req_id, **values)
+    return Request(op=op, id=req_id, trace=trace, **values)
 
 
 def parse_request(line: str) -> Request:
@@ -264,6 +313,8 @@ def request_to_doc(req: Request) -> dict[str, Any]:
         doc["config"] = req.config
     if req.idem is not None:
         doc["idem"] = req.idem
+    if req.trace is not None:
+        doc["trace"] = req.trace.to_dict()
     return doc
 
 

@@ -35,6 +35,7 @@ from repro.service.protocol import (
     request_from_doc,
 )
 from repro.service.sessions import SessionManager
+from repro.service.tracing import OpTrace
 
 log = get_logger("service")
 
@@ -227,15 +228,33 @@ class ServiceServer:
         if req.op == "shutdown":
             self._stop.set()
             return ok_response(req.id, {"stopping": True})
+        manager = self.manager
+        tracer = manager.tracer
+        registry = manager.registry
+        ot: Optional[OpTrace] = None
+        if tracer is not None or registry is not None:
+            ot = OpTrace(
+                req.op,
+                req.session,
+                tracer=tracer,
+                registry=registry,
+                tctx=req.trace,
+            )
         try:
-            result = await self.manager.dispatch(req)
+            result = await manager.dispatch(req, ot)
         except ServiceError as e:
+            if ot is not None:
+                ot.finish(ok=False, code=e.code.value)
             return error_response(
                 req.id, e.code, e.message, retry_after=e.retry_after
             )
         except Exception as e:  # defense: a bug must not kill the server
             log.exception("internal error handling op %r", req.op)
+            if ot is not None:
+                ot.finish(ok=False, code=ErrorCode.INTERNAL.value)
             return error_response(
                 req.id, ErrorCode.INTERNAL, f"{type(e).__name__}: {e}"
             )
+        if ot is not None:
+            ot.finish(ok=True)
         return ok_response(req.id, result)

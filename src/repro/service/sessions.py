@@ -64,6 +64,7 @@ from repro.obs.instrument import attach
 from repro.obs.logsetup import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
+from repro.service import tracing
 from repro.service.journal import Journal, JournalCorrupt, JournalRecord
 from repro.service.protocol import (
     ErrorCode,
@@ -71,6 +72,7 @@ from repro.service.protocol import (
     ServiceError,
     SessionConfig,
 )
+from repro.service.tracing import OpTrace
 
 log = get_logger("service")
 
@@ -80,7 +82,11 @@ _SID_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
 _CONFIG_FILE = "config.json"
 
 _QueueItem = Optional[
-    tuple[Callable[[], dict[str, Any]], "asyncio.Future[dict[str, Any]]"]
+    tuple[
+        Callable[[], dict[str, Any]],
+        "asyncio.Future[dict[str, Any]]",
+        Optional[OpTrace],
+    ]
 ]
 
 
@@ -368,6 +374,7 @@ class SessionManager:
         self.sessions: dict[str, Session] = {}
         self._clock = 0
         self._shutting_down = False
+        self._t_start = time.perf_counter()
         os.makedirs(root, exist_ok=True)
 
     # -- discovery -------------------------------------------------------
@@ -384,59 +391,71 @@ class SessionManager:
 
     # -- the protocol surface --------------------------------------------
 
-    async def dispatch(self, req: Request) -> dict[str, Any]:
+    async def dispatch(
+        self, req: Request, ot: Optional[OpTrace] = None
+    ) -> dict[str, Any]:
         """Execute one validated request; raises :class:`ServiceError`."""
         op = req.op
         if op == "ping":
             return {"pong": True}
+        if op == "health":
+            return self.health()
         if op == "stats":
             return self.stats(req.session)
         if op == "open":
             assert req.session is not None
-            return await self.open(req.session, req.config)
+            return await self.open(req.session, req.config, ot=ot)
         assert req.session is not None
         if op == "close":
-            return await self.close(req.session)
+            return await self.close(req.session, ot=ot)
         sess = self._attach(req.session, None, create=False)[0]
         if op == "insert":
             assert req.name is not None and req.size is not None
             name, size, idem = req.name, req.size, req.idem
             return await self._enqueue(
-                sess, lambda: self._op_insert(sess, name, size, idem)
+                sess, lambda: self._op_insert(sess, name, size, idem), ot=ot
             )
         if op == "delete":
             assert req.name is not None
             name, idem = req.name, req.idem
             return await self._enqueue(
-                sess, lambda: self._op_delete(sess, name, idem)
+                sess, lambda: self._op_delete(sess, name, idem), ot=ot
             )
         if op == "query":
             return await self._enqueue(
-                sess, lambda: self._op_query(sess, req.name, req.jobs)
+                sess, lambda: self._op_query(sess, req.name, req.jobs), ot=ot
             )
         if op == "snapshot":
-            return await self._enqueue(sess, lambda: self._op_snapshot(sess))
+            return await self._enqueue(
+                sess, lambda: self._op_snapshot(sess), ot=ot
+            )
         raise ServiceError(ErrorCode.UNKNOWN_OP, f"unhandled op {op!r}")
 
     async def open(
-        self, sid: str, config_map: Optional[dict[str, Any]]
+        self,
+        sid: str,
+        config_map: Optional[dict[str, Any]],
+        *,
+        ot: Optional[OpTrace] = None,
     ) -> dict[str, Any]:
         sess, created = self._attach(sid, config_map, create=True)
-        info = await self._enqueue(sess, lambda: self._op_touch(sess))
+        info = await self._enqueue(sess, lambda: self._op_touch(sess), ot=ot)
         return {
             "created": created,
             "config": sess.config.to_dict(),
             **info,
         }
 
-    async def close(self, sid: str) -> dict[str, Any]:
+    async def close(
+        self, sid: str, *, ot: Optional[OpTrace] = None
+    ) -> dict[str, Any]:
         # Close is naturally idempotent: re-closing a session that is
         # already checkpointed to disk (e.g. a retry after a dropped
         # connection) is a no-op success, not NO_SUCH_SESSION.
         if sid not in self.sessions and sid in self.session_ids_on_disk():
             return {"closed": True, "noop": True}
         sess = self._attach(sid, None, create=False)[0]
-        res = await self._enqueue(sess, lambda: self._op_evict(sess))
+        res = await self._enqueue(sess, lambda: self._op_evict(sess), ot=ot)
         await self._stop_session(sess)
         self.sessions.pop(sid, None)
         out: dict[str, Any] = {"closed": True}
@@ -445,6 +464,20 @@ class SessionManager:
         if res.get("degraded"):
             out["degraded"] = True
         return out
+
+    def health(self) -> dict[str, Any]:
+        """Cheap liveness probe: no queues touched, no sessions hydrated."""
+        degraded = sum(
+            1 for s in self.sessions.values() if s.degraded is not None
+        )
+        return {
+            "ok": degraded == 0 and not self._shutting_down,
+            "shutting_down": self._shutting_down,
+            "sessions": len(self.sessions),
+            "live": self.live_count(),
+            "degraded": degraded,
+            "uptime_s": round(time.perf_counter() - self._t_start, 3),
+        }
 
     def stats(self, sid: Optional[str] = None) -> dict[str, Any]:
         if sid is not None:
@@ -490,8 +523,41 @@ class SessionManager:
             "ops": sum(s.ops for s in self.sessions.values()),
             "max_live": self.max_live,
             "queue_depth": self.queue_depth,
+            "dedup_window": self.dedup_window,
             "fsync": self.fsync,
+            "uptime_s": round(time.perf_counter() - self._t_start, 3),
+            "per_session": [
+                {
+                    "session": s.sid,
+                    "live": s.live,
+                    "ops": s.ops,
+                    "queue": s.queue.qsize(),
+                    "dedup": len(s.dedup),
+                    "degraded": s.degraded is not None,
+                    "active": (
+                        len(s.scheduler) if s.scheduler is not None else None
+                    ),
+                }
+                for s in sorted(self.sessions.values(), key=lambda s: s.sid)
+            ],
         }
+        reg = self.registry
+        if reg is not None:
+            totals["counters"] = {
+                name: reg.value(name)
+                for name in (
+                    "service.op.count",
+                    "service.shed",
+                    "service.dedup.hits",
+                    "service.degraded.entered",
+                    "service.evictions",
+                    "service.journal.appends",
+                    "service.journal.checkpoints",
+                )
+            }
+            latency = reg.series_summaries("service.op.", scale=1000.0)
+            if latency:
+                totals["latency_ms"] = latency
         plan = faults.ACTIVE
         if plan is not None:
             totals["faults"] = plan.stats()
@@ -584,6 +650,7 @@ class SessionManager:
         fn: Callable[[], dict[str, Any]],
         *,
         force: bool = False,
+        ot: Optional[OpTrace] = None,
     ) -> dict[str, Any]:
         if self._shutting_down and not force:
             raise ServiceError(ErrorCode.SHUTTING_DOWN, "server is shutting down")
@@ -593,7 +660,7 @@ class SessionManager:
                 try:
                     plan.hit("sessions.admit")
                 except OSError as e:
-                    self._shed()
+                    self._shed(sess, ot)
                     raise ServiceError(
                         ErrorCode.RETRY_LATER,
                         f"admission refused for session {sess.sid!r}: {e}",
@@ -602,13 +669,15 @@ class SessionManager:
         fut: "asyncio.Future[dict[str, Any]]" = (
             asyncio.get_running_loop().create_future()
         )
+        if ot is not None:
+            ot.enqueued()
         if force:
-            await sess.queue.put((fn, fut))
+            await sess.queue.put((fn, fut, ot))
         else:
             try:
-                sess.queue.put_nowait((fn, fut))
+                sess.queue.put_nowait((fn, fut, ot))
             except asyncio.QueueFull:
-                self._shed()
+                self._shed(sess, ot)
                 raise ServiceError(
                     ErrorCode.RETRY_LATER,
                     f"session {sess.sid!r} queue is full "
@@ -617,10 +686,14 @@ class SessionManager:
                 ) from None
         return await fut
 
-    def _shed(self) -> None:
+    def _shed(self, sess: Session, ot: Optional[OpTrace] = None) -> None:
         reg = self.registry
         if reg is not None:
             reg.inc_all({"service.shed": 1})
+        if ot is not None:
+            ot.event(
+                "shed", {"session": sess.sid, "queue_depth": self.queue_depth}
+            )
 
     async def _worker(self, sess: Session) -> None:
         while True:
@@ -628,9 +701,13 @@ class SessionManager:
             try:
                 if item is None:
                     return
-                fn, fut = item
+                fn, fut, ot = item
                 self._clock += 1
                 sess.touched = self._clock
+                if ot is not None:
+                    ot.dequeued()
+                tracing.CURRENT = ot
+                t_x = time.perf_counter()
                 try:
                     res = fn()
                 except ServiceError as e:
@@ -647,6 +724,10 @@ class SessionManager:
                 else:
                     if not fut.cancelled():
                         fut.set_result(res)
+                finally:
+                    tracing.CURRENT = None
+                    if ot is not None:
+                        ot.executed(time.perf_counter() - t_x)
             finally:
                 sess.queue.task_done()
 
@@ -742,7 +823,7 @@ class SessionManager:
                     lambda f: None if f.cancelled() else f.exception()
                 )
                 victim.queue.put_nowait(
-                    (lambda v=victim: self._op_evict(v), fut)
+                    (lambda v=victim: self._op_evict(v), fut, None)
                 )
             except asyncio.QueueFull:
                 continue  # busy session: not LRU for long; retry later
@@ -778,6 +859,9 @@ class SessionManager:
         reg = self.registry
         if reg is not None:
             reg.inc_all({"service.dedup.hits": 1})
+        ot = tracing.CURRENT
+        if ot is not None:
+            ot.event("dedup.hit", {"session": sess.sid, "idem": idem})
         return dict(cached)
 
     def _dedup_store(
@@ -948,6 +1032,11 @@ class SessionManager:
     # -- degraded mode -----------------------------------------------------
 
     def _degraded_error(self, sess: Session) -> ServiceError:
+        ot = tracing.CURRENT
+        if ot is not None:
+            ot.event(
+                "degraded", {"session": sess.sid, "reason": sess.degraded}
+            )
         return ServiceError(
             ErrorCode.DEGRADED,
             f"session {sess.sid!r} is read-only (journal failure: "

@@ -1,0 +1,26 @@
+# reprolint: path=repro/service/fixture_tracing.py
+"""RL008 fixture: tracer access without an `is not None` guard."""
+
+from repro.service import tracing
+
+
+class Handler:
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def respond(self, op):
+        self.tracer.event("server.op", {"op": op})  # line 12: unguarded
+
+    def aliased(self, op):
+        tr = self.tracer
+        tr.open_span("server.op", {"op": op})  # line 16: unguarded alias
+
+    def guarded_then_not(self, op):
+        tr = self.tracer
+        if tr is not None:
+            tr.event("seen", {"op": op})
+        tr.flush()  # line 22: outside the guard
+
+
+def journal_hook(lsn):
+    tracing.CURRENT.journal_end(lsn)  # line 26: unguarded module global

@@ -1,0 +1,31 @@
+# reprolint: path=repro/service/fixture_tracing.py
+"""RL008 fixture: every tracer access behind the sanctioned guards."""
+
+from repro.service import tracing
+
+
+class Handler:
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def respond(self, op):
+        tr = self.tracer
+        if tr is not None:
+            tr.event("server.op", {"op": op})
+
+    def direct_guard(self, op):
+        if self.tracer is not None:
+            self.tracer.open_span("server.op", {"op": op})
+        return None
+
+    def early_return(self):
+        tr = self.tracer
+        if tr is None:
+            return None
+        return tr.records
+
+
+def journal_hook(lsn):
+    ot = tracing.CURRENT
+    if ot is not None:
+        ot.journal_end(lsn)

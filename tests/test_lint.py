@@ -44,6 +44,7 @@ def rules_hit(result):
     ("RL005", "rl005_bad.py", {8, 10, 12}),
     ("RL006", "rl006_bad.py", {13}),
     ("RL007", "rl007_bad.py", {8, 14, 22}),
+    ("RL008", "rl008_bad.py", {12, 16, 22, 26}),
 ])
 def test_bad_fixture_flags_expected_lines(rule_id, bad, lines):
     result = lint_paths([fixture(bad)])
@@ -56,6 +57,7 @@ def test_bad_fixture_flags_expected_lines(rule_id, bad, lines):
 @pytest.mark.parametrize("good", [
     "rl001_good.py", "rl002_good.py", "rl002_service_good.py", "rl003_good.py",
     "rl004_good.py", "rl005_good.py", "rl006_good.py", "rl007_good.py",
+    "rl008_good.py",
 ])
 def test_good_fixture_is_clean(good):
     result = lint_paths([fixture(good)])
@@ -157,6 +159,7 @@ def test_parse_failure_is_reported(tmp_path):
 def test_registry_covers_documented_rules():
     assert set(RULES) == {
         "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+        "RL008",
     }
     for r in RULES.values():
         assert r.summary and r.severity == "error"

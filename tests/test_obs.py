@@ -338,3 +338,163 @@ def test_configure_logging_rejects_unknown_level():
 def test_null_handler_by_default():
     assert any(isinstance(h, logging.NullHandler)
                for h in logging.getLogger("repro").handlers)
+
+
+# ---------------------------------------------------------------------------
+# Power-of-two bucketing: edge cases + the pinned property
+
+
+def test_bucket_edge_cases():
+    from repro.obs.metrics import _bucket
+
+    assert _bucket(0.0) == "0"
+    assert _bucket(-3.5) == "0"
+    assert _bucket(float("-inf")) == "0"
+    assert _bucket(float("inf")) == "inf"
+    assert _bucket(float("nan")) == "nan"
+    # exact powers of two are their own bucket bound
+    assert _bucket(1.0) == "2^0"
+    assert _bucket(8.0) == "2^3"
+    assert _bucket(0.5) == "2^-1"
+    assert _bucket(8.0001) == "2^4"
+
+
+def test_bucket_property_smallest_covering_power():
+    from fractions import Fraction
+
+    from hypothesis import given
+    from hypothesis import strategies as st
+
+    from repro.obs.metrics import _bucket
+
+    @given(st.floats(min_value=0.0, exclude_min=True,
+                     allow_nan=False, allow_infinity=False))
+    def check(v):
+        label = _bucket(v)
+        assert label.startswith("2^"), label
+        e = int(label[2:])
+        # smallest covering power: 2^(e-1) < v <= 2^e (Fractions keep
+        # the comparison exact down to subnormals)
+        assert Fraction(2) ** (e - 1) < Fraction(v) <= Fraction(2) ** e
+
+    check()
+
+
+# ---------------------------------------------------------------------------
+# Shared exact percentiles + latency series
+
+
+def test_percentile_nearest_rank_exact():
+    from repro.obs.metrics import percentile
+
+    xs = [1.0, 2.0, 3.0, 4.0]
+    assert percentile([], 0.5) == 0.0
+    assert percentile(xs, 0.0) == 1.0
+    assert percentile(xs, 0.25) == 1.0
+    assert percentile(xs, 0.5) == 2.0
+    assert percentile(xs, 0.75) == 3.0
+    assert percentile(xs, 0.9) == 4.0
+    assert percentile(xs, 1.0) == 4.0
+    assert percentile([7.0], 0.99) == 7.0
+
+
+def test_summarize_scales_and_counts():
+    from repro.obs.metrics import summarize
+
+    s = summarize([0.001, 0.002, 0.003], scale=1000.0)
+    assert s["count"] == 3.0
+    assert s["p50"] == 2.0 and s["max"] == 3.0
+    assert abs(s["mean"] - 2.0) < 1e-9
+    empty = summarize([])
+    assert empty == {"count": 0.0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                     "p99": 0.0, "max": 0.0}
+
+
+def test_series_ring_window_and_lifetime_count():
+    from repro.obs.metrics import Series
+
+    s = Series("lat", cap=4)
+    for v in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]:
+        s.observe(v)
+    assert s.values() == [3.0, 4.0, 5.0, 6.0]  # newest win, oldest first
+    assert s.count == 6 and s.total == 21.0
+    summ = s.summary()
+    assert summ["count"] == 6.0  # lifetime, not window
+    assert summ["max"] == 6.0 and summ["p50"] == 4.0
+    with pytest.raises(ValueError):
+        Series("bad", cap=0)
+
+
+def test_registry_series_get_or_create_and_summaries():
+    reg = MetricsRegistry()
+    a = reg.series("service.op.total")
+    assert reg.series("service.op.total") is a
+    a.observe(0.002)
+    reg.series("service.op.journal").observe(0.001)
+    out = reg.series_summaries("service.op.", scale=1000.0)
+    assert set(out) == {"total", "journal"}
+    assert out["total"]["p50"] == 2.0
+    assert "series" in reg.snapshot()
+    assert "service.op.total" in reg.snapshot()["series"]
+
+
+# ---------------------------------------------------------------------------
+# Detached spans + tolerant trace reading (killed writers)
+
+
+def test_detached_spans_interleave_and_close():
+    buf = io.StringIO()
+    t = Tracer(buf, label="detached")
+    a = t.open_span("server.op", {"op": "insert", "trace": "t1", "pspan": 9})
+    b = t.open_span("server.op", {"op": "query", "trace": "t2"})
+    t.event("shed", {"span": b, "trace": "t2"})
+    t.close_span(b, "server.op", {"outcome": "ok"})
+    t.close_span(a, "server.op", {"outcome": "ok", "lsn": 3})
+    t.close()
+    recs = list(read_trace(io.StringIO(buf.getvalue())))
+    types = [r["type"] for r in recs]
+    assert types.count("span_start") == 2
+    assert types.count("span_end") == 2
+    assert any(r["type"] == "span_event" and r["name"] == "shed"
+               for r in recs)
+    ends = [r for r in recs if r["type"] == "span_end"]
+    assert ends[0]["span"] == b and ends[1]["span"] == a  # caller's order
+
+
+def test_unclosed_detached_spans_flushed_on_close():
+    buf = io.StringIO()
+    t = Tracer(buf, label="leak")
+    sid = t.open_span("server.op", {"op": "insert"})
+    t.close()
+    ends = [r for r in read_trace(io.StringIO(buf.getvalue()))
+            if r["type"] == "span_end"]
+    assert len(ends) == 1
+    assert ends[0]["span"] == sid and ends[0]["unclosed"] is True
+
+
+def test_tolerant_reader_drops_only_torn_tail():
+    buf = io.StringIO()
+    t = Tracer(buf, label="killed")
+    t.event("alive", {})
+    text = buf.getvalue() + '{"v":1,"seq":99,"t":0.5,"type":"span_st'
+    recs = list(read_trace(io.StringIO(text), tolerant=True))
+    assert [r["type"] for r in recs] == ["trace_start", "span_event"]
+    # strict mode still refuses the same stream
+    with pytest.raises(TraceSchemaError):
+        list(read_trace(io.StringIO(text)))
+    # mid-file garbage is corruption, not a torn tail: tolerant raises
+    bad = '{"nope": 1}\n' + text
+    with pytest.raises(TraceSchemaError):
+        list(read_trace(io.StringIO(bad), tolerant=True))
+
+
+def test_tracer_flush_pushes_buffered_records(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    t = Tracer(path, label="flushy")
+    t.event("mark", {})
+    t.flush()
+    # readable mid-flight, without close(): what the fault observer
+    # relies on ahead of an injected os._exit
+    recs = list(read_trace(path, tolerant=True))
+    assert [r["type"] for r in recs] == ["trace_start", "span_event"]
+    t.close()
