@@ -110,6 +110,18 @@ def main(argv=None):
             doc = run_loadgen_sync(opts, host=a.host, port=port)
             with ServiceClient(a.host, port) as client:
                 doc["server"] = client.stats()
+                # Hoist the server-side latency decomposition (the
+                # service.op.{queue_wait,journal,execute,total} series,
+                # in ms) next to the client-observed totals, so the
+                # BENCH history tracks *where* time goes, not just how
+                # much of it passes end to end.
+                server_lat = doc["server"].get("latency_ms")
+                if isinstance(server_lat, dict):
+                    doc["totals"]["server_op_ms"] = {
+                        k: server_lat[k]
+                        for k in ("queue_wait", "journal", "execute", "total")
+                        if k in server_lat
+                    }
                 if proc is not None:
                     client.shutdown()
         finally:
@@ -136,6 +148,9 @@ def main(argv=None):
     lat = t["latency_ms"]
     print(f"latency ms: mean={lat['mean']:.3f} p50={lat['p50']:.3f} "
           f"p90={lat['p90']:.3f} p99={lat['p99']:.3f} max={lat['max']:.3f}")
+    for part, s in t.get("server_op_ms", {}).items():
+        print(f"server {part} ms: p50={s['p50']:.3f} p90={s['p90']:.3f} "
+              f"p99={s['p99']:.3f}")
     return 0
 
 

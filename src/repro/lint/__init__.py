@@ -1,16 +1,25 @@
-"""``reprolint``: AST-based invariant linter for the reallocation stack.
+"""``reprolint``: whole-program invariant linter for the reallocation stack.
 
 The paper's guarantees rest on conventions the interpreter never checks:
 exact amortized accounting for the ``O(log^3 k)`` bound (Thms 16/18/19),
 nonmigrating insertions / <=1-migration deletions (Invariant 5, Cor. 8),
-and the observability layer's zero-overhead-when-disabled contract.
-This package enforces those conventions statically, on every PR:
+the observability layer's zero-overhead-when-disabled contract, and the
+service layer's single-writer atomicity discipline (ops apply atomically
+inside the per-session worker, never straddling an ``await``).  This
+package enforces those conventions statically, on every PR:
 
-* :mod:`repro.lint.engine` -- file discovery, suppression handling
+* :mod:`repro.lint.engine`  -- file discovery, suppression handling
   (``# reprolint: disable=RULE -- why``), rule dispatch, JSON/human
   reports;
-* :mod:`repro.lint.rules`  -- the rule registry (RL001..RL006);
-* :mod:`repro.lint.cli`    -- ``repro lint`` / ``python -m repro.lint``;
+* :mod:`repro.lint.rules`   -- the rule registry (RL001..RL011);
+* :mod:`repro.lint.flow`    -- per-function CFGs with await yield-points
+  (powers the RL009 atomicity analysis);
+* :mod:`repro.lint.project` -- project-wide symbol/call-site index
+  (powers the RL010 cross-artifact conformance pass);
+* :mod:`repro.lint.baseline` -- the ``lint-baseline.json`` ratchet
+  (RL011): new rules land frozen, debt only shrinks;
+* :mod:`repro.lint.sarif`   -- SARIF 2.1.0 report for CI artifacts;
+* :mod:`repro.lint.cli`     -- ``repro lint`` / ``python -m repro.lint``;
 * :mod:`repro.lint.typegate` -- the ``mypy --strict`` companion gate
   with a committed error baseline (skips cleanly where mypy is absent).
 
@@ -18,6 +27,7 @@ Rules are documented (with their paper/PR rationale and the suppression
 syntax) in docs/LINTING.md.
 """
 
+from repro.lint.baseline import apply_baseline, fingerprint, render_baseline
 from repro.lint.engine import (
     FileReport,
     LintResult,
@@ -27,18 +37,29 @@ from repro.lint.engine import (
     result_from_json,
     result_to_json,
 )
+from repro.lint.flow import CFG, FlowNode, build_cfg
+from repro.lint.project import ProjectIndex
 from repro.lint.rules import RULES, Rule, RuleContext, rule
+from repro.lint.sarif import result_to_sarif
 
 __all__ = [
+    "CFG",
     "FileReport",
+    "FlowNode",
     "LintResult",
+    "ProjectIndex",
     "RULES",
     "Rule",
     "RuleContext",
     "Severity",
     "Violation",
+    "apply_baseline",
+    "build_cfg",
+    "fingerprint",
     "lint_paths",
+    "render_baseline",
     "result_from_json",
     "result_to_json",
+    "result_to_sarif",
     "rule",
 ]

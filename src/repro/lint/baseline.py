@@ -1,0 +1,117 @@
+"""lint-baseline.json: the suppression-debt ratchet behind RL011.
+
+A new rule should land the day it is written, not the day the last
+legacy finding is fixed.  The baseline freezes the findings that exist
+at introduction time -- exactly like ``mypy-baseline.txt`` freezes the
+strict-mode debt -- so CI fails on any *new* finding while the old ones
+are burned down file by file.
+
+The ratchet only turns one way: a baselined finding that no longer
+matches anything is an RL011 error anchored at the baseline file itself
+(run ``repro lint --update-baseline`` after fixing debt), so the file
+can never silently accumulate headroom that would mask a fresh
+regression.
+
+Fingerprints are ``module_path:RULE: message`` -- no line numbers, so
+unrelated edits that shift code do not churn the baseline, and no
+machine-specific path prefixes, so the file is committable.  Identical
+findings are counted, not listed twice: fixing one of three identical
+violations without updating the baseline is itself a stale entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.lint.engine import (
+    FileReport,
+    LintResult,
+    Violation,
+    module_path_of,
+)
+
+#: Default committed location, resolved against the repo root by the CLI.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_SCHEMA_KEY = "reprolint-baseline"
+_SCHEMA_VERSION = 1
+
+#: The ratchet rule itself is never baselineable -- baselining "your
+#: baseline is stale" would let debt masquerade as paid down forever.
+_UNBASELINEABLE = frozenset({"RL011"})
+
+
+def fingerprint(v: Violation) -> str:
+    """Stable identity of one finding across machines and line shifts."""
+    return f"{module_path_of(v.path)}:{v.rule}: {v.message}"
+
+
+def render_baseline(result: LintResult) -> str:
+    """Serialize the current findings as a fresh baseline document."""
+    counts: dict[str, int] = {}
+    for v in result.violations:
+        if v.rule in _UNBASELINEABLE:
+            continue
+        fp = fingerprint(v)
+        counts[fp] = counts.get(fp, 0) + 1
+    doc = {_SCHEMA_KEY: _SCHEMA_VERSION, "findings": counts}
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def load_baseline(path: str) -> Optional[dict[str, int]]:
+    """Parse a baseline file; None when absent (ratchet not armed)."""
+    if not os.path.isfile(path):
+        return None
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get(_SCHEMA_KEY) != _SCHEMA_VERSION:
+        raise ValueError(f"{path}: not a reprolint baseline (v{_SCHEMA_VERSION})")
+    findings = doc.get("findings", {})
+    if not isinstance(findings, dict):
+        raise ValueError(f"{path}: 'findings' must be an object")
+    return {str(k): int(c) for k, c in findings.items()}
+
+
+def apply_baseline(result: LintResult, path: str) -> LintResult:
+    """Filter baselined findings out of ``result`` (in place).
+
+    Each baseline entry is a budget: up to ``count`` findings with that
+    fingerprint are absorbed into ``result.baselined``.  Leftover budget
+    means the debt was paid down without updating the baseline -- every
+    such entry becomes an RL011 error pointing at the baseline file.
+    """
+    budget = load_baseline(path)
+    if budget is None:
+        return result
+    budget = dict(budget)
+
+    def keep(v: Violation) -> bool:
+        if v.rule in _UNBASELINEABLE:
+            return True
+        fp = fingerprint(v)
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            result.baselined += 1
+            return False
+        return True
+
+    for report in result.files:
+        report.violations = [v for v in report.violations if keep(v)]
+    result.project_violations = [
+        v for v in result.project_violations if keep(v)
+    ]
+    stale = FileReport(path=path, module_path=module_path_of(path))
+    for fp in sorted(fp for fp, left in budget.items() if left > 0):
+        stale.violations.append(Violation(
+            rule="RL011", severity="error", path=path, line=1, col=0,
+            message=(
+                f"stale baseline entry `{fp}` matches no current finding; "
+                f"debt was paid down -- run `repro lint --update-baseline` "
+                f"to shrink the baseline"
+            ),
+        ))
+    if stale.violations:
+        result.files.append(stale)
+    return result

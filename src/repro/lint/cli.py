@@ -9,11 +9,20 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.lint.baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    render_baseline,
+)
 from repro.lint.engine import iter_format, lint_paths, result_to_json
 from repro.lint.rules import RULES
+from repro.lint.sarif import result_to_sarif
 
 #: Directories linted when no paths are given (those that exist).
 DEFAULT_PATHS = ("src", "tests", "benchmarks", "scripts", "examples")
+
+#: Report serializers selectable with --format.
+FORMATS = ("text", "json", "sarif")
 
 
 def build_parser(parser: Optional[argparse.ArgumentParser] = None) -> argparse.ArgumentParser:
@@ -23,15 +32,35 @@ def build_parser(parser: Optional[argparse.ArgumentParser] = None) -> argparse.A
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint (default: src tests "
                         "benchmarks scripts examples, those that exist)")
-    p.add_argument("--json", action="store_true", dest="as_json",
-                   help="machine-readable JSON report on stdout")
+    p.add_argument("--format", choices=FORMATS, default="text", dest="fmt",
+                   help="report format (default: text)")
+    p.add_argument("--json", action="store_const", const="json", dest="fmt",
+                   help="alias for --format json")
+    p.add_argument("--output", metavar="FILE",
+                   help="write the report to FILE instead of stdout")
     p.add_argument("--rules", metavar="RL001,RL002,...",
                    help="run only these rule ids")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help=f"baseline file for the RL011 ratchet "
+                        f"(default: {DEFAULT_BASELINE} when it exists)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="report every finding, ignoring the baseline")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from the current findings "
+                        "and exit 0 (the ratchet reset, for rule authors)")
     p.add_argument("--list-rules", action="store_true",
                    help="list registered rules and exit")
     p.add_argument("--mypy", action="store_true",
                    help="also run the mypy --strict gate (repro.lint.typegate)")
     return p
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+    else:
+        print(text)
 
 
 def run(args: argparse.Namespace) -> int:
@@ -54,11 +83,33 @@ def run(args: argparse.Namespace) -> int:
     except ValueError as e:
         print(f"repro lint: {e}", file=sys.stderr)
         return 2
-    if args.as_json:
-        print(result_to_json(result))
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    if args.update_baseline:
+        with open(baseline_path, "w", encoding="utf-8") as fh:
+            fh.write(render_baseline(result))
+        print(f"repro lint: baseline written to {baseline_path} "
+              f"({len(result.violations)} finding(s) frozen)")
+        return 0
+    # The ratchet arms automatically when the committed file exists; an
+    # explicit --baseline that is missing is a usage error, not a no-op.
+    if not args.no_baseline:
+        if args.baseline is not None and not os.path.isfile(baseline_path):
+            print(f"repro lint: baseline file not found: {baseline_path}",
+                  file=sys.stderr)
+            return 2
+        try:
+            result = apply_baseline(result, baseline_path)
+        except ValueError as e:
+            print(f"repro lint: {e}", file=sys.stderr)
+            return 2
+
+    if args.fmt == "json":
+        _emit(result_to_json(result), args.output)
+    elif args.fmt == "sarif":
+        _emit(result_to_sarif(result), args.output)
     else:
-        for line in iter_format(result):
-            print(line)
+        _emit("\n".join(iter_format(result)), args.output)
     code = result.exit_code
     if args.mypy:
         from repro.lint.typegate import run_typegate

@@ -95,6 +95,8 @@ class LintResult:
 
     files: list[FileReport] = field(default_factory=list)
     project_violations: list[Violation] = field(default_factory=list)
+    #: Findings filtered out by lint-baseline.json (see repro.lint.baseline).
+    baselined: int = 0
 
     @property
     def violations(self) -> list[Violation]:
@@ -337,4 +339,6 @@ def iter_format(result: LintResult) -> Iterator[str]:
             f"{n_err} error(s), {n_warn} warning(s)")
     if result.suppressed:
         tail += f", {result.suppressed} suppressed"
+    if result.baselined:
+        tail += f", {result.baselined} baselined"
     yield tail

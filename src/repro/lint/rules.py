@@ -1,9 +1,10 @@
-"""reprolint rule registry: RL001..RL007.
+"""reprolint rule registry: RL001..RL011.
 
 Each rule encodes one project invariant; docs/LINTING.md carries the
 paper / PR rationale per rule.  Rules see one parsed file at a time
 through :class:`RuleContext`; rules that need the whole scanned set
-(the RL002 import-cycle check) implement :meth:`Rule.check_project`.
+(the RL002 import-cycle check and the RL010 cross-artifact
+conformance pass) implement :meth:`Rule.check_project`.
 
 Path scoping uses logical posix paths rooted at the package
 (``repro/kcursor/table.py``); test fixtures impersonate real modules
@@ -13,11 +14,14 @@ with a ``# reprolint: path=...`` pragma (see :mod:`repro.lint.engine`).
 from __future__ import annotations
 
 import ast
+import os
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.lint.engine import Severity, Violation
+from repro.lint.flow import CFG, FlowNode, async_defs, build_cfg, walk_shallow
+from repro.lint.project import ProjectIndex, Site, parse_metrics_catalogue
 
 
 @dataclass
@@ -749,3 +753,358 @@ class RL008TracerGuard(RL001ObserverGuard):
     path_prefixes = ("repro/service/",)
     guard_attrs = frozenset({"tracer", "_tracer", "CURRENT"})
     guard_noun = "tracer"
+
+
+# ----------------------------------------------------------------------
+# RL009: asyncio await-atomicity in the service layer
+
+
+#: Synchronous calls that stall the event loop.  Resolved through
+#: import aliases (``ctx.resolve``), so ``from time import sleep`` is
+#: caught too.
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "os.fsync",
+    "os.fdatasync",
+    "socket.create_connection",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+})
+
+#: The blessed single-writer pattern (docs/SERVICE.md): all session
+#: mutation funnels through the per-session worker queue.  ``_enqueue``
+#: and ``_worker`` *are* that funnel -- their bookkeeping (queue depth,
+#: logical clock) is written by design from exactly one task -- so the
+#: straddle analysis does not apply inside them.  The blocking-call
+#: check still does.
+BLESSED_ASYNC_FNS = frozenset({"_enqueue", "_worker"})
+
+
+def _self_attr_key(node: ast.AST) -> Optional[str]:
+    """``self.X`` -> ``"self.X"`` (any context), else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return f"self.{node.attr}"
+    return None
+
+
+def _node_state_access(
+    node: FlowNode,
+) -> tuple[set[str], set[str], set[str]]:
+    """``(reads, writes, value_reads)`` of ``self.`` state at one node.
+
+    *reads* are ``self.X`` loads anywhere in the node; *writes* are
+    stores/deletes to ``self.X`` or subscript-stores into it
+    (``self.sessions[sid] = ...`` mutates the container); *value_reads*
+    are loads on the value side of an assignment only -- those happen
+    before any ``await`` in the same statement, which is what makes
+    ``self.x = await f(self.x)`` stale but ``self.d[k] = await f()``
+    fine (the target is evaluated last).
+    """
+    reads: set[str] = set()
+    writes: set[str] = set()
+    value_reads: set[str] = set()
+    value_side: Optional[ast.AST] = None
+    stmt = node.stmt
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        value_side = stmt.value
+    for expr in node.exprs:
+        for sub in walk_shallow(expr):
+            key = _self_attr_key(sub)
+            if key is not None:
+                assert isinstance(sub, ast.Attribute)
+                if isinstance(sub.ctx, ast.Load):
+                    reads.add(key)
+                else:
+                    writes.add(key)
+            elif isinstance(sub, ast.Subscript) and not isinstance(
+                sub.ctx, ast.Load
+            ):
+                base = _self_attr_key(sub.value)
+                if base is not None:
+                    writes.add(base)
+    if value_side is not None:
+        for sub in walk_shallow(value_side):
+            key = _self_attr_key(sub)
+            if key is not None and isinstance(sub.ctx, ast.Load):
+                value_reads.add(key)
+    if isinstance(stmt, ast.AugAssign):
+        # `self.x += await f()` reads the old value, awaits, then
+        # writes -- an implicit read the AST records as Store only.
+        key = _self_attr_key(stmt.target)
+        if key is not None:
+            value_reads.add(key)
+    return reads, writes, value_reads
+
+
+@rule
+class RL009AwaitAtomicity(Rule):
+    id = "RL009"
+    summary = ("service-layer async methods must not read `self.` state, "
+               "cross an `await`, then write it back (stale-write hazard); "
+               "no blocking calls (`time.sleep`, sync fsync/socket/"
+               "subprocess) inside `async def`")
+    path_prefixes = ("repro/service/",)
+
+    def check(self, ctx: RuleContext) -> Iterator[Violation]:
+        for fn in async_defs(ctx.tree):
+            yield from self._blocking_calls(ctx, fn)
+            if fn.name in BLESSED_ASYNC_FNS:
+                continue
+            yield from self._straddles(ctx, build_cfg(fn))
+
+    def _blocking_calls(
+        self, ctx: RuleContext, fn: ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        for sub in walk_shallow(fn):
+            if not isinstance(sub, ast.Call):
+                continue
+            target = ctx.resolve(sub.func)
+            if target in BLOCKING_CALLS:
+                yield self.violation(
+                    ctx, sub,
+                    f"blocking call `{target}()` inside `async def "
+                    f"{fn.name}` stalls the event loop for every session; "
+                    f"use the asyncio equivalent or an executor",
+                )
+
+    def _straddles(self, ctx: RuleContext, cfg: CFG) -> Iterator[Violation]:
+        access = [_node_state_access(n) for n in cfg.nodes]
+        seen_pairs: set[tuple[int, int, str]] = set()
+        for i, node in enumerate(cfg.nodes):
+            reads, writes, value_reads = access[i]
+            # Same-statement hazard: read on the value side, await,
+            # write back -- all in one line.
+            if node.awaits:
+                for key in sorted(value_reads & writes):
+                    yield self.violation(
+                        ctx, node.stmt,
+                        f"`{key}` is read and rewritten across an `await` "
+                        f"in one statement; the value written is stale by "
+                        f"the time the await resumes",
+                    )
+            for key in sorted(reads):
+                for j in self._stale_writes(cfg, access, i, key):
+                    if (i, j, key) in seen_pairs:
+                        continue
+                    seen_pairs.add((i, j, key))
+                    yield self.violation(
+                        ctx, cfg.nodes[j].stmt,
+                        f"`{key}` read at line {node.line} is written here "
+                        f"with an `await` in between; another task can "
+                        f"interleave at the yield point -- re-read after "
+                        f"the await or move the read-modify-write into the "
+                        f"session worker (`_enqueue`)",
+                    )
+
+    @staticmethod
+    def _stale_writes(
+        cfg: CFG,
+        access: list[tuple[set[str], set[str], set[str]]],
+        start: int,
+        key: str,
+    ) -> Iterator[int]:
+        """Nodes writing ``key`` reachable from ``start`` across an await.
+
+        BFS with kill-on-write: a write to ``key`` stops propagation
+        (later writes act on the *refreshed* value), and is reported
+        only when an ``await`` was crossed first -- on the path, or
+        inside the reading/writing statement itself.
+        """
+        seen: set[tuple[int, bool]] = set()
+        work = [(s, cfg.nodes[start].awaits) for s in cfg.succs[start]]
+        while work:
+            idx, crossed = work.pop()
+            if (idx, crossed) in seen:
+                continue
+            seen.add((idx, crossed))
+            node = cfg.nodes[idx]
+            if key in access[idx][1]:  # writes
+                if crossed or node.awaits:
+                    yield idx
+                continue  # kill: the value is refreshed past this point
+            crossed = crossed or node.awaits
+            work.extend((s, crossed) for s in cfg.succs[idx])
+
+
+# ----------------------------------------------------------------------
+# RL010: cross-artifact conformance (failpoints / metrics / protocol)
+
+
+#: Anchors: each sub-check runs only when the catalogue-owning module
+#: is part of the scanned set, so single-fixture lint runs stay inert.
+FAILPOINT_REGISTRY = "repro/faults/registry.py"
+METRICS_ANCHOR = "repro/obs/metrics.py"
+PROTOCOL_MODULE = "repro/service/protocol.py"
+CLIENT_MODULE = "repro/service/client.py"
+OBSERVABILITY_DOC = os.path.join("docs", "OBSERVABILITY.md")
+
+#: Only the serving stack's namespace is catalogued; ad-hoc bench/sim
+#: metric names stay free-form.
+CATALOGUED_METRIC_PREFIX = "service."
+
+
+@rule
+class RL010CrossArtifact(Rule):
+    id = "RL010"
+    summary = ("cross-artifact conformance: failpoint fire-sites <-> "
+               "KNOWN_FAILPOINTS, emitted service.* metrics <-> the "
+               "docs/OBSERVABILITY.md catalogue, protocol ops <-> client "
+               "methods <-> dispatch arms")
+
+    def check_project(self, ctxs: Sequence[RuleContext]) -> Iterator[Violation]:
+        index = ProjectIndex(ctxs)
+        yield from self._check_failpoints(index)
+        yield from self._check_metrics(index)
+        yield from self._check_protocol(index)
+
+    def _at(self, path: str, line: int, message: str) -> Violation:
+        """A violation anchored in a non-Python artifact (docs, registry)."""
+        return Violation(
+            rule=self.id, severity=self.severity, path=path,
+            line=line, col=0, message=message,
+        )
+
+    # -- failpoints ---------------------------------------------------
+
+    def _check_failpoints(self, index: ProjectIndex) -> Iterator[Violation]:
+        lit = index.frozenset_literal(FAILPOINT_REGISTRY, "KNOWN_FAILPOINTS")
+        if lit is None:
+            return
+        reg_ctx, reg_stmt, known = lit
+        fired: set[str] = set()
+        for site in index.hit_sites:
+            if site.ctx.module_path.startswith("repro/"):
+                fired.add(site.value)
+            if site.value not in known:
+                yield self.violation(
+                    site.ctx, site.node,
+                    f"failpoint `{site.value}` is fired here but is not a "
+                    f"KNOWN_FAILPOINTS entry ({FAILPOINT_REGISTRY}); specs "
+                    f"naming it are rejected at parse time",
+                )
+        for site in index.spec_points:
+            if site.value not in known:
+                yield self.violation(
+                    site.ctx, site.node,
+                    f"fault spec names `{site.value}`, which is not a "
+                    f"KNOWN_FAILPOINTS entry; this spec can never arm",
+                )
+        for point in sorted(known - fired):
+            yield self.violation(
+                reg_ctx, reg_stmt,
+                f"KNOWN_FAILPOINTS entry `{point}` has no `.hit(...)` fire "
+                f"site anywhere in repro/; orphan failpoints give chaos "
+                f"suites false confidence",
+            )
+
+    # -- metrics ------------------------------------------------------
+
+    def _check_metrics(self, index: ProjectIndex) -> Iterator[Violation]:
+        anchor = index.by_module.get(METRICS_ANCHOR)
+        if anchor is None:
+            return
+        root = index.find_repo_root(anchor, OBSERVABILITY_DOC)
+        if root is None:
+            yield self.violation(
+                anchor, anchor.tree,
+                f"cannot locate {OBSERVABILITY_DOC} above "
+                f"{anchor.path}; the metrics catalogue is unreachable",
+            )
+            return
+        doc_path = os.path.join(root, OBSERVABILITY_DOC)
+        catalogue = parse_metrics_catalogue(doc_path)
+        if catalogue is None:
+            yield self._at(
+                doc_path, 1,
+                "metrics-catalogue markers missing (expected "
+                "`<!-- reprolint:metrics-catalogue:begin/end -->`); "
+                "RL010 cannot reconcile emitted metric names",
+            )
+            return
+        emitted: set[str] = set()
+        for site in index.metric_emits:
+            if not site.value.startswith(CATALOGUED_METRIC_PREFIX):
+                continue
+            emitted.add(site.value)
+            if site.value not in catalogue:
+                yield self.violation(
+                    site.ctx, site.node,
+                    f"metric `{site.value}` is emitted here but absent "
+                    f"from the {OBSERVABILITY_DOC} catalogue",
+                )
+        for name, line in sorted(catalogue.items()):
+            if name.startswith(CATALOGUED_METRIC_PREFIX) and name not in emitted:
+                yield self._at(
+                    doc_path, line,
+                    f"catalogued metric `{name}` is never emitted by any "
+                    f"scanned module; delete the row or wire the metric",
+                )
+
+    # -- protocol -----------------------------------------------------
+
+    def _check_protocol(self, index: ProjectIndex) -> Iterator[Violation]:
+        lit = index.dict_literal_keys(PROTOCOL_MODULE, "REQUEST_FIELDS")
+        if lit is None:
+            return
+        proto_ctx, proto_stmt, ops = lit
+        opset = set(ops)
+        arms = {s.value for s in index.dispatch_arms}
+        calls = {s.value for s in index.client_ops}
+        for site in index.dispatch_arms:
+            if site.value not in opset:
+                yield self.violation(
+                    site.ctx, site.node,
+                    f"dispatch arm for `{site.value}` matches no "
+                    f"REQUEST_FIELDS op; the validator rejects it before "
+                    f"dispatch ever sees it",
+                )
+        for site in index.client_ops:
+            if site.value not in opset:
+                yield self.violation(
+                    site.ctx, site.node,
+                    f"client sends op `{site.value}`, which is not a "
+                    f"REQUEST_FIELDS op",
+                )
+        if arms:
+            for op in ops:
+                if op not in arms:
+                    yield self.violation(
+                        proto_ctx, proto_stmt,
+                        f"protocol op `{op}` has no dispatch arm "
+                        f"(SessionManager.dispatch / server._respond)",
+                    )
+        if CLIENT_MODULE in index.by_module:
+            for op in ops:
+                if op not in calls:
+                    yield self.violation(
+                        proto_ctx, proto_stmt,
+                        f"protocol op `{op}` has no client method "
+                        f"(`self.call(\"{op}\", ...)` in {CLIENT_MODULE})",
+                    )
+
+
+# ----------------------------------------------------------------------
+# RL011: suppression-debt ratchet (lint-baseline.json)
+
+
+@rule
+class RL011BaselineRatchet(Rule):
+    """The baseline file freezes known findings so a new rule can land
+    without a big-bang cleanup, exactly like ``mypy-baseline.txt``.
+    Enforcement lives in :mod:`repro.lint.baseline` (it needs the whole
+    run plus the committed file): baselined findings are filtered out of
+    the result, and entries that no longer match anything are emitted as
+    RL011 errors anchored at the baseline file -- debt may only shrink.
+    This registry entry reserves the id, the docs row, and `--rules`
+    addressability."""
+
+    id = "RL011"
+    summary = ("suppression-debt ratchet: every lint-baseline.json entry "
+               "must still match a live finding (burned-down debt must be "
+               "deleted from the baseline, never left to mask new findings)")

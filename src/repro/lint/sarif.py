@@ -1,0 +1,79 @@
+"""SARIF 2.1.0 serialization of a lint run.
+
+SARIF is the interchange format CI forges ingest for code-scanning
+annotations; emitting it lets the reprolint job upload its findings as
+a build artifact that renders per-line in review tooling instead of as
+a wall of log text.  Only the minimal result/rule subset is produced --
+enough for any 2.1.0 consumer, nothing speculative.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.lint.engine import LintResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _uri(path: str) -> str:
+    rel = os.path.relpath(path)
+    if rel.startswith(".."):
+        rel = path  # outside the working tree: keep it absolute
+    return rel.replace(os.sep, "/")
+
+
+def result_to_sarif(result: LintResult) -> str:
+    """Serialize the run as a single-run SARIF 2.1.0 log."""
+    from repro.lint.rules import RULES
+
+    seen_rules = sorted({v.rule for v in result.violations})
+    rules = []
+    for rid in seen_rules:
+        known = RULES.get(rid)
+        desc = known.summary if known is not None else rid
+        rules.append({
+            "id": rid,
+            "shortDescription": {"text": desc},
+        })
+    results = [
+        {
+            "ruleId": v.rule,
+            "level": "error" if v.severity == "error" else "warning",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _uri(v.path)},
+                        "region": {
+                            "startLine": max(v.line, 1),
+                            "startColumn": v.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for v in result.violations
+    ]
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "docs/LINTING.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -157,6 +157,9 @@ class _CallMixin:
     def ping(self, *, timeout: Optional[float] = None) -> Any:
         return self.call("ping", timeout=timeout)
 
+    def health(self, *, timeout: Optional[float] = None) -> Any:
+        return self.call("health", timeout=timeout)
+
     def open(
         self,
         session: str,

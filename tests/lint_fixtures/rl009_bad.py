@@ -1,0 +1,32 @@
+# reprolint: path=repro/service/fixture_worker.py
+"""RL009 fixture: self-state straddling awaits + blocking calls."""
+
+import asyncio
+import os
+import time
+
+
+class Manager:
+    async def stale_counter(self):
+        n = self.clock
+        await asyncio.sleep(0)
+        self.clock = n + 1  # line 13: write of a pre-await read
+
+    async def one_liner(self):
+        self.clock = await bump(self.clock)  # line 16: read/await/write in one stmt
+
+    async def aug_across_await(self):
+        self.clock += await bump(1)  # line 19: implicit read, await, write
+
+    async def sleeper(self):
+        time.sleep(0.1)  # line 22: blocks the event loop
+
+    async def fsyncer(self, fd):
+        os.fsync(fd)  # line 25: blocks the event loop
+
+    async def loop_carried(self):
+        depth = self.depth
+        while depth:
+            await asyncio.sleep(0)
+            self.depth = depth - 1  # line 31: stale write on the loop path
+            depth -= 1

@@ -1,0 +1,46 @@
+# reprolint: path=repro/service/fixture_worker_ok.py
+"""RL009 fixture: the blessed service-layer patterns stay clean."""
+
+import asyncio
+import time
+
+
+class Manager:
+    async def write_first(self):
+        # Write before the first await: nothing read can go stale.
+        self.shutting_down = True
+        await asyncio.sleep(0)
+
+    async def reread_after_await(self):
+        await asyncio.sleep(0)
+        # Read and write on the same side of the yield point.
+        n = self.depth
+        self.depth = n + 1
+
+    async def mutator_call_is_idempotent(self):
+        if "k" in self.sessions:
+            await asyncio.sleep(0)
+            # pop(k, None) re-checks under the hood; the blessed
+            # idempotent-teardown pattern is a call, not an assignment.
+            self.sessions.pop("k", None)
+
+    async def store_of_awaited_value(self):
+        # The subscript target is evaluated *after* the await resumes.
+        self.cache["k"] = await load("k")
+
+    async def closure_reads_are_opaque(self):
+        # The lambda runs when the worker drains it, not here.
+        self.pending.append(lambda: self.depth + 1)
+        await asyncio.sleep(0)
+        self.depth = 0
+
+    async def _worker(self):
+        # The single-writer funnel itself: read-modify-write across the
+        # queue await is its design, exempt by name.
+        while not self.shutting_down:
+            op = await self.queue_get()
+            self.clock = self.clock + 1
+            op()
+
+    def sync_helper_may_block(self):
+        time.sleep(0.01)

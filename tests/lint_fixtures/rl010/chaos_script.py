@@ -1,0 +1,7 @@
+# reprolint: path=scripts/fixture_chaos.py
+"""RL010 fixture script: one valid fault spec, one naming a ghost point."""
+
+DEFAULT_FAULTS = [
+    "mgr.admit=delay:0.01",
+    "mgr.ghost=error:0.5",  # seeded: not a KNOWN_FAILPOINTS entry
+]

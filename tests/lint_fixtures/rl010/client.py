@@ -1,0 +1,10 @@
+# reprolint: path=repro/service/client.py
+"""RL010 fixture client: covers `ping` only; `drain` is the seeded gap."""
+
+
+class Client:
+    def call(self, op, **fields):
+        raise NotImplementedError
+
+    def ping(self):
+        return self.call("ping")

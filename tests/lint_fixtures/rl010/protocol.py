@@ -1,0 +1,8 @@
+# reprolint: path=repro/service/protocol.py
+"""RL010 fixture protocol: `drain` has a dispatch arm but no client
+method -- the seeded conformance gap."""
+
+REQUEST_FIELDS: dict[str, tuple[str, ...]] = {
+    "ping": (),
+    "drain": (),
+}

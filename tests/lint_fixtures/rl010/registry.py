@@ -1,0 +1,7 @@
+# reprolint: path=repro/faults/registry.py
+"""RL010 fixture registry: one live failpoint, one seeded orphan."""
+
+KNOWN_FAILPOINTS: frozenset[str] = frozenset({
+    "mgr.admit",   # fired in sessions.py below
+    "mgr.orphan",  # line 4 stmt: seeded orphan -- no fire site anywhere
+})

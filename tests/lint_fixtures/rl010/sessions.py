@@ -1,0 +1,25 @@
+# reprolint: path=repro/service/sessions.py
+"""RL010 fixture manager: fires one failpoint, emits one documented and
+one seeded-undocumented metric, and carries a dispatch arm (`drain`)
+whose client method is deliberately missing."""
+
+
+class Manager:
+    def __init__(self, faults, registry):
+        self.faults = faults
+        self.registry = registry
+
+    def admit(self, sid):
+        if self.faults is not None:
+            self.faults.hit("mgr.admit")
+        if self.registry is not None:
+            self.registry.counter("service.fixture.admitted")
+            self.registry.counter("service.fixture.phantom")  # undocumented
+        return sid
+
+    def dispatch(self, op, fields):
+        if op == "ping":
+            return {}
+        if op == "drain":
+            return {}
+        raise KeyError(op)

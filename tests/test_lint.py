@@ -45,6 +45,7 @@ def rules_hit(result):
     ("RL006", "rl006_bad.py", {13}),
     ("RL007", "rl007_bad.py", {8, 14, 22}),
     ("RL008", "rl008_bad.py", {12, 16, 22, 26}),
+    ("RL009", "rl009_bad.py", {13, 16, 19, 22, 25, 31}),
 ])
 def test_bad_fixture_flags_expected_lines(rule_id, bad, lines):
     result = lint_paths([fixture(bad)])
@@ -57,7 +58,7 @@ def test_bad_fixture_flags_expected_lines(rule_id, bad, lines):
 @pytest.mark.parametrize("good", [
     "rl001_good.py", "rl002_good.py", "rl002_service_good.py", "rl003_good.py",
     "rl004_good.py", "rl005_good.py", "rl006_good.py", "rl007_good.py",
-    "rl008_good.py",
+    "rl008_good.py", "rl009_good.py",
 ])
 def test_good_fixture_is_clean(good):
     result = lint_paths([fixture(good)])
@@ -159,10 +160,74 @@ def test_parse_failure_is_reported(tmp_path):
 def test_registry_covers_documented_rules():
     assert set(RULES) == {
         "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
-        "RL008",
+        "RL008", "RL009", "RL010", "RL011",
     }
     for r in RULES.values():
         assert r.summary and r.severity == "error"
+
+
+# ----------------------------------------------------------------------
+# The whole-program pass: CFG, project index, RL010 fixture project
+
+
+def test_cfg_loop_back_edge_and_awaits():
+    import ast as _ast
+
+    from repro.lint.flow import build_cfg
+
+    src = (
+        "async def f(self):\n"
+        "    x = 1\n"
+        "    while x:\n"
+        "        await g()\n"
+        "        x -= 1\n"
+    )
+    fn = _ast.parse(src).body[0]
+    cfg = build_cfg(fn)
+    by_line = {n.line: n for n in cfg.nodes}
+    assert not by_line[2].awaits and by_line[4].awaits
+    # loop body's last statement feeds back into the while header
+    assert by_line[3].idx in cfg.succs[by_line[5].idx]
+    # from the first statement, the await node is reachable post-await
+    plain, awaited = cfg.reachable_crossing_await(by_line[2].idx)
+    assert by_line[3].idx in plain
+    assert by_line[5].idx in awaited
+
+
+def test_cfg_nested_scopes_are_opaque():
+    import ast as _ast
+
+    from repro.lint.flow import build_cfg, has_await
+
+    src = (
+        "async def f(self):\n"
+        "    cb = lambda: self.x + 1\n"
+        "    async def inner():\n"
+        "        await g()\n"
+    )
+    fn = _ast.parse(src).body[0]
+    assert not has_await(fn)  # the inner await does not leak out
+    cfg = build_cfg(fn)
+    assert all(not n.awaits for n in cfg.nodes)
+
+
+def test_rl010_fixture_project_flags_each_seeded_drift():
+    result = lint_paths([os.path.join(FIXTURES, "rl010")])
+    assert rules_hit(result) == ["RL010"]
+    msgs = sorted(v.message for v in result.violations)
+    assert len(msgs) == 4
+    assert any("mgr.orphan" in m and "no `.hit(" in m for m in msgs)
+    assert any("service.fixture.phantom" in m for m in msgs)
+    assert any("`drain` has no client method" in m for m in msgs)
+    assert any("mgr.ghost" in m and "never arm" in m for m in msgs)
+
+
+def test_rl010_single_fixture_runs_stay_inert():
+    # Without the anchor modules in the scanned set, RL010 must not
+    # fire -- otherwise every per-rule fixture test would drown in
+    # cross-artifact noise.
+    result = lint_paths([fixture("rl001_bad.py")], rules=["RL010"])
+    assert result.ok, [v.format() for v in result.violations]
 
 
 # ----------------------------------------------------------------------
@@ -175,6 +240,133 @@ def test_real_tree_exits_zero():
                if os.path.isdir(os.path.join(REPO, d))]
     result = lint_paths(targets)
     assert result.ok, "\n".join(v.format() for v in result.violations)
+
+
+def test_real_tree_clean_under_new_rules_with_zero_suppressions():
+    # The differential the tentpole must hold: RL009/RL010 pass on the
+    # real tree without a single suppression or baseline entry -- the
+    # atomicity discipline and the three catalogues genuinely conform.
+    targets = [os.path.join(REPO, d)
+               for d in ("src", "tests", "benchmarks", "scripts", "examples")
+               if os.path.isdir(os.path.join(REPO, d))]
+    result = lint_paths(targets, rules=["RL009", "RL010"])
+    assert result.ok, "\n".join(v.format() for v in result.violations)
+    assert result.suppressed == 0
+    assert result.baselined == 0
+
+
+def test_committed_baseline_is_empty():
+    from repro.lint.baseline import load_baseline
+
+    base = load_baseline(os.path.join(REPO, "lint-baseline.json"))
+    assert base == {}
+
+
+# ----------------------------------------------------------------------
+# Baseline ratchet (RL011)
+
+
+def test_baseline_round_trip_filters_known_findings(tmp_path):
+    from repro.lint.baseline import apply_baseline, render_baseline
+
+    result = lint_paths([fixture("rl009_bad.py")])
+    n = len(result.violations)
+    assert n > 0
+    path = tmp_path / "lint-baseline.json"
+    path.write_text(render_baseline(result))
+    again = lint_paths([fixture("rl009_bad.py")])
+    filtered = apply_baseline(again, str(path))
+    assert filtered.ok
+    assert filtered.baselined == n
+    assert filtered.violations == []
+
+
+def test_baseline_stale_entry_is_rl011_error(tmp_path):
+    from repro.lint.baseline import apply_baseline, render_baseline
+
+    result = lint_paths([fixture("rl009_bad.py")])
+    path = tmp_path / "lint-baseline.json"
+    path.write_text(render_baseline(result))
+    # The "fixed" tree: the good fixture has none of the baselined
+    # findings, so every entry is stale debt.
+    clean = lint_paths([fixture("rl009_good.py")])
+    filtered = apply_baseline(clean, str(path))
+    assert not filtered.ok
+    assert {v.rule for v in filtered.violations} == {"RL011"}
+    assert all("stale baseline entry" in v.message
+               for v in filtered.violations)
+    assert all(v.path == str(path) for v in filtered.violations)
+
+
+def test_baseline_fingerprint_has_no_line_numbers():
+    from repro.lint.baseline import fingerprint
+
+    result = lint_paths([fixture("rl009_bad.py")])
+    for v in result.violations:
+        fp = fingerprint(v)
+        assert fp.startswith("tests/lint_fixtures/rl009_bad.py:RL009: ")
+        assert f":{v.line}:" not in fp
+
+
+def test_baseline_missing_file_is_a_noop():
+    from repro.lint.baseline import apply_baseline
+
+    result = lint_paths([fixture("rl009_bad.py")])
+    n = len(result.violations)
+    assert apply_baseline(result, "/nonexistent/baseline.json") is result
+    assert len(result.violations) == n
+    assert result.baselined == 0
+
+
+def test_cli_update_baseline_then_ratchet(tmp_path, capsys):
+    base = str(tmp_path / "bl.json")
+    assert lint_main(["--update-baseline", "--baseline", base,
+                      fixture("rl009_bad.py")]) == 0
+    assert "frozen" in capsys.readouterr().out
+    # Armed: the same findings now pass...
+    assert lint_main(["--baseline", base, fixture("rl009_bad.py")]) == 0
+    assert "baselined" in capsys.readouterr().out
+    # ...but --no-baseline still reports them all.
+    assert lint_main(["--no-baseline", "--baseline", base,
+                      fixture("rl009_bad.py")]) == 1
+
+
+def test_cli_explicit_missing_baseline_is_usage_error(tmp_path, capsys):
+    missing = str(tmp_path / "nope.json")
+    assert lint_main(["--baseline", missing, fixture("rl001_good.py")]) == 2
+    assert "not found" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# SARIF
+
+
+def test_sarif_output_shape():
+    from repro.lint.sarif import result_to_sarif
+
+    result = lint_paths([fixture("rl009_bad.py")])
+    doc = json.loads(result_to_sarif(result))
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "reprolint"
+    assert {r["id"] for r in run["tool"]["driver"]["rules"]} == {"RL009"}
+    assert len(run["results"]) == len(result.violations)
+    first = run["results"][0]
+    assert first["ruleId"] == "RL009"
+    assert first["level"] == "error"
+    loc = first["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"].endswith("rl009_bad.py")
+    assert loc["region"]["startLine"] >= 1
+
+
+def test_cli_sarif_format_to_output_file(tmp_path):
+    out = str(tmp_path / "report.sarif")
+    assert lint_main(["--format", "sarif", "--output", out,
+                      fixture("rl009_bad.py")]) == 1
+    with open(out, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    assert doc["version"] == "2.1.0"
+    assert doc["runs"][0]["results"]
 
 
 # ----------------------------------------------------------------------
