@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Throughput scaling of the sharded cluster: 1 vs 2 vs 4 shards.
+
+For each shard count this script launches a :class:`ShardGroup` (real
+``repro serve`` subprocesses over a temporary cluster root), places one
+block of loadgen sessions per shard through the placement map (saved to
+``placement.json`` as deliberate overrides), and drives every shard
+from its *own driver subprocess* -- re-invoking this script with
+``--drive`` -- so client-side GIL contention never caps the measured
+scaling.  Per-shard results aggregate into one weak-scaling document:
+the per-shard work is constant, so total throughput should grow with
+the shard count.
+
+Writes ``benchmarks/results/BENCH_cluster.json``::
+
+    python scripts/cluster_loadgen.py                 # shards 1,2,4
+    python scripts/cluster_loadgen.py --shards 1,2    # quicker
+    python scripts/cluster_loadgen.py --ops 100       # lighter
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+SRC = os.path.join(ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.cluster import PlacementMap, ShardGroup  # noqa: E402
+from repro.cluster.placement import PLACEMENT_FILE  # noqa: E402
+from repro.service import LoadgenOptions, run_loadgen_sync  # noqa: E402
+
+DEFAULT_OUT = os.path.join(ROOT, "benchmarks", "results", "BENCH_cluster.json")
+
+
+def drive(args):
+    """Driver-subprocess role: load one shard, dump the result doc."""
+    opts = LoadgenOptions(
+        sessions=args.sessions,
+        ops=args.ops,
+        duration=None if args.ops is not None else args.duration,
+        max_size=args.max_size,
+        seed=args.seed,
+        session_prefix=args.prefix,
+    )
+    doc = run_loadgen_sync(opts, host=args.host, port=args.port)
+    doc["totals"].pop("server_op_ms", None)
+    with open(args.out, "w") as fh:
+        json.dump(doc["totals"], fh)
+    return 0
+
+
+def run_scale(n_shards, args):
+    """One weak-scaling point: n shards, one driver process per shard."""
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-") as td:
+        root = os.path.join(td, "cluster")
+        extra = []
+        if args.disk_latency > 0:
+            extra = [
+                "--faults",
+                f"journal.append.io=delay:{args.disk_latency}",
+            ]
+        group = ShardGroup(root, n_shards, fsync=args.fsync,
+                           extra_args=extra)
+        specs = group.start()
+        # Record the deliberate placement: driver i's sessions -> shard i.
+        placement = PlacementMap(s.name for s in specs)
+        for i, spec in enumerate(specs):
+            for k in range(args.sessions):
+                placement.assign(f"c{i}-{k}", spec.name)
+        placement.save(os.path.join(root, PLACEMENT_FILE))
+        procs = []
+        try:
+            for i, spec in enumerate(specs):
+                out = os.path.join(td, f"drive-{i}.json")
+                cmd = [
+                    sys.executable, os.path.abspath(__file__), "--drive",
+                    "--host", spec.host, "--port", str(spec.port),
+                    "--sessions", str(args.sessions),
+                    "--max-size", str(args.max_size),
+                    "--seed", str(args.seed + i),
+                    "--prefix", f"c{i}-",
+                    "--out", out,
+                ]
+                if args.ops is not None:
+                    cmd += ["--ops", str(args.ops)]
+                else:
+                    cmd += ["--duration", str(args.duration)]
+                env = dict(os.environ)
+                env["PYTHONPATH"] = SRC + (
+                    os.pathsep + env["PYTHONPATH"]
+                    if env.get("PYTHONPATH") else ""
+                )
+                procs.append(
+                    (subprocess.Popen(cmd, env=env), out, spec.name)
+                )
+            per_shard = []
+            for proc, out, name in procs:
+                rc = proc.wait(timeout=600)
+                if rc != 0:
+                    raise RuntimeError(f"driver for {name} exited rc={rc}")
+                with open(out) as fh:
+                    totals = json.load(fh)
+                per_shard.append({"shard": name, **totals})
+        finally:
+            for proc, _, _ in procs:
+                if proc.poll() is None:
+                    proc.kill()
+            group.stop()
+    ops = sum(t["ops"] for t in per_shard)
+    wall = max(t["wall_seconds"] for t in per_shard)
+    return {
+        "shards": n_shards,
+        "ops": ops,
+        "wall_seconds": wall,
+        "throughput_ops_per_s": ops / wall if wall > 0 else 0.0,
+        "per_shard": per_shard,
+    }
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--drive", action="store_true",
+                    help="internal: act as a single-shard driver")
+    ap.add_argument("--shards", default="1,2,4",
+                    help="comma-separated shard counts to sweep")
+    ap.add_argument("--sessions", type=int, default=4,
+                    help="loadgen sessions per shard")
+    ap.add_argument("--ops", type=int, default=250,
+                    help="ops per session (0 = drive by --duration)")
+    ap.add_argument("--duration", type=float, default=4.0)
+    ap.add_argument("--max-size", type=int, default=64)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--fsync", default="always",
+                    choices=["always", "interval", "never"])
+    ap.add_argument("--disk-latency", type=float, default=0.002,
+                    metavar="SECS",
+                    help="emulated per-append durable-write latency, "
+                         "injected deterministically via the "
+                         "journal.append.io failpoint (delay behavior). "
+                         "Makes shards storage-bound instead of bound by "
+                         "the host's write cache, so the scaling "
+                         "measurement is hardware-independent; 0 disables")
+    ap.add_argument("--host")
+    ap.add_argument("--port", type=int)
+    ap.add_argument("--prefix", default="lg")
+    ap.add_argument("--out", default=DEFAULT_OUT)
+    args = ap.parse_args(argv)
+    if args.ops == 0:
+        args.ops = None
+
+    if args.drive:
+        return drive(args)
+
+    counts = [int(c) for c in args.shards.split(",") if c.strip()]
+    scaling = []
+    for n in counts:
+        t0 = time.monotonic()
+        point = run_scale(n, args)
+        scaling.append(point)
+        print(
+            f"shards={n}: ops={point['ops']} "
+            f"wall={point['wall_seconds']:.2f}s "
+            f"throughput={point['throughput_ops_per_s']:.0f} ops/s "
+            f"(point took {time.monotonic() - t0:.1f}s)"
+        )
+    doc = {
+        "kind": "cluster_loadgen",
+        "config": {
+            "sessions_per_shard": args.sessions,
+            "ops_per_session": args.ops,
+            "duration": None if args.ops is not None else args.duration,
+            "max_size": args.max_size,
+            "fsync": args.fsync,
+            "seed": args.seed,
+        },
+        "scaling": scaling,
+    }
+    base = scaling[0]["throughput_ops_per_s"] if scaling else 0.0
+    if base > 0:
+        doc["speedup"] = {
+            str(p["shards"]): round(p["throughput_ops_per_s"] / base, 3)
+            for p in scaling
+        }
+        for k, v in doc["speedup"].items():
+            print(f"speedup x{k} shards: {v}")
+    os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

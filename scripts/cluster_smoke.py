@@ -1,0 +1,401 @@
+#!/usr/bin/env python
+"""Cluster smoke gate: failover, zero acked-write loss, exact migration.
+
+Phase 1 -- failover under fire.  A two-shard :class:`ShardGroup`
+(``fsync=always``) takes sustained load from threads of retrying
+idempotent cluster clients, one thread per session, sessions pinned to
+both shards.  Mid-load, shard-0 is SIGKILLed and respawned on its
+original port.  Every thread keeps an *acked log* -- exactly the ops the
+cluster acknowledged -- and the gate asserts zero acked-write loss:
+replaying the acked log must reproduce each session's server-side job
+table (any extra server-side job must come from an op the client gave
+up on, whose fate is legitimately ambiguous).  When no op was
+ambiguous, the check tightens to a full differential against an
+in-process reference replay (active/objective/volume/makespan/jobs).
+
+Phase 2 -- migration differential.  A scripted deterministic op
+sequence runs against the cluster with a live :func:`migrate_session`
+dropped in the middle (the client chases the ``moved`` redirect), and
+the same sequence runs on an unmigrated in-process
+:class:`SessionManager`.  The final query documents must match
+*exactly*, and so must the ``migrate_out`` scheduler snapshots
+(including ledger totals -- the competitiveness accounting), modulo the
+idempotency sidecar.  An idempotent insert issued before the move must
+replay -- not reapply -- after it, proving the dedup window migrated.
+
+Exits 0 on success; any violated property raises.  CI runs this as the
+``cluster-smoke`` job.
+
+    python scripts/cluster_smoke.py
+    python scripts/cluster_smoke.py --duration 6 --sessions 8
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import random
+import sys
+import tempfile
+import threading
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+SRC = os.path.join(ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.cluster import (  # noqa: E402
+    ClusterClient,
+    PlacementMap,
+    ReallocationLedger,
+    ShardGroup,
+    migrate_session,
+)
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.service import RetryPolicy, ServiceError  # noqa: E402
+from repro.service.protocol import Request  # noqa: E402
+from repro.service.sessions import SessionManager  # noqa: E402
+
+MAX_SIZE = 64
+
+
+class Driver(threading.Thread):
+    """One session's load: retrying idempotent ops with an acked log."""
+
+    def __init__(self, specs, placement, sid, seed, stop):
+        super().__init__(daemon=True)
+        self.specs = specs
+        self.placement = placement
+        self.sid = sid
+        self.rng = random.Random(seed)
+        self.stop_event = stop
+        self.acked = []       # (op, name, size) the cluster acknowledged
+        self.uncertain = []   # (op, name) ops we gave up on -- fate unknown
+        self.error = None
+
+    def run(self):
+        try:
+            self._drive()
+        except BaseException as e:  # surfaced by the main thread
+            self.error = e
+
+    def _drive(self):
+        retry = RetryPolicy(
+            attempts=8, base=0.05, factor=2.0, max_delay=0.8,
+            seed=self.rng.randrange(1 << 30),
+        )
+        with ClusterClient(
+            self.specs, placement=self.placement, timeout=10.0, retry=retry
+        ) as cc:
+            cc.call("open", session=self.sid, config={"max_size": MAX_SIZE})
+            live = {}
+            n = 0
+            while not self.stop_event.is_set():
+                n += 1
+                if live and self.rng.random() < 0.3:
+                    name = self.rng.choice(sorted(live))
+                    try:
+                        cc.call("delete", session=self.sid, name=name)
+                    except ServiceError:
+                        # Ambiguous: the delete may or may not have
+                        # applied.  Quarantine the name forever.
+                        self.uncertain.append(("delete", name))
+                        del live[name]
+                        continue
+                    self.acked.append(("delete", name, live.pop(name)))
+                else:
+                    name = f"{self.sid}-j{n}"
+                    size = self.rng.randint(1, 8)
+                    try:
+                        cc.call(
+                            "insert", session=self.sid, name=name, size=size
+                        )
+                    except ServiceError:
+                        self.uncertain.append(("insert", name))
+                        continue
+                    self.acked.append(("insert", name, size))
+                    live[name] = size
+
+
+def replay_reference(root, sid, acked):
+    """Replay exactly the acked ops on a fresh in-process manager."""
+
+    async def go():
+        mgr = SessionManager(root, fsync="never")
+        try:
+            await mgr.dispatch(
+                Request(op="open", session=sid, config={"max_size": MAX_SIZE})
+            )
+            for op, name, size in acked:
+                if op == "insert":
+                    await mgr.dispatch(
+                        Request(op="insert", session=sid, name=name, size=size)
+                    )
+                else:
+                    await mgr.dispatch(
+                        Request(op="delete", session=sid, name=name)
+                    )
+            return await mgr.dispatch(
+                Request(op="query", session=sid, jobs=True)
+            )
+        finally:
+            await mgr.shutdown()
+
+    return asyncio.run(go())
+
+
+def check_session(cc, td, drv):
+    """Zero acked-write loss for one session; returns (acked, uncertain)."""
+    doc = cc.call("query", session=drv.sid, jobs=True)
+    server_jobs = {row[0]: row[1] for row in doc["jobs"]}
+    expected = {}
+    for op, name, size in drv.acked:
+        if op == "insert":
+            expected[name] = size
+        else:
+            expected.pop(name, None)
+    unc_ins = {n for op, n in drv.uncertain if op == "insert"}
+    unc_del = {n for op, n in drv.uncertain if op == "delete"}
+    for name, size in expected.items():
+        if name in unc_del:
+            continue  # an ambiguous delete may have removed it
+        assert name in server_jobs, (
+            f"{drv.sid}: acked insert {name!r} LOST after failover"
+        )
+        assert server_jobs[name] == size, (
+            f"{drv.sid}: {name!r} size {server_jobs[name]} != acked {size}"
+        )
+    for name in server_jobs:
+        assert name in expected or name in unc_ins, (
+            f"{drv.sid}: phantom job {name!r} (never acked, never ambiguous)"
+        )
+    if not drv.uncertain:
+        # Nothing ambiguous: the acked log *is* the history, so the
+        # whole document must match an uninterrupted reference replay.
+        ref = replay_reference(
+            os.path.join(td, f"ref-{drv.sid}"), drv.sid, drv.acked
+        )
+        for key in ("active", "objective", "volume", "makespan", "jobs"):
+            assert doc[key] == ref[key], (
+                f"{drv.sid}: {key} diverged: {doc[key]!r} != {ref[key]!r}"
+            )
+    return len(drv.acked), len(drv.uncertain)
+
+
+def phase_failover(group, specs, td, args):
+    placement = PlacementMap(s.name for s in specs)
+    sids = [f"s{k}" for k in range(args.sessions)]
+    for k, sid in enumerate(sids):
+        placement.assign(sid, specs[k % len(specs)].name)
+    stop = threading.Event()
+    drivers = [
+        Driver(specs, placement, sid, seed=1000 + k, stop=stop)
+        for k, sid in enumerate(sids)
+    ]
+    for d in drivers:
+        d.start()
+    time.sleep(args.duration / 3.0)
+    pre_kill = [len(d.acked) for d in drivers]
+    victim = specs[0].name
+    pid = group.kill(victim)
+    print(f"SIGKILLed {victim} (pid {pid}) mid-load")
+    time.sleep(0.3)
+    revived = group.respawn_dead()
+    assert revived == [victim], f"respawn_dead returned {revived!r}"
+    time.sleep(args.duration * 2.0 / 3.0)
+    stop.set()
+    for d in drivers:
+        d.join(timeout=60)
+        assert not d.is_alive(), f"driver {d.sid} hung"
+        if d.error is not None:
+            raise d.error
+    for d, pre in zip(drivers, pre_kill):
+        assert len(d.acked) > pre, (
+            f"{d.sid}: no progress after the kill ({pre} acked ops ever)"
+        )
+    with ClusterClient(specs, placement=placement, timeout=10.0) as cc:
+        totals = [check_session(cc, td, d) for d in drivers]
+    acked = sum(a for a, _ in totals)
+    uncertain = sum(u for _, u in totals)
+    print(
+        f"failover: {acked} acked ops across {len(drivers)} sessions, "
+        f"{uncertain} ambiguous, 0 acked writes lost"
+    )
+    return {
+        "sessions": len(drivers),
+        "acked_ops": acked,
+        "ambiguous_ops": uncertain,
+        "respawns": group.respawns,
+    }
+
+
+def build_sequence(n_ops, seed):
+    """Deterministic insert/delete script shared by cluster and reference."""
+    rng = random.Random(seed)
+    seq = []
+    live = []
+    for i in range(n_ops):
+        if live and i % 5 == 4:
+            name = live.pop(rng.randrange(len(live)))
+            seq.append(("delete", name, 0))
+        else:
+            name = f"m{i}"
+            seq.append(("insert", name, rng.randint(1, 9)))
+            live.append(name)
+    return seq
+
+
+def phase_migration(specs, td, args):
+    sid = "mig"
+    placement = PlacementMap(s.name for s in specs)
+    src = placement.owner(sid)
+    dst = next(s.name for s in specs if s.name != src)
+    seq = build_sequence(args.mig_ops, seed=7)
+    cut = len(seq) // 2
+    ledger = ReallocationLedger(os.path.join(td, "reallocations.jsonl"))
+    registry = MetricsRegistry()
+
+    # The reference replay happens once, at the end, inside a single
+    # event loop (a SessionManager's workers live on the loop that
+    # first dispatches to it); `both` records each cluster op for it.
+    ref_ops = []
+
+    def both(op, **fields):
+        ref_ops.append((op, fields))
+        return cc.call(op, session=sid, **fields)
+
+    def run_reference():
+        async def go():
+            ref = SessionManager(os.path.join(td, "mig-ref"), fsync="never")
+            try:
+                for op, fields in ref_ops:
+                    await ref.dispatch(Request(op=op, session=sid, **fields))
+                doc = await ref.dispatch(
+                    Request(op="query", session=sid, jobs=True)
+                )
+                out = await ref.dispatch(
+                    Request(op="migrate_out", session=sid)
+                )
+                return doc, out
+            finally:
+                await ref.shutdown()
+
+        return asyncio.run(go())
+
+    moved = None
+    with ClusterClient(
+        specs, placement=placement, timeout=10.0,
+        retry=RetryPolicy(attempts=6, base=0.05, seed=3), registry=registry,
+    ) as cc:
+        both("open", config={"max_size": MAX_SIZE})
+        first = both(
+            "insert", name="carry-job", size=5, idem="carry-idem-1"
+        )
+        for i, (op, name, size) in enumerate(seq):
+            if i == cut:
+                moved = migrate_session(
+                    cc.shard_client(src), cc.shard_client(dst), sid,
+                    target_name=dst, source_name=src,
+                    registry=registry, ledger=ledger, epoch=1,
+                )
+                print(
+                    f"migrated {sid!r} {src} -> {dst} mid-sequence "
+                    f"({moved['active']} jobs, volume {moved['volume']})"
+                )
+            if op == "insert":
+                both("insert", name=name, size=size)
+            else:
+                both("delete", name=name)
+        # The client was never told about the move: the first op after
+        # the seal must have chased a MOVED redirect to the new shard.
+        redirects = registry.snapshot()["counters"].get("cluster.redirects", 0)
+        assert redirects >= 1, "no moved-redirect was followed"
+
+        # Dedup carry: the pre-move insert replays on the new shard.
+        replay = cc.call(
+            "insert", session=sid, name="carry-job", size=5,
+            idem="carry-idem-1",
+        )
+        assert replay == first, (
+            f"idempotent replay diverged across migration: "
+            f"{replay!r} != {first!r}"
+        )
+
+        doc = cc.call("query", session=sid, jobs=True)
+        ref_doc, out_r = run_reference()
+        for key in ("active", "objective", "volume", "makespan", "jobs"):
+            assert doc[key] == ref_doc[key], (
+                f"migration diverged on {key}: {doc[key]!r} != {ref_doc[key]!r}"
+            )
+        assert sum(1 for row in doc["jobs"] if row[0] == "carry-job") == 1, (
+            "idempotent insert double-applied across migration"
+        )
+
+        # Scheduler snapshots -- state *and* ledger totals, the exact
+        # competitiveness accounting -- must agree modulo the dedup
+        # sidecar (the reference never saw the auto-stamped idem keys).
+        out_c = cc.shard_client(dst).migrate_out(sid)
+        snap_c = dict(out_c["snapshot"])
+        snap_r = dict(out_r["snapshot"])
+        snap_c.pop("service_dedup", None)
+        snap_r.pop("service_dedup", None)
+        assert snap_c == snap_r, "migrated scheduler snapshot diverged"
+
+    records = ledger.read()
+    assert len(records) == 1 and records[0]["session"] == sid
+    assert records[0]["volume"] == moved["volume"]
+    assert ledger.price(records, lambda v: v) == moved["volume"]
+    assert ledger.summary() == {"migrations": 1, "volume": moved["volume"]}
+    print(
+        f"migration differential: query + snapshot exact, dedup carried, "
+        f"ledger prices to {ledger.price(records, lambda v: v)}"
+    )
+    return {
+        "session": sid,
+        "source": src,
+        "target": dst,
+        "ops": len(seq),
+        "migrated_at": cut,
+        "volume_at_handoff": moved["volume"],
+        "redirects": registry.snapshot()["counters"].get(
+            "cluster.redirects", 0
+        ),
+    }
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--sessions", type=int, default=6,
+                    help="failover-phase sessions (one driver thread each)")
+    ap.add_argument("--duration", type=float, default=4.0,
+                    help="failover-phase load seconds (kill at 1/3)")
+    ap.add_argument("--mig-ops", type=int, default=36,
+                    help="scripted ops in the migration differential")
+    args = ap.parse_args(argv)
+    if args.sessions < 2:
+        ap.error("--sessions must be >= 2 (both shards need load)")
+
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-smoke-") as td:
+        group = ShardGroup(
+            os.path.join(td, "cluster"), 2, fsync="always",
+            registry=MetricsRegistry(),
+        )
+        specs = group.start()
+        try:
+            failover = phase_failover(group, specs, td, args)
+            migration = phase_migration(specs, td, args)
+        finally:
+            group.stop()
+    print(json.dumps(
+        {"kind": "cluster_smoke", "failover": failover,
+         "migration": migration},
+        indent=2, sort_keys=True,
+    ))
+    print("cluster smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -83,6 +83,10 @@ DEFAULT_FAULTS = ";".join([
     "server.conn.accept=drop@p0.02",
     "server.conn.read=drop@p0.005",
     "server.conn.write=drop@p0.005",
+    # Half-open partition: the server keeps reading (and applying) ops
+    # but answers nothing; the client times out into an ambiguous retry
+    # that only the idempotency window keeps exactly-once.
+    "server.conn.partition=drop@p0.001",
 ])
 
 #: Error codes a worker keeps retrying past the client policy: the

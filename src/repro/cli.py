@@ -226,13 +226,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         registry=registry,
         tracer=tracer,
     )
-    server = ServiceServer(
-        manager,
-        host=args.host,
-        port=args.port,
-        unix_path=args.unix,
-        ready_file=args.ready_file,
-    )
+    try:
+        server = ServiceServer(
+            manager,
+            host=args.host,
+            port=args.port,
+            unix_path=args.unix,
+            ready_file=args.ready_file,
+            trace_sample=args.trace_sample,
+            trace_seed=args.trace_sample_seed,
+        )
+    except ValueError as e:
+        raise SystemExit(f"serve: {e}")
     try:
         asyncio.run(server.run())
     except KeyboardInterrupt:
@@ -321,13 +326,166 @@ def cmd_top(args: argparse.Namespace) -> int:
             if not args.once:
                 print("\x1b[2J\x1b[H", end="")
             print(render_top(stats, target=target,
-                             max_sessions=args.sessions),
+                             max_sessions=args.sessions,
+                             watch=args.watch),
                   flush=True)
             if args.once or (args.frames and frames >= args.frames):
                 return 0
             time.sleep(args.interval)
     except KeyboardInterrupt:
         return 0
+
+
+def cmd_cluster_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.cluster import ShardGroup
+
+    extra: list[str] = []
+    if args.trace_sample != 1.0:
+        extra += ["--trace-sample", str(args.trace_sample)]
+    group = ShardGroup(
+        args.root,
+        args.shards,
+        host=args.host,
+        fsync=args.fsync,
+        max_live=args.max_live,
+        extra_args=extra,
+    )
+    try:
+        specs = group.start()
+    except (OSError, RuntimeError) as e:
+        raise SystemExit(f"cluster serve: {e}")
+    for spec in specs:
+        print(f"{spec.name}  {spec.host}:{spec.port}  {spec.data}")
+    print(f"manifest: {group.manifest_path}", flush=True)
+    try:
+        while True:
+            time.sleep(args.poll)
+            if not args.no_respawn:
+                for name in group.respawn_dead():
+                    print(f"respawned {name}", flush=True)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        group.stop()
+    return 0
+
+
+def cmd_cluster_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster import ClusterClient, load_manifest
+    from repro.service import ServiceError
+
+    try:
+        shards = load_manifest(args.root)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"cluster status: {e}")
+    out: dict = {}
+    failures = 0
+    with ClusterClient(shards, timeout=args.timeout) as cc:
+        for spec in shards:
+            try:
+                doc = cc.shard_client(spec.name).health()
+            except ServiceError as e:
+                failures += 1
+                doc = {"error": e.code.value, "message": e.message}
+            out[spec.name] = {"addr": f"{spec.host}:{spec.port}", **doc}
+    print(json.dumps(out, indent=2, sort_keys=True))
+    return 1 if failures else 0
+
+
+def cmd_cluster_rebalance(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.cluster import (
+        ClusterClient,
+        PlacementMap,
+        ReallocationLedger,
+        load_manifest,
+        migrate_session,
+        plan_rebalance,
+    )
+    from repro.cluster.placement import PLACEMENT_FILE
+    from repro.cluster.rebalance import REALLOC_FILE
+    from repro.service import ServiceError
+
+    root = args.root if os.path.isdir(args.root) else os.path.dirname(args.root)
+    try:
+        shards = load_manifest(args.root)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"cluster rebalance: {e}")
+    ppath = os.path.join(root, PLACEMENT_FILE)
+    try:
+        placement = (
+            PlacementMap.load(ppath)
+            if os.path.exists(ppath)
+            else PlacementMap(s.name for s in shards)
+        )
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"cluster rebalance: bad {ppath}: {e}")
+    with ClusterClient(shards, placement=placement,
+                       timeout=args.timeout) as cc:
+        loads: dict = {}
+        try:
+            for spec in shards:
+                per = cc.shard_client(spec.name).stats().get(
+                    "per_session"
+                ) or []
+                weights: dict = {}
+                for row in per:
+                    sid = row.get("session")
+                    if not isinstance(sid, str):
+                        continue
+                    w = row.get("active")
+                    weights[sid] = float(
+                        w if w is not None else row.get("ops", 0) or 0
+                    )
+                loads[spec.name] = weights
+        except ServiceError as e:
+            raise SystemExit(
+                f"cluster rebalance: {e.code.value}: {e.message}"
+            )
+        moves = plan_rebalance(
+            loads, tolerance=args.tolerance,
+            max_moves=args.max_moves if args.max_moves > 0 else None,
+        )
+        plan_doc = [
+            {"session": m.session, "from": m.source, "to": m.target,
+             "weight": m.weight}
+            for m in moves
+        ]
+        if args.dry_run:
+            print(json.dumps({"plan": plan_doc}, indent=2, sort_keys=True))
+            return 0
+        ledger = ReallocationLedger(os.path.join(root, REALLOC_FILE))
+        done = []
+        for mv in moves:
+            try:
+                done.append(migrate_session(
+                    cc.shard_client(mv.source),
+                    cc.shard_client(mv.target),
+                    mv.session,
+                    target_name=mv.target,
+                    source_name=mv.source,
+                    ledger=ledger,
+                    epoch=placement.epoch,
+                ))
+            except ServiceError as e:
+                raise SystemExit(
+                    f"cluster rebalance: migrating {mv.session}: "
+                    f"{e.code.value}: {e.message}"
+                )
+            placement.assign(mv.session, mv.target)
+        placement.save(ppath)
+        print(json.dumps(
+            {"plan": plan_doc, "migrated": done,
+             "ledger": ledger.summary(), "epoch": placement.epoch},
+            indent=2, sort_keys=True,
+        ))
+    return 0
 
 
 def cmd_gen(args: argparse.Namespace) -> int:
@@ -455,6 +613,12 @@ def main(argv: list[str] | None = None) -> int:
                        help="write {pid, port, unix} JSON here once listening")
     p_srv.add_argument("--trace", metavar="OUT.jsonl",
                        help="write recovery/request spans to a JSONL trace")
+    p_srv.add_argument("--trace-sample", type=float, default=1.0,
+                       metavar="RATE",
+                       help="fraction of requests that emit trace spans "
+                            "(seeded; metrics stay complete; default 1.0)")
+    p_srv.add_argument("--trace-sample-seed", type=int, default=0,
+                       help="seed for the trace sampling decision stream")
     p_srv.add_argument("--metrics", action="store_true",
                        help="print the metrics registry snapshot on exit")
     p_srv.set_defaults(fn=cmd_serve)
@@ -493,8 +657,54 @@ def main(argv: list[str] | None = None) -> int:
                        help="exit after N frames (0 = run until ctrl-C)")
     p_top.add_argument("--sessions", type=int, default=20,
                        help="max rows in the per-session table")
+    p_top.add_argument("--watch", choices=["sessions", "journal"],
+                       default="sessions",
+                       help="per-session table: op counters (sessions) or "
+                            "journal LSN/append/fsync state (journal)")
     p_top.add_argument("--timeout", type=float, default=5.0)
     p_top.set_defaults(fn=cmd_top)
+
+    p_clu = sub.add_parser("cluster", help="shard-group serving and "
+                                           "cost-oblivious rebalancing "
+                                           "(docs/CLUSTER.md)")
+    csub = p_clu.add_subparsers(dest="cluster_command", required=True)
+
+    pc_srv = csub.add_parser("serve", help="launch and supervise N shard "
+                                           "processes under one root")
+    pc_srv.add_argument("root", help="cluster root (per-shard data dirs + "
+                                     "cluster.json manifest)")
+    pc_srv.add_argument("--shards", type=int, default=2)
+    pc_srv.add_argument("--host", default="127.0.0.1")
+    pc_srv.add_argument("--fsync", default="interval",
+                        choices=["always", "interval", "never"])
+    pc_srv.add_argument("--max-live", type=int, default=64,
+                        help="per-shard live-session cap")
+    pc_srv.add_argument("--trace-sample", type=float, default=1.0,
+                        metavar="RATE",
+                        help="per-shard trace sampling rate")
+    pc_srv.add_argument("--poll", type=float, default=1.0,
+                        help="seconds between liveness checks")
+    pc_srv.add_argument("--no-respawn", action="store_true",
+                        help="do not relaunch shards that die")
+    pc_srv.set_defaults(fn=cmd_cluster_serve)
+
+    pc_st = csub.add_parser("status", help="health of every shard in a "
+                                           "running cluster")
+    pc_st.add_argument("root", help="cluster root or cluster.json path")
+    pc_st.add_argument("--timeout", type=float, default=5.0)
+    pc_st.set_defaults(fn=cmd_cluster_status)
+
+    pc_rb = csub.add_parser("rebalance", help="plan (and run) cost-oblivious "
+                                              "session migrations")
+    pc_rb.add_argument("root", help="cluster root or cluster.json path")
+    pc_rb.add_argument("--tolerance", type=float, default=0.25,
+                       help="allowed overload above mean before moving")
+    pc_rb.add_argument("--max-moves", type=int, default=0,
+                       help="cap planned migrations (0 = no cap)")
+    pc_rb.add_argument("--dry-run", action="store_true",
+                       help="print the plan without migrating")
+    pc_rb.add_argument("--timeout", type=float, default=30.0)
+    pc_rb.set_defaults(fn=cmd_cluster_rebalance)
 
     p_gen = sub.add_parser("gen", help="generate a workload trace")
     p_gen.add_argument("kind", choices=["mixed", "churn", "grow-shrink", "cascade",

@@ -1,0 +1,54 @@
+"""Sharded serving: many :class:`~repro.service.server.ServiceServer`
+processes behind one session-routing client.
+
+The cluster layer applies the paper's discipline one level up: sessions
+are *placed* on shards (rendezvous hashing plus an explicit override
+map), and *reallocated* between shards by a cost-oblivious rebalance
+policy -- the policy sees only load imbalance, never the cost of a
+move; every move is recorded in a reallocation ledger that the analysis
+layer prices after the fact, exactly like :mod:`repro.core.events` does
+for jobs.
+
+Modules:
+
+* :mod:`repro.cluster.placement` -- rendezvous hashing + placement map
+* :mod:`repro.cluster.group` -- shard-group runner (spawn, supervise,
+  respawn-on-death, manifest)
+* :mod:`repro.cluster.client` -- :class:`ClusterClient` (sync) and
+  :class:`AsyncClusterClient` (pipelined) with MOVED-redirect following
+* :mod:`repro.cluster.rebalance` -- cost-oblivious rebalance policy,
+  the reallocation ledger, and the live-migration driver
+
+Layering (reprolint RL002): builds on ``repro.service``, ``repro.obs``
+and ``repro.faults``; never ``repro.sim`` or ``repro.workloads``.
+"""
+
+from repro.cluster.client import AsyncClusterClient, ClusterClient
+from repro.cluster.group import (
+    MANIFEST_FILE,
+    ShardGroup,
+    ShardSpec,
+    load_manifest,
+)
+from repro.cluster.placement import PlacementMap, rendezvous_owner
+from repro.cluster.rebalance import (
+    Migration,
+    ReallocationLedger,
+    migrate_session,
+    plan_rebalance,
+)
+
+__all__ = [
+    "AsyncClusterClient",
+    "ClusterClient",
+    "MANIFEST_FILE",
+    "Migration",
+    "PlacementMap",
+    "ReallocationLedger",
+    "ShardGroup",
+    "ShardSpec",
+    "load_manifest",
+    "migrate_session",
+    "plan_rebalance",
+    "rendezvous_owner",
+]

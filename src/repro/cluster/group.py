@@ -1,0 +1,283 @@
+"""Shard-group runner: N independent ``ServiceServer`` processes.
+
+Each shard is one ``repro serve`` subprocess with its own data
+directory (journals + snapshots) under the cluster root, published via
+a ready file and recorded in the cluster manifest (``cluster.json``) --
+the document clients and the CLI load to find the shards.  Process
+isolation is the point: shards share nothing, a SIGKILL'd shard loses
+nothing acknowledged (journal recovery), and :meth:`ShardGroup.respawn_dead`
+brings it back on the *same* port so clients reconnect transparently.
+
+The ``cluster.shard.spawn`` failpoint guards every spawn (chaos suites
+inject launch failures); respawns are counted on ``cluster.shard.respawns``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+import repro
+from repro import faults
+from repro.obs.logsetup import get_logger
+from repro.obs.metrics import MetricsRegistry
+
+log = get_logger("cluster")
+
+MANIFEST_FILE = "cluster.json"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's address and data directory, as recorded in the manifest."""
+
+    name: str
+    host: str
+    port: int
+    data: str
+
+    def to_doc(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "host": self.host,
+            "port": self.port,
+            "data": self.data,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Mapping[str, Any]) -> "ShardSpec":
+        name = doc.get("name")
+        host = doc.get("host")
+        port = doc.get("port")
+        data = doc.get("data")
+        if (
+            not isinstance(name, str)
+            or not isinstance(host, str)
+            or not isinstance(port, int)
+            or not isinstance(data, str)
+        ):
+            raise ValueError(f"malformed shard spec: {doc!r}")
+        return cls(name=name, host=host, port=port, data=data)
+
+
+def load_manifest(path: str) -> list[ShardSpec]:
+    """Read ``cluster.json`` (the path may be the file or its directory)."""
+    if os.path.isdir(path):
+        path = os.path.join(path, MANIFEST_FILE)
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    shards = doc.get("shards") if isinstance(doc, dict) else None
+    if not isinstance(shards, list) or not shards:
+        raise ValueError(f"manifest {path!r} lists no shards")
+    return [ShardSpec.from_doc(s) for s in shards]
+
+
+def _src_pythonpath() -> str:
+    """PYTHONPATH entry that makes ``repro`` importable in subprocesses."""
+    pkg_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    return os.path.dirname(pkg_dir)
+
+
+class ShardGroup:
+    """Spawn and supervise N shard processes under one cluster root."""
+
+    def __init__(
+        self,
+        root: str,
+        shards: int = 2,
+        *,
+        host: str = "127.0.0.1",
+        fsync: str = "interval",
+        max_live: int = 64,
+        extra_args: Sequence[str] = (),
+        python: str = sys.executable,
+        registry: Optional[MetricsRegistry] = None,
+        spawn_timeout: float = 30.0,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.root = os.path.abspath(root)
+        self.host = host
+        self.fsync = fsync
+        self.max_live = max_live
+        self.extra_args = tuple(extra_args)
+        self.python = python
+        self.registry = registry
+        self.spawn_timeout = spawn_timeout
+        self.names: tuple[str, ...] = tuple(
+            f"shard-{i}" for i in range(shards)
+        )
+        self.respawns = 0
+        self._procs: dict[str, "subprocess.Popen[bytes]"] = {}
+        self._specs: dict[str, ShardSpec] = {}
+        os.makedirs(self.root, exist_ok=True)
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, MANIFEST_FILE)
+
+    def specs(self) -> list[ShardSpec]:
+        return [self._specs[name] for name in self.names if name in self._specs]
+
+    def pid(self, name: str) -> Optional[int]:
+        proc = self._procs.get(name)
+        return proc.pid if proc is not None else None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> list[ShardSpec]:
+        """Spawn every shard, wait for readiness, write the manifest."""
+        for name in self.names:
+            self._spawn(name, port=0)
+        self._write_manifest()
+        reg = self.registry
+        if reg is not None:
+            reg.gauge("cluster.shards").set(self.live_count())
+        log.info(
+            "cluster up: %d shard(s) under %s", len(self.names), self.root
+        )
+        return self.specs()
+
+    def _spawn(self, name: str, port: int) -> ShardSpec:
+        plan = faults.ACTIVE
+        if plan is not None:
+            plan.hit("cluster.shard.spawn")
+        data = os.path.join(self.root, name)
+        ready = os.path.join(self.root, f"{name}.ready.json")
+        try:
+            os.unlink(ready)
+        except FileNotFoundError:
+            pass
+        cmd = [
+            self.python, "-m", "repro", "serve", data,
+            "--host", self.host,
+            "--port", str(port),
+            "--fsync", self.fsync,
+            "--max-live", str(self.max_live),
+            "--ready-file", ready,
+            *self.extra_args,
+        ]
+        env = dict(os.environ)
+        src = _src_pythonpath()
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(cmd, env=env)
+        info = self._await_ready(name, proc, ready)
+        spec = ShardSpec(
+            name=name, host=self.host, port=int(info["port"]), data=data
+        )
+        self._procs[name] = proc
+        self._specs[name] = spec
+        return spec
+
+    def _await_ready(
+        self, name: str, proc: "subprocess.Popen[bytes]", ready: str
+    ) -> dict[str, Any]:
+        deadline = time.perf_counter() + self.spawn_timeout
+        while time.perf_counter() < deadline:
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    f"shard {name} exited with {proc.returncode} before ready"
+                )
+            if os.path.exists(ready):
+                try:
+                    with open(ready, encoding="utf-8") as fh:
+                        info = json.load(fh)
+                except (OSError, json.JSONDecodeError):
+                    info = None  # half-written; poll again
+                if isinstance(info, dict) and isinstance(info.get("port"), int):
+                    return info
+            time.sleep(0.02)
+        proc.kill()
+        raise RuntimeError(f"shard {name} not ready within {self.spawn_timeout}s")
+
+    def _write_manifest(self) -> None:
+        doc = {
+            "version": 1,
+            "shards": [s.to_doc() for s in self.specs()],
+        }
+        tmp = self.manifest_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.manifest_path)
+
+    # -- supervision -----------------------------------------------------
+
+    def live_count(self) -> int:
+        return sum(1 for p in self._procs.values() if p.poll() is None)
+
+    def dead(self) -> list[str]:
+        return [n for n, p in self._procs.items() if p.poll() is not None]
+
+    def respawn_dead(self) -> list[str]:
+        """Relaunch dead shards on their original ports (failover).
+
+        Journal recovery makes the restart lossless for acknowledged
+        writes; keeping the port means clients simply reconnect.
+        """
+        revived: list[str] = []
+        for name in self.dead():
+            spec = self._specs[name]
+            log.warning(
+                "shard %s (pid %s) died; respawning on port %d",
+                name, self._procs[name].pid, spec.port,
+            )
+            try:
+                self._spawn(name, port=spec.port)
+            except (OSError, RuntimeError) as e:
+                log.error("respawn of %s failed: %s", name, e)
+                continue
+            self.respawns += 1
+            revived.append(name)
+        if revived:
+            reg = self.registry
+            if reg is not None:
+                reg.inc_all({"cluster.shard.respawns": len(revived)})
+                reg.gauge("cluster.shards").set(self.live_count())
+        return revived
+
+    def kill(self, name: str, sig: int = signal.SIGKILL) -> int:
+        """Send ``sig`` to one shard (chaos/smoke tooling); returns its pid."""
+        proc = self._procs[name]
+        proc.send_signal(sig)
+        if sig == signal.SIGKILL:
+            proc.wait(timeout=10)
+        reg = self.registry
+        if reg is not None:
+            reg.gauge("cluster.shards").set(self.live_count())
+        return proc.pid
+
+    def stop(self, timeout: float = 15.0) -> None:
+        """Graceful SIGTERM to every shard; SIGKILL stragglers."""
+        for proc in self._procs.values():
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        deadline = time.perf_counter() + timeout
+        for proc in self._procs.values():
+            remaining = max(0.1, deadline - time.perf_counter())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10)
+        reg = self.registry
+        if reg is not None:
+            reg.gauge("cluster.shards").set(0)
+        log.info("cluster stopped (%d respawns over its life)", self.respawns)
+
+    def __enter__(self) -> "ShardGroup":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

@@ -80,6 +80,9 @@ KNOWN_FAILPOINTS: frozenset[str] = frozenset(
         "server.conn.accept",
         "server.conn.read",
         "server.conn.write",
+        "server.conn.partition",
+        "cluster.migrate.handoff",
+        "cluster.shard.spawn",
     }
 )
 

@@ -154,7 +154,10 @@ class ProjectIndex:
                         )
         if ctx.module_path.startswith("repro/service/"):
             self._scan_dispatch(ctx)
-        if ctx.module_path == "repro/service/client.py":
+        if ctx.module_path in (
+            "repro/service/client.py",
+            "repro/cluster/client.py",
+        ):
             self._scan_client(ctx)
 
     def _scan_call(

@@ -347,6 +347,10 @@ LAYERING_CONSTRAINTS: tuple[tuple[tuple[str, ...], tuple[str, ...]], ...] = (
         ("repro.sim", "repro.workloads"),
     ),
     (
+        ("repro/cluster/",),
+        ("repro.sim", "repro.workloads"),
+    ),
+    (
         ("repro/faults/",),
         (
             "repro.analysis",
@@ -729,7 +733,7 @@ class RL007FailpointGuard(RL001ObserverGuard):
     summary = ("failpoint access (`faults.ACTIVE.hit/...`) must sit behind "
                "an `is not None` guard (zero overhead when fault injection "
                "is off)")
-    path_prefixes = ("repro/service/",)
+    path_prefixes = ("repro/service/", "repro/cluster/")
     guard_attrs = frozenset({"ACTIVE"})
     guard_noun = "failpoint"
 
@@ -750,7 +754,7 @@ class RL008TracerGuard(RL001ObserverGuard):
     summary = ("tracer access (`self.tracer.…`/`tracing.CURRENT.…`) must "
                "sit behind an `is not None` guard (zero overhead when "
                "request tracing is off)")
-    path_prefixes = ("repro/service/",)
+    path_prefixes = ("repro/service/", "repro/cluster/")
     guard_attrs = frozenset({"tracer", "_tracer", "CURRENT"})
     guard_noun = "tracer"
 
@@ -941,12 +945,14 @@ class RL009AwaitAtomicity(Rule):
 FAILPOINT_REGISTRY = "repro/faults/registry.py"
 METRICS_ANCHOR = "repro/obs/metrics.py"
 PROTOCOL_MODULE = "repro/service/protocol.py"
-CLIENT_MODULE = "repro/service/client.py"
+#: Every module whose ``self.call("op", ...)`` sites count as the client
+#: surface of the protocol (the cluster client routes the same ops).
+CLIENT_MODULES = ("repro/service/client.py", "repro/cluster/client.py")
 OBSERVABILITY_DOC = os.path.join("docs", "OBSERVABILITY.md")
 
-#: Only the serving stack's namespace is catalogued; ad-hoc bench/sim
+#: Only the serving stack's namespaces are catalogued; ad-hoc bench/sim
 #: metric names stay free-form.
-CATALOGUED_METRIC_PREFIX = "service."
+CATALOGUED_METRIC_PREFIXES = ("service.", "cluster.")
 
 
 @rule
@@ -1029,7 +1035,7 @@ class RL010CrossArtifact(Rule):
             return
         emitted: set[str] = set()
         for site in index.metric_emits:
-            if not site.value.startswith(CATALOGUED_METRIC_PREFIX):
+            if not site.value.startswith(CATALOGUED_METRIC_PREFIXES):
                 continue
             emitted.add(site.value)
             if site.value not in catalogue:
@@ -1039,7 +1045,7 @@ class RL010CrossArtifact(Rule):
                     f"from the {OBSERVABILITY_DOC} catalogue",
                 )
         for name, line in sorted(catalogue.items()):
-            if name.startswith(CATALOGUED_METRIC_PREFIX) and name not in emitted:
+            if name.startswith(CATALOGUED_METRIC_PREFIXES) and name not in emitted:
                 yield self._at(
                     doc_path, line,
                     f"catalogued metric `{name}` is never emitted by any "
@@ -1079,13 +1085,14 @@ class RL010CrossArtifact(Rule):
                         f"protocol op `{op}` has no dispatch arm "
                         f"(SessionManager.dispatch / server._respond)",
                     )
-        if CLIENT_MODULE in index.by_module:
+        if any(m in index.by_module for m in CLIENT_MODULES):
             for op in ops:
                 if op not in calls:
                     yield self.violation(
                         proto_ctx, proto_stmt,
                         f"protocol op `{op}` has no client method "
-                        f"(`self.call(\"{op}\", ...)` in {CLIENT_MODULE})",
+                        f"(`self.call(\"{op}\", ...)` in "
+                        f"{' or '.join(CLIENT_MODULES)})",
                     )
 
 

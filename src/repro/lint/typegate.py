@@ -33,6 +33,7 @@ from typing import Optional, Sequence
 #: layer it leans on under injected failures, and the linter itself --
 #: the tool that gates everything else must clear its own bar).
 STRICT_PACKAGES = (
+    "repro.cluster",
     "repro.core",
     "repro.faults",
     "repro.kcursor",

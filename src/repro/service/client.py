@@ -71,6 +71,16 @@ def _next_idem() -> str:
     return f"c{os.getpid():x}-{next(_IDEM_COUNTER):x}"
 
 
+def next_idem() -> str:
+    """A fresh idempotency key from the process-wide sequence.
+
+    Public for layers that stamp keys *before* choosing a connection
+    (the cluster client: one key must survive MOVED redirects and
+    cross-shard retries of the same logical op).
+    """
+    return _next_idem()
+
+
 #: Trace ids follow the same uniqueness scheme as idempotency keys: one
 #: id per logical ``call``, stable across its retries, unique across the
 #: clients of this process and across concurrent processes.
@@ -234,6 +244,32 @@ class _CallMixin:
         if idem is not None:
             fields["idem"] = idem
         return self.call("close", timeout=timeout, **fields)
+
+    def migrate_out(self, session: str, *, timeout: Optional[float] = None) -> Any:
+        """Freeze ``session`` on this shard and fetch its full snapshot."""
+        return self.call("migrate_out", session=session, timeout=timeout)
+
+    def migrate_in(
+        self,
+        session: str,
+        snapshot: dict[str, Any],
+        *,
+        config: Optional[dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Adopt a session snapshot produced by :meth:`migrate_out`."""
+        fields: dict[str, Any] = {"session": session, "snapshot": snapshot}
+        if config is not None:
+            fields["config"] = config
+        return self.call("migrate_in", timeout=timeout, **fields)
+
+    def migrate_seal(
+        self, session: str, target: str, *, timeout: Optional[float] = None
+    ) -> Any:
+        """Tombstone a migrated session; later ops here answer MOVED."""
+        return self.call(
+            "migrate_seal", session=session, target=target, timeout=timeout
+        )
 
     def shutdown(self, *, timeout: Optional[float] = None) -> Any:
         return self.call("shutdown", timeout=timeout)

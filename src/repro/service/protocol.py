@@ -56,7 +56,10 @@ class ErrorCode(enum.Enum):
     ``RETRY_LATER`` is always safe to retry after the advisory
     ``retry_after`` delay; ``DEGRADED`` means the session is read-only
     until its journal recovers -- mutations fail fast, reads keep
-    serving; everything else is a definitive answer.
+    serving; ``MOVED`` means the session now lives on another shard --
+    the error carries the target shard name (``error.moved``) and the
+    same request succeeds there (see docs/CLUSTER.md); everything else
+    is a definitive answer.
     """
 
     BAD_REQUEST = "bad_request"
@@ -67,6 +70,7 @@ class ErrorCode(enum.Enum):
     DUPLICATE_JOB = "duplicate_job"
     RETRY_LATER = "retry_later"
     DEGRADED = "degraded"
+    MOVED = "moved"
     SHUTTING_DOWN = "shutting_down"
     JOURNAL_CORRUPT = "journal_corrupt"
     INTERNAL = "internal"
@@ -77,6 +81,8 @@ class ServiceError(Exception):
 
     ``retry_after`` is an advisory client delay in seconds, set on
     load-shedding (``RETRY_LATER``) and degraded-mode errors.
+    ``moved`` names the shard now owning the session, set only on
+    ``MOVED`` redirects; cluster-aware clients re-route and resend.
     """
 
     def __init__(
@@ -85,11 +91,13 @@ class ServiceError(Exception):
         message: str,
         *,
         retry_after: Optional[float] = None,
+        moved: Optional[str] = None,
     ) -> None:
         super().__init__(message)
         self.code = code
         self.message = message
         self.retry_after = retry_after
+        self.moved = moved
 
 
 def _bad(message: str) -> ServiceError:
@@ -164,6 +172,17 @@ REQUEST_FIELDS: dict[str, dict[str, tuple[type, bool]]] = {
     "stats": {"session": (str, False)},
     "health": {},
     "close": {"session": (str, True), "idem": (str, False)},
+    # Live migration handshake (docs/CLUSTER.md): `migrate_out` freezes
+    # the session on the source shard and returns its ledger-carrying
+    # snapshot; `migrate_in` adopts that snapshot on the target;
+    # `migrate_seal` tombstones the source so later ops get MOVED.
+    "migrate_out": {"session": (str, True)},
+    "migrate_in": {
+        "session": (str, True),
+        "snapshot": (dict, True),
+        "config": (dict, False),
+    },
+    "migrate_seal": {"session": (str, True), "target": (str, True)},
     "shutdown": {},
 }
 
@@ -228,6 +247,8 @@ class Request:
     jobs: bool = False
     config: Optional[dict[str, Any]] = None
     idem: Optional[str] = None
+    snapshot: Optional[dict[str, Any]] = None
+    target: Optional[str] = None
     trace: Optional[TraceContext] = None
 
 
@@ -288,6 +309,9 @@ def request_from_doc(doc: Mapping[str, Any]) -> Request:
     idem = values.get("idem")
     if idem is not None and not _IDEM_RE.match(idem):
         raise _bad("'idem' must be 1-128 printable non-space ASCII chars")
+    target = values.get("target")
+    if target is not None and not _SESSION_ID_RE.match(target):
+        raise _bad("'target' must match [A-Za-z0-9._-]{1,128}")
     return Request(op=op, id=req_id, trace=trace, **values)
 
 
@@ -313,6 +337,10 @@ def request_to_doc(req: Request) -> dict[str, Any]:
         doc["config"] = req.config
     if req.idem is not None:
         doc["idem"] = req.idem
+    if req.snapshot is not None:
+        doc["snapshot"] = req.snapshot
+    if req.target is not None:
+        doc["target"] = req.target
     if req.trace is not None:
         doc["trace"] = req.trace.to_dict()
     return doc
@@ -335,10 +363,13 @@ def error_response(
     message: str,
     *,
     retry_after: Optional[float] = None,
+    moved: Optional[str] = None,
 ) -> dict[str, Any]:
     err: dict[str, Any] = {"code": code.value, "message": message}
     if retry_after is not None:
         err["retry_after"] = retry_after
+    if moved is not None:
+        err["moved"] = moved
     resp: dict[str, Any] = {"ok": False, "error": err}
     if req_id is not None:
         resp["id"] = req_id
@@ -367,6 +398,9 @@ def result_from_response(doc: Mapping[str, Any]) -> dict[str, Any]:
     retry_after = err.get("retry_after")
     if not isinstance(retry_after, (int, float)) or isinstance(retry_after, bool):
         retry_after = None
+    moved = err.get("moved")
+    if not isinstance(moved, str):
+        moved = None
     raise ServiceError(
-        code, str(err.get("message", "")), retry_after=retry_after
+        code, str(err.get("message", "")), retry_after=retry_after, moved=moved
     )

@@ -18,6 +18,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import random
 import signal
 from typing import Any, Optional
 
@@ -51,12 +52,21 @@ class ServiceServer:
         port: int = 0,
         unix_path: Optional[str] = None,
         ready_file: Optional[str] = None,
+        trace_sample: float = 1.0,
+        trace_seed: int = 0,
     ) -> None:
+        if not (0.0 <= trace_sample <= 1.0):
+            raise ValueError("trace_sample must be in [0, 1]")
         self.manager = manager
         self.host = host
         self.port = port
         self.unix_path = unix_path
         self.ready_file = ready_file
+        #: Per-request span sampling rate: 1.0 traces every op (the
+        #: historical behavior), lower rates keep a seeded-deterministic
+        #: subset.  Metrics are always recorded; only spans are sampled.
+        self.trace_sample = trace_sample
+        self._trace_rng = random.Random(trace_seed)
         self._tcp: Optional[asyncio.AbstractServer] = None
         self._unix: Optional[asyncio.AbstractServer] = None
         self._conns: set[asyncio.StreamWriter] = set()
@@ -150,6 +160,7 @@ class ServiceServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._conns.add(writer)
+        partitioned = False
         try:
             plan = faults.ACTIVE
             if plan is not None:
@@ -196,6 +207,25 @@ class ServiceServer:
                 if not line:
                     continue
                 resp = await self._respond(line)
+                if not partitioned:
+                    plan = faults.ACTIVE
+                    if plan is not None:
+                        try:
+                            plan.hit("server.conn.partition")
+                        except (ConnectionDropped, OSError) as e:
+                            # Half-open network partition: keep reading
+                            # (and executing) the peer's requests, but no
+                            # response ever gets through.  The client
+                            # times out on an op that may or may not have
+                            # applied -- the ambiguity idempotency keys
+                            # exist to resolve.
+                            partitioned = True
+                            log.warning("injected half-open partition: %s", e)
+                            reg = self.manager.registry
+                            if reg is not None:
+                                reg.inc_all({"service.conn.partitioned": 1})
+                if partitioned:
+                    continue
                 try:
                     plan = faults.ACTIVE
                     if plan is not None:
@@ -231,6 +261,17 @@ class ServiceServer:
         manager = self.manager
         tracer = manager.tracer
         registry = manager.registry
+        if tracer is not None and self.trace_sample < 1.0:
+            # Seeded per-request sampling: unsampled ops still feed every
+            # metric (the OpTrace keeps its registry), they just emit no
+            # spans -- the trace file stays a deterministic subset.
+            if self._trace_rng.random() < self.trace_sample:
+                if registry is not None:
+                    registry.inc_all({"service.trace.sampled": 1})
+            else:
+                tracer = None
+                if registry is not None:
+                    registry.inc_all({"service.trace.skipped": 1})
         ot: Optional[OpTrace] = None
         if tracer is not None or registry is not None:
             ot = OpTrace(
@@ -246,7 +287,8 @@ class ServiceServer:
             if ot is not None:
                 ot.finish(ok=False, code=e.code.value)
             return error_response(
-                req.id, e.code, e.message, retry_after=e.retry_after
+                req.id, e.code, e.message,
+                retry_after=e.retry_after, moved=e.moved,
             )
         except Exception as e:  # defense: a bug must not kill the server
             log.exception("internal error handling op %r", req.op)

@@ -80,6 +80,9 @@ SchedulerT = Union[SingleServerScheduler, ParallelScheduler]
 
 _SID_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
 _CONFIG_FILE = "config.json"
+#: Tombstone left by ``migrate_seal``: the session now lives on another
+#: shard; later ops here answer MOVED with the target shard name.
+_MOVED_FILE = "moved.json"
 
 _QueueItem = Optional[
     tuple[
@@ -301,6 +304,7 @@ class Session:
         "degraded",
         "dedup",
         "sweeper",
+        "migrating",
     )
 
     def __init__(
@@ -327,6 +331,10 @@ class Session:
         self.dedup = DedupWindow(dedup_window)
         #: Background recovery-sweep task while degraded.
         self.sweeper: Optional["asyncio.Task[None]"] = None
+        #: perf_counter() when migrate_out froze this session; ops answer
+        #: RETRY_LATER until migrate_seal lands or the hold expires
+        #: (driver died mid-handoff: the source resumes authority).
+        self.migrating: Optional[float] = None
 
     @property
     def live(self) -> bool:
@@ -348,6 +356,7 @@ class SessionManager:
         retry_after_hint: float = 0.05,
         recover_backoff: float = 0.05,
         recover_backoff_max: float = 2.0,
+        migrate_hold: float = 5.0,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
@@ -359,6 +368,8 @@ class SessionManager:
             raise ValueError("dedup_window must be >= 0")
         if recover_backoff <= 0 or recover_backoff_max < recover_backoff:
             raise ValueError("recover backoff bounds must be positive and ordered")
+        if migrate_hold <= 0:
+            raise ValueError("migrate_hold must be positive")
         self.root = root
         self.fsync = fsync
         self.fsync_interval = fsync_interval
@@ -369,6 +380,9 @@ class SessionManager:
         self.retry_after_hint = retry_after_hint
         self.recover_backoff = recover_backoff
         self.recover_backoff_max = recover_backoff_max
+        #: Seconds a migrate_out freeze holds without a seal before the
+        #: source resumes serving (abandoned-handoff recovery).
+        self.migrate_hold = migrate_hold
         self.registry = registry
         self.tracer = tracer
         self.sessions: dict[str, Session] = {}
@@ -382,9 +396,23 @@ class SessionManager:
     def session_ids_on_disk(self) -> list[str]:
         out = []
         for name in sorted(os.listdir(self.root)):
-            if os.path.isfile(os.path.join(self.root, name, _CONFIG_FILE)):
+            sdir = os.path.join(self.root, name)
+            if os.path.isfile(
+                os.path.join(sdir, _CONFIG_FILE)
+            ) and not os.path.isfile(os.path.join(sdir, _MOVED_FILE)):
                 out.append(name)
         return out
+
+    @staticmethod
+    def _moved_target(sdir: str) -> str:
+        """Target shard named by a ``moved.json`` tombstone."""
+        try:
+            with open(os.path.join(sdir, _MOVED_FILE), encoding="utf-8") as fh:
+                doc = json.load(fh)
+            target = doc.get("target")
+        except (OSError, json.JSONDecodeError):
+            target = None
+        return target if isinstance(target, str) else "unknown"
 
     def live_count(self) -> int:
         return sum(1 for s in self.sessions.values() if s.live)
@@ -408,7 +436,23 @@ class SessionManager:
         assert req.session is not None
         if op == "close":
             return await self.close(req.session, ot=ot)
+        if op == "migrate_in":
+            assert req.snapshot is not None
+            sess = self._attach(
+                req.session, req.config, create=True, adopt=True
+            )[0]
+            snap = req.snapshot
+            return await self._enqueue(
+                sess, lambda: self._op_migrate_in(sess, snap), ot=ot
+            )
+        if op == "migrate_seal":
+            assert req.target is not None
+            return await self.migrate_seal(req.session, req.target, ot=ot)
         sess = self._attach(req.session, None, create=False)[0]
+        if op == "migrate_out":
+            return await self._enqueue(
+                sess, lambda: self._op_migrate_out(sess), ot=ot
+            )
         if op == "insert":
             assert req.name is not None and req.size is not None
             name, size, idem = req.name, req.size, req.idem
@@ -465,6 +509,37 @@ class SessionManager:
             out["degraded"] = True
         return out
 
+    async def migrate_seal(
+        self, sid: str, target: str, *, ot: Optional[OpTrace] = None
+    ) -> dict[str, Any]:
+        """Tombstone a migrated-out session and drop it from this shard.
+
+        Idempotent like ``close``: re-sealing an already-sealed session
+        (a retry after a dropped connection) is a no-op success.
+        """
+        if sid not in self.sessions:
+            sdir = os.path.join(self.root, sid)
+            if os.path.isfile(os.path.join(sdir, _MOVED_FILE)):
+                return {
+                    "sealed": True,
+                    "noop": True,
+                    "target": self._moved_target(sdir),
+                }
+            if not os.path.isfile(os.path.join(sdir, _CONFIG_FILE)):
+                raise ServiceError(
+                    ErrorCode.NO_SUCH_SESSION, f"no session {sid!r}"
+                )
+            # On disk but not attached: no worker to serialize with.
+            self._write_tombstone(sdir, target)
+            return {"sealed": True, "target": target}
+        sess = self.sessions[sid]
+        res = await self._enqueue(
+            sess, lambda: self._op_migrate_seal(sess, target), ot=ot
+        )
+        await self._stop_session(sess)
+        self.sessions.pop(sid, None)
+        return res
+
     def health(self) -> dict[str, Any]:
         """Cheap liveness probe: no queues touched, no sessions hydrated."""
         degraded = sum(
@@ -499,6 +574,8 @@ class SessionManager:
             }
             if sess.degraded is not None:
                 out["degraded"] = sess.degraded
+            if sess.migrating is not None:
+                out["migrating"] = True
             sched = sess.scheduler
             if sched is not None:
                 out["active"] = len(sched)
@@ -536,6 +613,9 @@ class SessionManager:
                     "degraded": s.degraded is not None,
                     "active": (
                         len(s.scheduler) if s.scheduler is not None else None
+                    ),
+                    "journal": (
+                        s.journal.stats() if s.journal is not None else None
                     ),
                 }
                 for s in sorted(self.sessions.values(), key=lambda s: s.sid)
@@ -583,7 +663,12 @@ class SessionManager:
     # -- attach / queue plumbing -----------------------------------------
 
     def _attach(
-        self, sid: str, config_map: Optional[dict[str, Any]], *, create: bool
+        self,
+        sid: str,
+        config_map: Optional[dict[str, Any]],
+        *,
+        create: bool,
+        adopt: bool = False,
     ) -> tuple[Session, bool]:
         if self._shutting_down:
             raise ServiceError(ErrorCode.SHUTTING_DOWN, "server is shutting down")
@@ -595,6 +680,19 @@ class SessionManager:
             return sess, False
         sdir = os.path.join(self.root, sid)
         cfg_path = os.path.join(sdir, _CONFIG_FILE)
+        moved_path = os.path.join(sdir, _MOVED_FILE)
+        if os.path.isfile(moved_path):
+            if adopt:
+                # The session is migrating back in; the incoming snapshot
+                # supersedes whatever this tombstoned directory holds.
+                os.unlink(moved_path)
+            else:
+                target = self._moved_target(sdir)
+                raise ServiceError(
+                    ErrorCode.MOVED,
+                    f"session {sid!r} moved to shard {target!r}",
+                    moved=target,
+                )
         created = False
         if os.path.isfile(cfg_path):
             with open(cfg_path, encoding="utf-8") as fh:
@@ -747,7 +845,35 @@ class SessionManager:
 
     # -- operations (run inside the session worker) ----------------------
 
+    def _check_migrating(self, sess: Session) -> None:
+        """Gate ops on a session frozen by ``migrate_out``.
+
+        Within ``migrate_hold`` seconds of the freeze the session is in
+        handoff: every op (reads included -- the target may already be
+        authoritative) answers RETRY_LATER.  Past the hold the driver is
+        presumed dead without having sealed, so the source resumes
+        serving from its own journal -- nothing was lost, the target's
+        unsealed copy is simply abandoned.
+        """
+        started = sess.migrating
+        if started is None:
+            return
+        if time.perf_counter() - started > self.migrate_hold:
+            sess.migrating = None
+            log.warning(
+                "session %s: migration hold expired without a seal; "
+                "resuming local authority",
+                sess.sid,
+            )
+            return
+        raise ServiceError(
+            ErrorCode.RETRY_LATER,
+            f"session {sess.sid!r} is migrating; retry shortly",
+            retry_after=self.retry_after_hint,
+        )
+
     def _hydrated(self, sess: Session) -> SchedulerT:
+        self._check_migrating(sess)
         sched = sess.scheduler
         if sched is not None:
             return sched
@@ -1028,6 +1154,145 @@ class SessionManager:
         if reg is not None:
             reg.inc_all({"service.evictions": 1})
         return {"evicted": True, "lsn": lsn}
+
+    # -- live migration (docs/CLUSTER.md) ---------------------------------
+
+    def _op_migrate_out(self, sess: Session) -> dict[str, Any]:
+        """Freeze the session and hand its full state to the caller.
+
+        Rides the eviction machinery: checkpoint (scheduler snapshot
+        *with* ledger totals plus the dedup-window sidecar), close the
+        journal, drop the scheduler.  The returned snapshot is exactly
+        what ``migrate_in`` restores on the target, so reallocation
+        accounting and in-flight idempotent retries survive the move.
+        The session then answers RETRY_LATER until sealed (or the hold
+        expires -- the handoff failed and this shard resumes authority).
+        """
+        sess.migrating = None  # a retried migrate_out refreshes the freeze
+        sched = self._hydrated(sess)
+        if sess.degraded is not None:
+            # No durable checkpoint is possible; refuse the handoff
+            # rather than ship state we cannot prove is on disk.
+            raise self._degraded_error(sess)
+        doc = self._snapshot_doc(sess, sched)
+        active = len(sched)
+        volume = sched.total_volume()
+        journal = self._journal(sess)
+        try:
+            lsn = journal.checkpoint(doc)
+            journal.close()
+        except OSError as e:
+            raise self._degrade(sess, e) from e
+        sess.scheduler = None
+        sess.journal = None
+        sess.migrating = time.perf_counter()
+        self._count_op(sess, "migrate_out")
+        reg = self.registry
+        if reg is not None:
+            reg.inc_all({"service.migrate.out": 1})
+        return {
+            "snapshot": doc,
+            "config": sess.config.to_dict(),
+            "lsn": lsn,
+            "active": active,
+            "volume": volume,
+        }
+
+    def _op_migrate_in(self, sess: Session, snap: dict[str, Any]) -> dict[str, Any]:
+        """Adopt a migrated session: restore the snapshot, persist it.
+
+        The snapshot replaces any local state (a stale pre-migration
+        copy, or nothing).  The dedup sidecar is installed before the
+        ack, so a client retry that raced the migration still gets its
+        original answer here instead of double-applying.  Idempotent:
+        re-adopting the same snapshot converges to the same state.
+        """
+        entries: list[tuple[str, dict[str, Any]]] = []
+        for item in snap.pop("service_dedup", []):
+            if (
+                isinstance(item, list)
+                and len(item) == 2
+                and isinstance(item[0], str)
+                and isinstance(item[1], dict)
+            ):
+                entries.append((item[0], item[1]))
+        try:
+            sched = restore_snapshot(snap)
+        except ServiceError as e:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, f"snapshot rejected: {e.message}"
+            ) from e
+        except (KeyError, TypeError, ValueError) as e:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, f"snapshot rejected: {e}"
+            ) from e
+        old_journal = sess.journal
+        sess.scheduler = None
+        sess.journal = None
+        if old_journal is not None:
+            try:
+                old_journal.close()
+            except OSError:
+                pass
+        sess.dedup.clear()
+        for key, result in entries:
+            sess.dedup.put(key, result)
+        try:
+            journal = Journal(
+                sess.root,
+                fsync=self.fsync,
+                fsync_interval=self.fsync_interval,
+                registry=self.registry,
+            )
+            lsn = journal.checkpoint(self._snapshot_doc(sess, sched))
+        except OSError as e:
+            raise self._degrade(sess, e) from e
+        sess.scheduler = sched
+        sess.journal = journal
+        sess.degraded = None
+        sess.migrating = None
+        self._count_op(sess, "migrate_in")
+        reg = self.registry
+        if reg is not None:
+            reg.inc_all({"service.migrate.in": 1})
+        self._maybe_evict(exclude=sess.sid)
+        return {"adopted": True, "lsn": lsn, "active": len(sched)}
+
+    def _op_migrate_seal(self, sess: Session, target: str) -> dict[str, Any]:
+        journal = sess.journal
+        if journal is not None:
+            try:
+                journal.close()
+            except OSError:
+                pass
+        sess.scheduler = None
+        sess.journal = None
+        sess.migrating = None
+        self._write_tombstone(sess.root, target)
+        self._count_op(sess, "migrate_seal")
+        reg = self.registry
+        if reg is not None:
+            reg.inc_all({"service.migrate.sealed": 1})
+        return {"sealed": True, "target": target}
+
+    def _write_tombstone(self, sdir: str, target: str) -> None:
+        moved_path = os.path.join(sdir, _MOVED_FILE)
+        tmp = moved_path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump({"target": target}, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, moved_path)
+        except OSError as e:
+            # Without a durable tombstone the seal did not happen; the
+            # driver retries (both copies exist, the placement map still
+            # routes to the target, so this is safe).
+            raise ServiceError(
+                ErrorCode.RETRY_LATER,
+                f"could not seal migration: {e}",
+                retry_after=self.retry_after_hint,
+            ) from e
 
     # -- degraded mode -----------------------------------------------------
 

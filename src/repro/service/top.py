@@ -87,18 +87,53 @@ def _session_rows(per_session: Sequence[Mapping[str, Any]]) -> list[str]:
     return rows
 
 
+def _journal_rows(per_session: Sequence[Mapping[str, Any]]) -> list[str]:
+    head = (
+        f"{'session':<14}{'live':>5}{'lsn':>9}{'appends':>9}"
+        f"{'fsyncs':>8}{'ckpts':>7}{'segs':>6}{'snaps':>7}"
+    )
+    rows = [head]
+    for s in per_session:
+        j = s.get("journal")
+        if not isinstance(j, Mapping):
+            # Evicted / migrated-out sessions have no open journal.
+            rows.append(
+                f"  {str(s.get('session', '?')):<12}"
+                f"{'*' if s.get('live') else '.':>5}"
+                f"{'-':>9}{'-':>9}{'-':>8}{'-':>7}{'-':>6}{'-':>7}"
+            )
+            continue
+        rows.append(
+            f"  {str(s.get('session', '?')):<12}"
+            f"{'*' if s.get('live') else '.':>5}"
+            f"{_fmt_count(j.get('last_lsn'))[:9]:>9}"
+            f"{_fmt_count(j.get('appends'))[:9]:>9}"
+            f"{_fmt_count(j.get('fsyncs'))[:8]:>8}"
+            f"{_fmt_count(j.get('checkpoints'))[:7]:>7}"
+            f"{_fmt_count(j.get('segments'))[:6]:>6}"
+            f"{_fmt_count(j.get('snapshots'))[:7]:>7}"
+        )
+    return rows
+
+
 def render_top(
     stats: Mapping[str, Any],
     *,
     target: Optional[str] = None,
     max_sessions: int = 20,
+    watch: str = "sessions",
 ) -> str:
     """Render one dashboard frame from a totals ``stats`` document.
 
     ``target`` names the endpoint for the header line; ``max_sessions``
     bounds the per-session table (the busiest view stays one screen).
-    Returns the frame as a single string without a trailing newline.
+    ``watch`` picks the per-session table: ``"sessions"`` (ops/queue/
+    dedup) or ``"journal"`` (per-journal LSN, append/fsync/checkpoint
+    counts -- the durability view).  Returns the frame as a single
+    string without a trailing newline.
     """
+    if watch not in ("sessions", "journal"):
+        raise ValueError(f"unknown watch mode {watch!r}")
     lines: list[str] = []
     uptime = stats.get("uptime_s")
     head = "repro top"
@@ -150,7 +185,8 @@ def render_top(
     if isinstance(per_session, Sequence) and per_session:
         lines.append("")
         shown = [s for s in per_session if isinstance(s, Mapping)]
-        lines.extend(_session_rows(shown[:max_sessions]))
+        table = _journal_rows if watch == "journal" else _session_rows
+        lines.extend(table(shown[:max_sessions]))
         if len(shown) > max_sessions:
             lines.append(f"  ... {len(shown) - max_sessions} more")
 

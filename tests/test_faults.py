@@ -230,6 +230,8 @@ def test_known_failpoints_catalogue():
         "journal.checkpoint.io", "journal.recover.io",
         "sessions.admit", "sessions.evict", "sessions.rehydrate",
         "server.conn.accept", "server.conn.read", "server.conn.write",
+        "server.conn.partition",
+        "cluster.migrate.handoff", "cluster.shard.spawn",
     }
 
 
