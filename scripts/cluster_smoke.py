@@ -54,6 +54,7 @@ from repro.cluster import (  # noqa: E402
     migrate_session,
 )
 from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.recovery import reconcile_cluster, run_fsck  # noqa: E402
 from repro.service import RetryPolicy, ServiceError  # noqa: E402
 from repro.service.protocol import Request  # noqa: E402
 from repro.service.sessions import SessionManager  # noqa: E402
@@ -201,6 +202,15 @@ def phase_failover(group, specs, td, args):
     victim = specs[0].name
     pid = group.kill(victim)
     print(f"SIGKILLed {victim} (pid {pid}) mid-load")
+    # Post-crash fsck gate: repair the dead shard's journals *before*
+    # they are reopened for append, and prove the repair is a no-op
+    # when re-run (docs/RECOVERY.md).  The zero-acked-write-loss check
+    # below then proves the repair dropped nothing that was acked.
+    fsck_first = run_fsck([specs[0].data], repair=True)
+    fsck_second = run_fsck([specs[0].data], repair=True)
+    assert fsck_second.clean, "\n".join(fsck_second.human_lines())
+    print(f"fsck gate on {victim}: {len(fsck_first.findings)} finding(s), "
+          f"second run clean")
     time.sleep(0.3)
     revived = group.respawn_dead()
     assert revived == [victim], f"respawn_dead returned {revived!r}"
@@ -228,6 +238,7 @@ def phase_failover(group, specs, td, args):
         "acked_ops": acked,
         "ambiguous_ops": uncertain,
         "respawns": group.respawns,
+        "fsck_findings": len(fsck_first.findings),
     }
 
 
@@ -365,6 +376,42 @@ def phase_migration(specs, td, args):
     }
 
 
+def phase_recovery(root):
+    """Phase 3 -- the cluster at rest must fsck clean and reconcile to
+    a fixed point.
+
+    After ``group.stop()`` every journal was checkpointed, so fsck has
+    nothing to repair (and re-running must stay clean).  The anti-
+    entropy reconciler then gets its first look at the root: the smoke
+    kept its placement in-memory, so the only divergence is placement
+    ignorance -- every resolution must be a ``placement_learn``, and a
+    second sweep must find nothing (the reconciler's fixed-point
+    contract, docs/RECOVERY.md).
+    """
+    first = run_fsck([root], repair=True)
+    second = run_fsck([root], repair=True)
+    assert second.clean, "\n".join(second.human_lines())
+
+    rec = reconcile_cluster(root, apply=True)
+    assert not rec.errors, rec.errors
+    kinds = sorted({r.kind for r in rec.resolutions})
+    assert kinds in ([], ["placement_learn"]), kinds
+    again = reconcile_cluster(root, apply=True)
+    assert not again.errors and not again.resolutions, (
+        "reconcile did not reach a fixed point"
+    )
+    post = run_fsck([root])
+    assert post.clean, "\n".join(post.human_lines())
+    print(f"recovery: fsck clean ({len(first.findings)} finding(s) "
+          f"repaired), reconcile learned {len(rec.resolutions)} "
+          f"placement(s), second sweep idle")
+    return {
+        "fsck_findings": len(first.findings),
+        "resolutions": len(rec.resolutions),
+        "resolution_kinds": kinds,
+    }
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--sessions", type=int, default=6,
@@ -388,9 +435,10 @@ def main(argv=None):
             migration = phase_migration(specs, td, args)
         finally:
             group.stop()
+        recovery = phase_recovery(os.path.join(td, "cluster"))
     print(json.dumps(
         {"kind": "cluster_smoke", "failover": failover,
-         "migration": migration},
+         "migration": migration, "recovery": recovery},
         indent=2, sort_keys=True,
     ))
     print("cluster smoke: PASS")

@@ -56,6 +56,7 @@ from repro.service.protocol import (  # noqa: E402
     ServiceError,
     SessionConfig,
 )
+from repro.recovery import run_fsck  # noqa: E402
 from repro.service.sessions import build_scheduler, replay_journal_dir  # noqa: E402
 
 DEFAULT_OUT = os.path.join(ROOT, "benchmarks", "results", "BENCH_chaos.json")
@@ -87,6 +88,17 @@ DEFAULT_FAULTS = ";".join([
     # but answers nothing; the client times out into an ambiguous retry
     # that only the idempotency window keeps exactly-once.
     "server.conn.partition=drop@p0.001",
+    # Deep-layer failpoints inside the k-cursor rebuild cascades.  Only
+    # delay is armed in the background soak: these points also fire
+    # while startup recovery replays the WAL through the scheduler, so
+    # an armed exit would crash the same replay at the same hit on
+    # every respawn -- a deterministic crash loop.  The crash-inside-
+    # rebuild case runs as its own scenario (rebuild_crash_gate), which
+    # respawns fault-free.  (pma.* points never fire here: the service
+    # schedulers are k-cursor-backed; tests/test_faults.py drives them.)
+    "kcursor.rebuild.enter=delay:0.001@p0.02",
+    "kcursor.rebuild.exit=delay:0.001@p0.02",
+    "kcursor.chunk.slide=delay:0@p0.01",
 ])
 
 #: Error codes a worker keeps retrying past the client policy: the
@@ -113,8 +125,9 @@ def spawn_server(data_dir, port, *, faults, faults_seed, max_live,
     )
     cmd = [sys.executable, "-m", "repro", "serve", data_dir,
            "--port", str(port), "--fsync", "always",
-           "--max-live", str(max_live), "--ready-file", ready,
-           "--faults", faults, "--faults-seed", str(faults_seed)]
+           "--max-live", str(max_live), "--ready-file", ready]
+    if faults:
+        cmd += ["--faults", faults, "--faults-seed", str(faults_seed)]
     if trace is not None:
         cmd += ["--trace", trace]
     proc = subprocess.Popen(
@@ -172,6 +185,113 @@ def reference_run(cfg, ops):
         key=lambda row: (row[4], row[3], row[0]),
     )
     return placements, jobs, sched.sum_completion_times()
+
+
+def fsck_gate(data):
+    """Post-crash fsck: repair, prove idempotence, return the counts.
+
+    ``repair=True`` may truncate torn tails and quarantine undecodable
+    bytes (docs/RECOVERY.md); the second run must find *nothing* -- the
+    repair contract is that re-running is a no-op.  Callers re-verify
+    state after the gate, so a repair that lost acked data still fails
+    the soak downstream.
+    """
+    first = run_fsck([data], repair=True)
+    second = run_fsck([data], repair=True)
+    assert second.clean, (
+        "fsck --repair was not idempotent:\n" + "\n".join(second.human_lines())
+    )
+    return {
+        "first_run_findings": len(first.findings),
+        "repaired": sum(1 for f in first.findings if f.repaired),
+        "second_run_findings": len(second.findings),
+    }
+
+
+def rebuild_crash_gate(a, host):
+    """Deterministic crash *inside* a k-cursor rebuild cascade.
+
+    Arms ``kcursor.rebuild.enter=exit`` so the server dies mid-cascade
+    (after a fixed number of rebuilds), runs the fsck gate over the
+    remains, respawns fault-free, and keeps driving.  The final
+    schedule must equal the uninterrupted in-process reference over the
+    acked ops -- the rebuild cascade is pure in-memory derived state,
+    so a crash at its worst moment must cost nothing after replay.
+    """
+    sid = "rebuild"
+    cfg = SessionConfig(max_size=MAX_SIZE)
+    port = free_port()
+    gate = None
+    with tempfile.TemporaryDirectory(prefix="repro-rebuild-") as td:
+        data = os.path.join(td, "data")
+        proc = spawn_server(
+            data, port, faults="kcursor.rebuild.enter=exit@after8",
+            faults_seed=a.seed, max_live=4,
+        )
+        client = ServiceClient(
+            host, port, timeout=5.0,
+            retry=RetryPolicy(attempts=4, base=0.02, max_delay=0.2, seed=11),
+        )
+
+        def acked_call(fn):
+            while True:
+                try:
+                    return fn()
+                except ServiceError as e:
+                    if e.code not in _RETRY_CODES:
+                        raise
+                    time.sleep(0.02)
+
+        acked_call(lambda: client.open(sid, cfg.to_dict()))
+        acked = []
+        i = 0
+        tail = None  # inserts still owed after the crash
+        while tail is None or tail > 0:
+            if proc.poll() is not None:
+                assert tail is None, "server crashed again without faults"
+                assert proc.returncode == 137, proc.returncode
+                gate = fsck_gate(data)
+                proc = spawn_server(data, port, faults="",
+                                    faults_seed=a.seed, max_live=4)
+                tail = 120
+            if tail is None and i >= 2000:
+                raise RuntimeError(
+                    "rebuild-cascade exit failpoint never fired"
+                )
+            name = f"r{i}"
+            size = i % MAX_SIZE + 1
+            try:
+                client.insert(sid, name, size, idem=f"{sid}.i.{name}")
+            except ServiceError as e:
+                if e.code not in _RETRY_CODES:
+                    raise
+                continue  # server mid-crash; retry the same op
+            acked.append(("insert", name, size))
+            i += 1
+            if tail is not None:
+                tail -= 1
+
+        _, ref_jobs, ref_objective = reference_run(cfg, acked)
+        final = acked_call(lambda: client.query(sid, jobs=True))
+        assert final["jobs"] == ref_jobs, "rebuild-crash schedule diverged"
+        assert final["objective"] == ref_objective, (
+            f"rebuild-crash objective {final['objective']} != {ref_objective}"
+        )
+        try:
+            client.shutdown()
+        except ServiceError:
+            pass
+        client.close()
+        proc.wait(timeout=60)
+        _, infos = replay_journal_dir(data)
+        info = {r["session"]: r for r in infos}[sid]
+        assert (info["active"], info["objective"]) == (
+            len(ref_jobs), ref_objective
+        ), "rebuild-crash offline replay diverged"
+        post = run_fsck([data])
+        assert post.clean, "\n".join(post.human_lines())
+    assert gate is not None
+    return {"crashes": 1, "ops_acked": len(acked), "fsck": gate}
 
 
 class Worker(threading.Thread):
@@ -386,6 +506,13 @@ def main(argv=None):
         verify.close()
         rc = proc.wait(timeout=60)
 
+        # -- post-crash fsck gate --------------------------------------
+        # Every incarnation but the last died abruptly; before trusting
+        # the journals offline, repair them and prove the repair is a
+        # no-op when re-run.  The replay differential below then checks
+        # the repair lost nothing that was acked.
+        fsck_stats = fsck_gate(data)
+
         # -- offline replay over the surviving journals ----------------
         _, infos = replay_journal_dir(data)
         by_sid = {i["session"]: i for i in infos}
@@ -416,6 +543,9 @@ def main(argv=None):
                 elif rec["type"] == "span_event" and rec.get("name") == "fault.fired":
                     trace_stats["fault_events"] += 1
 
+    # -- deterministic crash inside a rebuild cascade ------------------
+    rebuild_crash = rebuild_crash_gate(a, a.host)
+
     acked = sum(len(w.acked) for w in workers)
     retries = sum(w.client.retries for w in workers)
     failures = sum(w.failures for w in workers)
@@ -441,6 +571,8 @@ def main(argv=None):
         },
         "recovery_latency_s": summarize(recovery_lat),
         "traces": trace_stats,
+        "fsck": fsck_stats,
+        "rebuild_crash": rebuild_crash,
         "verified": {
             "sessions": {w.sid: w.sid not in bad_sids for w in workers},
             "mismatches": mismatches,
@@ -464,6 +596,12 @@ def main(argv=None):
     print(f"traces: {ts['files']} file(s) parsed, {ts['records']} records, "
           f"{ts['server_ops']} server ops, {ts['fault_events']} fault "
           f"events (all killed-run files readable)")
+    fs = doc["fsck"]
+    print(f"fsck gate: {fs['first_run_findings']} finding(s), "
+          f"{fs['repaired']} repaired, second run clean")
+    rc_ = doc["rebuild_crash"]
+    print(f"rebuild-crash gate: crashed inside the cascade, "
+          f"{rc_['ops_acked']} ops acked, schedule + offline replay exact")
     if mismatches:
         print("DIVERGENCE:")
         for m in mismatches:

@@ -10,6 +10,9 @@ report      pretty-print a metrics snapshot from a JSONL trace (replayed)
             ``--journal DIR`` replays a service journal directory instead;
             ``--journal DIR --trace FILE`` joins on-disk journal LSNs back
             to the server trace spans that wrote them (docs/OBSERVABILITY.md)
+fsck        offline integrity scan of journal directories / cluster state;
+            ``--repair`` applies idempotent, journaled repairs
+            (docs/RECOVERY.md)
 serve       run the durable scheduler service (TCP/UNIX, WAL + recovery;
             see docs/SERVICE.md)
 client      send one request to a running service and print the result
@@ -153,6 +156,10 @@ def cmd_report(args: argparse.Namespace) -> int:
         except (ValueError, OSError, JournalCorrupt) as e:
             raise SystemExit(f"cannot replay journal {args.journal}: {e}")
         for info in infos:
+            if info.get("skipped_moved"):
+                print(f"session {info['session']}: skipped "
+                      f"(moved to {info['moved_to']})")
+                continue
             print(f"session {info['session']}: active={info['active']} "
                   f"objective={info['objective']} "
                   f"replayed={info['replayed']} "
@@ -185,6 +192,26 @@ def cmd_report(args: argparse.Namespace) -> int:
         raise SystemExit(f"{path}: invalid trace: {e}")
     print(format_snapshot(registry.snapshot(), title=f"replayed trace: {path}"))
     return 0
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.recovery import run_fsck
+
+    try:
+        report = run_fsck(args.dirs, repair=args.repair)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"fsck: {e}")
+    if args.json:
+        print(json.dumps(report.to_doc(), indent=2, sort_keys=True))
+    else:
+        for line in report.human_lines():
+            print(line)
+    if report.clean:
+        return 0
+    # Repaired-everything is success (exit 0): a second run is clean.
+    return 0 if args.repair and not report.unrepaired else 1
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -359,17 +386,55 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
     for spec in specs:
         print(f"{spec.name}  {spec.host}:{spec.port}  {spec.data}")
     print(f"manifest: {group.manifest_path}", flush=True)
+    # Anti-entropy sweep cadence, expressed in poll ticks.
+    sweep_every = 0
+    if args.reconcile_interval > 0:
+        sweep_every = max(1, round(args.reconcile_interval / args.poll))
+    ticks = 0
     try:
         while True:
             time.sleep(args.poll)
+            ticks += 1
             if not args.no_respawn:
                 for name in group.respawn_dead():
                     print(f"respawned {name}", flush=True)
+            if sweep_every and ticks % sweep_every == 0:
+                try:
+                    rec = group.reconcile()
+                except (OSError, ValueError) as e:
+                    print(f"reconcile failed: {e}", flush=True)
+                    continue
+                if not rec.clean:
+                    for line in rec.human_lines()[1:]:
+                        print(f"reconcile:{line}", flush=True)
     except KeyboardInterrupt:
         pass
     finally:
         group.stop()
     return 0
+
+
+def cmd_cluster_reconcile(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.recovery import reconcile_cluster
+
+    root = args.root if os.path.isdir(args.root) else os.path.dirname(args.root)
+    try:
+        report = reconcile_cluster(
+            root, apply=not args.dry_run, timeout=args.timeout
+        )
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"cluster reconcile: {e}")
+    if args.json:
+        print(json.dumps(report.to_doc(), indent=2, sort_keys=True))
+    else:
+        for line in report.human_lines():
+            print(line)
+    if report.errors:
+        return 1
+    return 0 if (report.clean or not args.dry_run) else 1
 
 
 def cmd_cluster_status(args: argparse.Namespace) -> int:
@@ -584,6 +649,19 @@ def main(argv: list[str] | None = None) -> int:
                        help="accept a torn final trace line (killed writer)")
     p_rep.set_defaults(fn=cmd_report)
 
+    p_fsck = sub.add_parser("fsck", help="offline integrity scan of journal "
+                                         "dirs / cluster state "
+                                         "(docs/RECOVERY.md)")
+    p_fsck.add_argument("dirs", nargs="+", metavar="DIR",
+                        help="session dir, server data dir, or cluster root")
+    p_fsck.add_argument("--repair", action="store_true",
+                        help="apply idempotent repairs (journaled to "
+                             "fsck.log.jsonl; damaged bytes are quarantined "
+                             "as *.corrupt, never destroyed)")
+    p_fsck.add_argument("--json", action="store_true",
+                        help="print the typed findings report as JSON")
+    p_fsck.set_defaults(fn=cmd_fsck)
+
     p_srv = sub.add_parser("serve", help="run the durable scheduler service "
                                          "(docs/SERVICE.md)")
     p_srv.add_argument("data", help="data directory (journals + snapshots)")
@@ -686,6 +764,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="seconds between liveness checks")
     pc_srv.add_argument("--no-respawn", action="store_true",
                         help="do not relaunch shards that die")
+    pc_srv.add_argument("--reconcile-interval", type=float, default=60.0,
+                        metavar="SECS",
+                        help="seconds between anti-entropy sweeps "
+                             "(0 = disable; docs/RECOVERY.md)")
     pc_srv.set_defaults(fn=cmd_cluster_serve)
 
     pc_st = csub.add_parser("status", help="health of every shard in a "
@@ -705,6 +787,18 @@ def main(argv: list[str] | None = None) -> int:
                        help="print the plan without migrating")
     pc_rb.add_argument("--timeout", type=float, default=30.0)
     pc_rb.set_defaults(fn=cmd_cluster_rebalance)
+
+    pc_rc = csub.add_parser("reconcile", help="anti-entropy sweep: resolve "
+                                              "half-completed migrations, "
+                                              "re-learn placement "
+                                              "(docs/RECOVERY.md)")
+    pc_rc.add_argument("root", help="cluster root or cluster.json path")
+    pc_rc.add_argument("--dry-run", action="store_true",
+                       help="report divergences without resolving them")
+    pc_rc.add_argument("--json", action="store_true",
+                       help="print the resolution report as JSON")
+    pc_rc.add_argument("--timeout", type=float, default=10.0)
+    pc_rc.set_defaults(fn=cmd_cluster_reconcile)
 
     p_gen = sub.add_parser("gen", help="generate a workload trace")
     p_gen.add_argument("kind", choices=["mixed", "churn", "grow-shrink", "cascade",

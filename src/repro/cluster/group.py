@@ -246,6 +246,21 @@ class ShardGroup:
                 reg.gauge("cluster.shards").set(self.live_count())
         return revived
 
+    def reconcile(self, *, apply: bool = True) -> Any:
+        """One anti-entropy sweep over this cluster's root.
+
+        Cross-checks on-disk session ownership against tombstones and
+        the placement map, resolving half-completed migrations; see
+        :func:`repro.recovery.reconcile.reconcile_cluster` for the
+        decision table.  ``repro cluster serve`` runs this periodically
+        (``--reconcile-interval``); returns the ``ReconcileReport``.
+        """
+        # Lazy: recovery imports cluster at module level, so the static
+        # import graph must not point back (reprolint RL002).
+        from repro.recovery.reconcile import reconcile_cluster
+
+        return reconcile_cluster(self.root, apply=apply, registry=self.registry)
+
     def kill(self, name: str, sig: int = signal.SIGKILL) -> int:
         """Send ``sig`` to one shard (chaos/smoke tooling); returns its pid."""
         proc = self._procs[name]

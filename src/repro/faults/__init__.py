@@ -10,9 +10,11 @@ costs exactly one attribute test when fault injection is off::
     if plan is not None:
         plan.hit("journal.append.io")
 
-reprolint RL007 enforces that guard discipline across ``repro/service/``
-and RL002 keeps this package stdlib-only (it must be importable from
-the lowest layers without cycles).  Plans come from
+reprolint RL007 enforces that guard discipline across the serving stack
+(``repro/service/``, ``repro/cluster/``, ``repro/recovery/``) and the
+deep data-structure layers (``repro/kcursor/``, ``repro/pma/``); RL002
+keeps this package stdlib-only (it must be importable from the lowest
+layers without cycles).  Plans come from
 :func:`parse_plan` / :func:`plan_from_env` (``REPRO_FAULTS`` /
 ``REPRO_FAULTS_SEED``) or ``repro serve --faults``.
 """

@@ -70,10 +70,16 @@ ENV_SEED = "REPRO_FAULTS_SEED"
 KNOWN_FAILPOINTS: frozenset[str] = frozenset(
     {
         "journal.append.io",
+        "journal.append.enospc",
         "journal.append.fsync",
         "journal.roll.io",
         "journal.checkpoint.io",
         "journal.recover.io",
+        "kcursor.rebuild.enter",
+        "kcursor.rebuild.exit",
+        "kcursor.chunk.slide",
+        "pma.rebalance.spread",
+        "pma.resize",
         "sessions.admit",
         "sessions.evict",
         "sessions.rehydrate",

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Optional, Protocol
 
+from repro import faults
 from repro.kcursor.chunk import Chunk, build_tree
 from repro.kcursor.costmodel import CostCounter, OpStats, RebuildRecord
 from repro.kcursor.params import Params, _ceil_lg
@@ -345,6 +346,9 @@ class KCursorSparseTable:
         nonbuffer space ``N(c)+X``, *plus* the ``X`` slots the caller is
         about to consume.
         """
+        plan = faults.ACTIVE
+        if plan is not None:
+            plan.hit("kcursor.rebuild.enter")
         it = c.it
         if c.N + X >= 2 * it * it:  # threshold: chunk becomes BUFFERED
             c.buffered = True
@@ -359,6 +363,8 @@ class KCursorSparseTable:
             c.buf += Y
             c.S += Y
             self._op.rebuilds.append(rec)
+            if plan is not None:
+                plan.hit("kcursor.rebuild.exit")
             return
 
         pit = p.it
@@ -376,6 +382,8 @@ class KCursorSparseTable:
             if Z > 0:
                 # All gaps (if any) were consumed and the entire right
                 # sibling slides right by Z: each of its S slots moves once.
+                if plan is not None:
+                    plan.hit("kcursor.chunk.slide")
                 rec.slots_moved += p.right.S
             elif g_taken > 0:
                 # Only the right sibling's prefix up to the last consumed
@@ -415,6 +423,8 @@ class KCursorSparseTable:
         c.S += Y
         self._op.slots_moved += rec.slots_moved
         self._op.rebuilds.append(rec)
+        if plan is not None:
+            plan.hit("kcursor.rebuild.exit")
 
     # ------------------------------------------------------------------
     # Deletion-direction rebuild (Section 4.2, "Deletions")
@@ -442,6 +452,9 @@ class KCursorSparseTable:
 
     def _return_slots(self, c: Chunk, Y: int) -> None:
         """Return ``Y`` of ``c``'s buffer slots to its parent."""
+        plan = faults.ACTIVE
+        if plan is not None:
+            plan.hit("kcursor.rebuild.enter")
         rec = RebuildRecord(level=c.level, grow=False, space_delta=Y, slots_moved=0)
         c.buf -= Y
         c.S -= Y
@@ -450,6 +463,8 @@ class KCursorSparseTable:
         if p is None:
             # Root: slots dissolve into the infinite empty tail for free.
             self._op.rebuilds.append(rec)
+            if plan is not None:
+                plan.hit("kcursor.rebuild.exit")
             return
 
         pit = p.it
@@ -473,6 +488,8 @@ class KCursorSparseTable:
             z_ret = Y - g_new
             if z_ret > 0:
                 # Whole right sibling (and its embedded gaps) slides left.
+                if plan is not None:
+                    plan.hit("kcursor.chunk.slide")
                 rec.slots_moved += p.right.S
             elif g_new > 0:
                 # Prefix of the right sibling up to the last new gap slides
@@ -500,6 +517,8 @@ class KCursorSparseTable:
 
         self._op.slots_moved += rec.slots_moved
         self._op.rebuilds.append(rec)
+        if plan is not None:
+            plan.hit("kcursor.rebuild.exit")
 
     # ------------------------------------------------------------------
     # Dynamic districts ("Creating more cursors", Section 4.3)

@@ -351,6 +351,10 @@ LAYERING_CONSTRAINTS: tuple[tuple[tuple[str, ...], tuple[str, ...]], ...] = (
         ("repro.sim", "repro.workloads"),
     ),
     (
+        ("repro/recovery/",),
+        ("repro.sim", "repro.workloads"),
+    ),
+    (
         ("repro/faults/",),
         (
             "repro.analysis",
@@ -733,7 +737,13 @@ class RL007FailpointGuard(RL001ObserverGuard):
     summary = ("failpoint access (`faults.ACTIVE.hit/...`) must sit behind "
                "an `is not None` guard (zero overhead when fault injection "
                "is off)")
-    path_prefixes = ("repro/service/", "repro/cluster/")
+    path_prefixes = (
+        "repro/service/",
+        "repro/cluster/",
+        "repro/recovery/",
+        "repro/kcursor/",
+        "repro/pma/",
+    )
     guard_attrs = frozenset({"ACTIVE"})
     guard_noun = "failpoint"
 

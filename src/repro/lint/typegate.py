@@ -39,6 +39,7 @@ STRICT_PACKAGES = (
     "repro.kcursor",
     "repro.lint",
     "repro.pma",
+    "repro.recovery",
     "repro.service",
 )
 

@@ -21,6 +21,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import faults
 from repro.pma.pma import EMPTY, PackedMemoryArray
 
 
@@ -58,7 +59,16 @@ class AdaptivePackedMemoryArray(PackedMemoryArray):
     # ------------------------------------------------------------------
 
     def _spread(self, seg_lo: int, seg_hi: int) -> None:
-        """Heat-weighted redistribution over the window's segments."""
+        """Heat-weighted redistribution over the window's segments.
+
+        Fires the same ``pma.rebalance.spread`` failpoint as the base
+        class: the adaptive resize path is the torture target named in
+        docs/FAULTS.md, and sharing the point keeps chaos specs
+        structure-agnostic.
+        """
+        plan = faults.ACTIVE
+        if plan is not None:
+            plan.hit("pma.rebalance.spread")
         base = seg_lo * self._seg_size
         end = seg_hi * self._seg_size
         window = self._slots[base:end]

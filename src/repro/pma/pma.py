@@ -30,6 +30,8 @@ from typing import Optional, Protocol
 
 import numpy as np
 
+from repro import faults
+
 EMPTY = -1
 
 
@@ -266,6 +268,9 @@ class PackedMemoryArray:
 
     def _spread(self, seg_lo: int, seg_hi: int) -> None:
         """Evenly redistribute all elements of the window."""
+        plan = faults.ACTIVE
+        if plan is not None:
+            plan.hit("pma.rebalance.spread")
         base = seg_lo * self._seg_size
         end = seg_hi * self._seg_size
         window = self._slots[base:end]
@@ -311,6 +316,9 @@ class PackedMemoryArray:
             self._spread(lo, hi)
 
     def _resize(self, new_capacity: int) -> None:
+        plan = faults.ACTIVE
+        if plan is not None:
+            plan.hit("pma.resize")
         vals = self._slots[self._slots != EMPTY]
         self._alloc(max(8, new_capacity))
         m = len(vals)

@@ -1,0 +1,764 @@
+"""Offline integrity scanner and repairer (``repro fsck``).
+
+Walks journal directories and cluster state *at rest* -- the crashed
+shard's directory, a whole server data dir, or a cluster root -- and
+classifies every deviation from the on-disk contracts of
+:mod:`repro.service.journal`, :mod:`repro.service.sessions` and
+:mod:`repro.cluster` into typed :class:`Finding` records.
+
+The repair contract (docs/RECOVERY.md) has three clauses:
+
+1. **Roll back to the longest cleanly-recoverable prefix.**  A repaired
+   directory always satisfies :meth:`repro.service.journal.Journal.recover`:
+   torn tails are truncated to the last valid record, segments broken
+   mid-file are cut at the corruption, and anything past an LSN hole is
+   taken out of the replay path.
+2. **Quarantine, never destroy.**  Bytes that carried (or may have
+   carried) acknowledged state are renamed/copied to ``*.corrupt``
+   siblings, which fsck and the serving stack both ignore.  Only
+   artifacts that are garbage *by contract* -- stale ``*.tmp`` files from
+   interrupted atomic renames, snapshot generations beyond the
+   checkpoint keep window -- are deleted outright.
+3. **Idempotence.**  Every repair is journaled to ``fsck.log.jsonl`` in
+   the repaired directory and re-running ``repro fsck --repair`` on its
+   own output is a no-op: the second run reports zero findings.
+
+Cluster-level inconsistencies that need *liveness* to resolve --
+double ownership after a half-completed migration, tombstones pointing
+at shards that never adopted -- are reported here but repaired by the
+anti-entropy reconciler (:mod:`repro.recovery.reconcile`), which can
+talk to the shards and record the resolution in the reallocation
+ledger.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.cluster.group import MANIFEST_FILE, load_manifest
+from repro.cluster.placement import PLACEMENT_FILE, PlacementMap
+from repro.cluster.rebalance import REALLOC_FILE
+from repro.obs.logsetup import get_logger
+from repro.service.journal import (
+    _SEG_PREFIX,
+    _SEG_SUFFIX,
+    _SNAP_KEEP,
+    _SNAP_PREFIX,
+    _SNAP_SUFFIX,
+    Journal,
+    JournalCorrupt,
+    JournalRecord,
+    _decode_record,
+    _fsync_dir,
+)
+from repro.service.sessions import _CONFIG_FILE, _MOVED_FILE
+
+log = get_logger("recovery.fsck")
+
+#: Repair journal written into every directory fsck touches.
+FSCK_LOG = "fsck.log.jsonl"
+#: Suffix quarantined files get; fsck and the serving stack ignore it.
+QUARANTINE_SUFFIX = ".corrupt"
+
+#: The findings taxonomy (documented in docs/RECOVERY.md); every
+#: :class:`Finding` carries exactly one of these kinds.
+FINDING_KINDS = frozenset(
+    {
+        # session/journal layer
+        "torn_tail",            # undecodable final segment line
+        "corrupt_record",       # undecodable line with data after it
+        "lsn_hole",             # replay tail skips an LSN
+        "lsn_duplicate",        # replay tail repeats/regresses an LSN
+        "snapshot_orphan",      # snapshot generation past the keep window
+        "snapshot_unreadable",  # kept snapshot fails to parse
+        "dedup_sidecar",        # malformed service_dedup entries in a snapshot
+        "stale_tmp",            # leftover *.tmp from an interrupted rename
+        "tombstone_unreadable", # moved.json fails to parse
+        "config_unreadable",    # config.json missing or fails to parse
+        "unrecoverable",        # post-repair verification still fails
+        # cluster layer
+        "manifest_unreadable",  # cluster.json fails to parse
+        "shard_data_missing",   # manifest names a data dir that is absent
+        "placement_unreadable", # placement.json fails to parse
+        "ledger_torn",          # reallocations.jsonl has an unparsable line
+        "double_ownership",     # session owned by more than one shard
+        "dangling_tombstone",   # tombstone target never adopted the session
+    }
+)
+
+#: Kinds fsck itself cannot repair; the reconciler resolves them.
+RECONCILER_KINDS = frozenset({"double_ownership", "dangling_tombstone"})
+
+_INFO_KINDS = frozenset({"stale_tmp", "snapshot_orphan", "shard_data_missing"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One classified deviation from the on-disk contract.
+
+    ``repair`` describes the applicable repair (or is ``None`` when fsck
+    has none -- e.g. the reconciler-owned cluster kinds); ``repaired``
+    records whether this run actually applied it.
+    """
+
+    kind: str
+    path: str
+    detail: str
+    repair: Optional[str] = None
+    repaired: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FINDING_KINDS:
+            raise ValueError(f"unknown finding kind {self.kind!r}")
+
+    @property
+    def severity(self) -> str:
+        return "info" if self.kind in _INFO_KINDS else "error"
+
+    def to_doc(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "severity": self.severity,
+            "path": self.path,
+            "detail": self.detail,
+            "repair": self.repair,
+            "repaired": self.repaired,
+        }
+
+
+@dataclass
+class FsckReport:
+    """Everything one ``run_fsck`` pass saw and did."""
+
+    findings: list[Finding] = field(default_factory=list)
+    scanned: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def repaired_count(self) -> int:
+        return sum(1 for f in self.findings if f.repaired)
+
+    @property
+    def unrepaired(self) -> list[Finding]:
+        return [f for f in self.findings if not f.repaired]
+
+    def to_doc(self) -> dict[str, Any]:
+        return {
+            "clean": self.clean,
+            "scanned": self.scanned,
+            "findings": [f.to_doc() for f in self.findings],
+            "repaired": self.repaired_count,
+        }
+
+    def human_lines(self) -> list[str]:
+        """Render for the console (printed by ``repro fsck``)."""
+        out = [f"fsck: scanned {len(self.scanned)} director{'y' if len(self.scanned) == 1 else 'ies'}"]
+        for f in self.findings:
+            state = "repaired" if f.repaired else (
+                "repairable" if f.repair is not None else "needs reconcile"
+                if f.kind in RECONCILER_KINDS else "unrepairable"
+            )
+            out.append(f"  [{f.severity}] {f.kind} {f.path}: {f.detail} ({state})")
+        if self.clean:
+            out.append("  clean: no findings")
+        else:
+            out.append(
+                f"  {len(self.findings)} finding(s), {self.repaired_count} repaired"
+            )
+        return out
+
+
+class _RepairLog:
+    """Append-only ``fsck.log.jsonl`` writer (the journaled-repairs part
+    of the contract); opened lazily so scan-only runs touch nothing."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.path = os.path.join(root, FSCK_LOG)
+        self._seq = 0
+        self._opened = False
+
+    def record(self, action: str, path: str, detail: str) -> None:
+        if not self._opened:
+            if os.path.isfile(self.path):
+                with open(self.path, encoding="utf-8", errors="replace") as fh:
+                    self._seq = sum(1 for line in fh if line.strip())
+            self._opened = True
+        self._seq += 1
+        doc = {
+            "seq": self._seq,
+            "action": action,
+            "path": os.path.basename(path),
+            "detail": detail,
+        }
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(doc, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        log.info("fsck repair %s: %s %s (%s)", self.root, action, path, detail)
+
+
+def _ignored(name: str) -> bool:
+    return name == FSCK_LOG or name.endswith(QUARANTINE_SUFFIX)
+
+
+def _quarantine_rename(path: str, rlog: _RepairLog, detail: str) -> str:
+    dst = path + QUARANTINE_SUFFIX
+    n = 1
+    while os.path.exists(dst):
+        n += 1
+        dst = f"{path}.{n}{QUARANTINE_SUFFIX}"
+    os.replace(path, dst)
+    _fsync_dir(os.path.dirname(path) or ".")
+    rlog.record("quarantine", path, f"-> {os.path.basename(dst)}: {detail}")
+    return dst
+
+
+def _quarantine_copy(path: str, rlog: _RepairLog, detail: str) -> str:
+    dst = path + QUARANTINE_SUFFIX
+    n = 1
+    while os.path.exists(dst):
+        n += 1
+        dst = f"{path}.{n}{QUARANTINE_SUFFIX}"
+    with open(path, "rb") as src, open(dst, "wb") as out:
+        out.write(src.read())
+        out.flush()
+        os.fsync(out.fileno())
+    _fsync_dir(os.path.dirname(path) or ".")
+    rlog.record("quarantine-copy", path, f"-> {os.path.basename(dst)}: {detail}")
+    return dst
+
+
+def _truncate(path: str, size: int, rlog: _RepairLog, detail: str) -> None:
+    with open(path, "rb+") as fh:
+        fh.truncate(size)
+        fh.flush()
+        os.fsync(fh.fileno())
+    rlog.record("truncate", path, f"to {size} bytes: {detail}")
+
+
+def _unlink(path: str, rlog: _RepairLog, detail: str) -> None:
+    os.unlink(path)
+    _fsync_dir(os.path.dirname(path) or ".")
+    rlog.record("unlink", path, detail)
+
+
+# ----------------------------------------------------------------------
+# Raw scanners (never raise on corruption -- they classify it)
+
+
+@dataclass
+class _SegScan:
+    """Tolerant single-segment scan: the valid record prefix plus a
+    classification of whatever cut it short."""
+
+    path: str
+    records: list[JournalRecord]
+    rec_ends: list[int]  # byte offset just past each valid record
+    bad_at: Optional[int]  # byte offset of the first undecodable line
+    bad_lineno: int
+    trailing: bool  # data (valid or not) after the bad line
+
+    @property
+    def kind(self) -> Optional[str]:
+        if self.bad_at is None:
+            return None
+        return "corrupt_record" if self.trailing else "torn_tail"
+
+    def cut_at(self, index: int) -> int:
+        """Byte size keeping only ``records[:index]``."""
+        return self.rec_ends[index - 1] if index > 0 else 0
+
+
+def _scan_segment(path: str) -> _SegScan:
+    with open(path, "rb") as fh:
+        data = fh.read()
+    records: list[JournalRecord] = []
+    rec_ends: list[int] = []
+    bad_at: Optional[int] = None
+    bad_lineno = 0
+    trailing = False
+    pos, lineno = 0, 0
+    size = len(data)
+    while pos < size:
+        nl = data.find(b"\n", pos)
+        end = size if nl == -1 else nl + 1
+        line = data[pos: size if nl == -1 else nl]
+        lineno += 1
+        text = line.decode("utf-8", errors="replace")
+        if text.strip():
+            rec = _decode_record(text)
+            if rec is None:
+                if bad_at is None:
+                    bad_at, bad_lineno = pos, lineno
+                else:
+                    trailing = True
+            elif bad_at is not None:
+                trailing = True
+            else:
+                records.append(rec)
+                rec_ends.append(end)
+        pos = end
+    return _SegScan(path, records, rec_ends, bad_at, bad_lineno, trailing)
+
+
+def _list_sorted(root: str, prefix: str, suffix: str) -> list[tuple[int, str]]:
+    out: list[tuple[int, str]] = []
+    for name in os.listdir(root):
+        if _ignored(name) or not (name.startswith(prefix) and name.endswith(suffix)):
+            continue
+        digits = name[len(prefix): -len(suffix)]
+        if digits.isdigit():
+            out.append((int(digits), os.path.join(root, name)))
+    return sorted(out)
+
+
+def session_last_lsn(sdir: str) -> int:
+    """Highest durable LSN visible on disk (snapshot names + valid
+    records), tolerating torn/corrupt tails.  The reconciler uses this
+    to pick the survivor of a double-ownership conflict."""
+    last = max((lsn for lsn, _ in _list_sorted(sdir, _SNAP_PREFIX, _SNAP_SUFFIX)), default=0)
+    for _, path in _list_sorted(sdir, _SEG_PREFIX, _SEG_SUFFIX):
+        for rec in _scan_segment(path).records:
+            if rec.lsn > last:
+                last = rec.lsn
+    return last
+
+
+def read_tombstone(sdir: str) -> Optional[str]:
+    """Target shard named by ``moved.json``; ``"unknown"`` when the
+    tombstone exists but is unreadable; ``None`` when not tombstoned."""
+    path = os.path.join(sdir, _MOVED_FILE)
+    if not os.path.isfile(path):
+        return None
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return "unknown"
+    if isinstance(doc, dict) and isinstance(doc.get("target"), str):
+        return str(doc["target"])
+    return "unknown"
+
+
+def _looks_like_session(path: str) -> bool:
+    if not os.path.isdir(path):
+        return False
+    if os.path.isfile(os.path.join(path, _CONFIG_FILE)):
+        return True
+    return bool(_list_sorted(path, _SEG_PREFIX, _SEG_SUFFIX)) or bool(
+        _list_sorted(path, _SNAP_PREFIX, _SNAP_SUFFIX)
+    )
+
+
+# ----------------------------------------------------------------------
+# Session-directory scan + repair
+
+
+def _scan_session_dir(sdir: str, *, repair: bool, report: FsckReport) -> None:
+    report.scanned.append(sdir)
+    rlog = _RepairLog(sdir)
+    add = report.findings.append
+    repaired_any = False
+
+    def fix(finding: Finding) -> None:
+        nonlocal repaired_any
+        repaired_any = True
+        add(finding)
+
+    # 1. stale *.tmp files from interrupted atomic renames.
+    for name in sorted(os.listdir(sdir)):
+        if _ignored(name) or not name.endswith(".tmp"):
+            continue
+        path = os.path.join(sdir, name)
+        if not os.path.isfile(path):
+            continue
+        if repair:
+            _unlink(path, rlog, "stale tmp from interrupted rename")
+            fix(Finding("stale_tmp", path, "interrupted atomic rename",
+                        repair="delete", repaired=True))
+        else:
+            add(Finding("stale_tmp", path, "interrupted atomic rename",
+                        repair="delete"))
+
+    # 2. tombstone readability.
+    moved_path = os.path.join(sdir, _MOVED_FILE)
+    if os.path.isfile(moved_path) and read_tombstone(sdir) == "unknown":
+        detail = "moved.json unreadable; session cannot answer MOVED correctly"
+        if repair:
+            _quarantine_rename(moved_path, rlog, "unreadable tombstone")
+            fix(Finding("tombstone_unreadable", moved_path, detail,
+                        repair="quarantine (source resumes authority)",
+                        repaired=True))
+        else:
+            add(Finding("tombstone_unreadable", moved_path, detail,
+                        repair="quarantine (source resumes authority)"))
+
+    # 3. config readability (unrepairable: fsck cannot invent a config).
+    cfg_path = os.path.join(sdir, _CONFIG_FILE)
+    if os.path.isfile(cfg_path):
+        try:
+            with open(cfg_path, encoding="utf-8") as fh:
+                if not isinstance(json.load(fh), dict):
+                    raise ValueError("not a JSON object")
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            add(Finding("config_unreadable", cfg_path, f"cannot parse: {e}"))
+    elif _list_sorted(sdir, _SEG_PREFIX, _SEG_SUFFIX) or _list_sorted(
+        sdir, _SNAP_PREFIX, _SNAP_SUFFIX
+    ):
+        add(Finding("config_unreadable", cfg_path,
+                    "journal data present but config.json is missing"))
+
+    # 4. per-segment structure.
+    scans: list[tuple[int, _SegScan]] = []
+    for start, path in _list_sorted(sdir, _SEG_PREFIX, _SEG_SUFFIX):
+        scan = _scan_segment(path)
+        if scan.kind == "torn_tail":
+            assert scan.bad_at is not None
+            detail = (f"line {scan.bad_lineno}: undecodable final record "
+                      f"(never acknowledged)")
+            if repair:
+                _truncate(path, scan.bad_at, rlog, "torn tail")
+                fix(Finding("torn_tail", path, detail,
+                            repair="truncate to last valid record", repaired=True))
+            else:
+                add(Finding("torn_tail", path, detail,
+                            repair="truncate to last valid record"))
+        elif scan.kind == "corrupt_record":
+            assert scan.bad_at is not None
+            detail = (f"line {scan.bad_lineno}: undecodable record followed "
+                      f"by more data")
+            if repair:
+                _quarantine_copy(path, rlog, "segment broken mid-file")
+                _truncate(path, scan.bad_at, rlog, "cut at corrupt record")
+                fix(Finding("corrupt_record", path, detail,
+                            repair="quarantine copy, cut at corruption",
+                            repaired=True))
+            else:
+                add(Finding("corrupt_record", path, detail,
+                            repair="quarantine copy, cut at corruption"))
+        scans.append((start, scan))
+
+    # 5. snapshot generations: delete past the keep window (what the
+    #    interrupted checkpoint would have done), quarantine unreadable.
+    snaps = _list_sorted(sdir, _SNAP_PREFIX, _SNAP_SUFFIX)
+    for lsn, path in snaps[:-_SNAP_KEEP]:
+        detail = f"generation covering LSN {lsn} is past the keep window"
+        if repair:
+            _unlink(path, rlog, "snapshot past keep window")
+            fix(Finding("snapshot_orphan", path, detail, repair="delete",
+                        repaired=True))
+        else:
+            add(Finding("snapshot_orphan", path, detail, repair="delete"))
+
+    kept = snaps[-_SNAP_KEEP:]
+    base_lsn = 0
+    base_doc: Optional[dict[str, Any]] = None
+    base_path = ""
+    newest_named = kept[-1][0] if kept else 0
+    for lsn, path in kept:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            if not isinstance(doc, dict):
+                raise ValueError("not a JSON object")
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            detail = f"snapshot covering LSN {lsn} unreadable: {e}"
+            if repair:
+                _quarantine_rename(path, rlog, "unreadable snapshot")
+                fix(Finding("snapshot_unreadable", path, detail,
+                            repair="quarantine (recovery falls back)",
+                            repaired=True))
+            else:
+                add(Finding("snapshot_unreadable", path, detail,
+                            repair="quarantine (recovery falls back)"))
+            continue
+        if lsn >= base_lsn:
+            base_lsn, base_doc, base_path = lsn, doc, path
+
+    # 6. dedup sidecar of the surviving base snapshot.
+    if base_doc is not None and "service_dedup" in base_doc:
+        entries = base_doc["service_dedup"]
+        bad = [
+            item
+            for item in (entries if isinstance(entries, list) else [entries])
+            if not (
+                isinstance(item, list)
+                and len(item) == 2
+                and isinstance(item[0], str)
+                and isinstance(item[1], dict)
+            )
+        ]
+        if not isinstance(entries, list) or bad:
+            detail = (f"{len(bad) if isinstance(entries, list) else 1} malformed "
+                      f"dedup entr{'y' if len(bad) == 1 else 'ies'} "
+                      f"(recovery would silently drop them)")
+            if repair:
+                keep_entries = (
+                    [item for item in entries if item not in bad]
+                    if isinstance(entries, list) else []
+                )
+                fixed = dict(base_doc)
+                if keep_entries:
+                    fixed["service_dedup"] = keep_entries
+                else:
+                    fixed.pop("service_dedup", None)
+                tmp = base_path + ".tmp"
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    json.dump(fixed, fh, sort_keys=True)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, base_path)
+                _fsync_dir(sdir)
+                rlog.record("rewrite", base_path, "dropped malformed dedup entries")
+                fix(Finding("dedup_sidecar", base_path, detail,
+                            repair="rewrite snapshot without malformed entries",
+                            repaired=True))
+            else:
+                add(Finding("dedup_sidecar", base_path, detail,
+                            repair="rewrite snapshot without malformed entries"))
+
+    # 7. replay-chain contiguity above the base snapshot, over the valid
+    #    record prefixes (the post-repair view of step 4).
+    expect = base_lsn + 1
+    violated = False
+    for si, (start, scan) in enumerate(scans):
+        for ri, rec in enumerate(scan.records):
+            if rec.lsn <= base_lsn or violated:
+                continue
+            if rec.lsn == expect:
+                expect += 1
+                continue
+            violated = True
+            kind = "lsn_hole" if rec.lsn > expect else "lsn_duplicate"
+            detail = (f"record LSN {rec.lsn} where {expect} was expected; "
+                      f"replay stops at LSN {expect - 1}")
+            if repair:
+                _quarantine_copy(scan.path, rlog, f"{kind} at LSN {rec.lsn}")
+                _truncate(scan.path, scan.cut_at(ri), rlog,
+                          f"cut replay chain before LSN {rec.lsn}")
+                for _, later in scans[si + 1:]:
+                    if os.path.exists(later.path):
+                        _quarantine_rename(later.path, rlog,
+                                           f"past {kind} at LSN {rec.lsn}")
+                fix(Finding(kind, scan.path, detail,
+                            repair="quarantine everything past the chain break",
+                            repaired=True))
+            else:
+                add(Finding(kind, scan.path, detail,
+                            repair="quarantine everything past the chain break"))
+        if violated:
+            break
+
+    # A repair that rolls back past an LSN a (now quarantined) newer
+    # snapshot had covered loses acknowledged state; say so explicitly.
+    if repair and repaired_any:
+        chain_end = expect - 1 if expect > base_lsn else base_lsn
+        if chain_end < newest_named and base_lsn < newest_named:
+            rlog.record(
+                "rollback", sdir,
+                f"recovered prefix ends at LSN {chain_end}; acknowledged "
+                f"LSNs ({chain_end}, {newest_named}] were quarantined",
+            )
+
+    # 8. verify: a repaired directory must recover cleanly.
+    if repair and repaired_any:
+        try:
+            jr = Journal(sdir, fsync="never")
+            jr.recover()
+            jr.close()
+            rlog.record("verify", sdir, "journal recovers cleanly")
+        except (JournalCorrupt, OSError) as e:  # pragma: no cover - safety net
+            add(Finding("unrecoverable", sdir, f"post-repair recovery failed: {e}"))
+
+
+# ----------------------------------------------------------------------
+# Server data dirs and cluster roots
+
+
+def _scan_server_dir(root: str, *, repair: bool, report: FsckReport) -> list[str]:
+    """Scan one shard/server data directory; returns the session subdirs."""
+    report.scanned.append(root)
+    rlog = _RepairLog(root)
+    for name in sorted(os.listdir(root)):
+        if _ignored(name) or not name.endswith(".tmp"):
+            continue
+        path = os.path.join(root, name)
+        if not os.path.isfile(path):
+            continue
+        if repair:
+            _unlink(path, rlog, "stale tmp from interrupted rename")
+            report.findings.append(
+                Finding("stale_tmp", path, "interrupted atomic rename",
+                        repair="delete", repaired=True))
+        else:
+            report.findings.append(
+                Finding("stale_tmp", path, "interrupted atomic rename",
+                        repair="delete"))
+    sessions = []
+    for name in sorted(os.listdir(root)):
+        path = os.path.join(root, name)
+        if not _ignored(name) and _looks_like_session(path):
+            sessions.append(path)
+            _scan_session_dir(path, repair=repair, report=report)
+    return sessions
+
+
+def _scan_ledger(root: str, *, repair: bool, report: FsckReport) -> None:
+    path = os.path.join(root, REALLOC_FILE)
+    if not os.path.isfile(path):
+        return
+    with open(path, "rb") as fh:
+        data = fh.read()
+    pos, bad_at, bad_lineno, trailing, lineno = 0, None, 0, False, 0
+    size = len(data)
+    while pos < size:
+        nl = data.find(b"\n", pos)
+        end = size if nl == -1 else nl + 1
+        line = data[pos: size if nl == -1 else nl]
+        lineno += 1
+        text = line.decode("utf-8", errors="replace")
+        if text.strip():
+            ok = False
+            try:
+                ok = isinstance(json.loads(text), dict)
+            except json.JSONDecodeError:
+                ok = False
+            if not ok and bad_at is None:
+                bad_at, bad_lineno = pos, lineno
+            elif bad_at is not None:
+                trailing = True
+        pos = end
+    if bad_at is None:
+        return
+    detail = f"line {bad_lineno}: unparsable ledger record"
+    rlog = _RepairLog(root)
+    if repair:
+        if trailing:
+            _quarantine_copy(path, rlog, "ledger broken mid-file")
+        _truncate(path, bad_at, rlog, "cut at unparsable ledger record")
+        report.findings.append(
+            Finding("ledger_torn", path, detail,
+                    repair="cut at first unparsable record", repaired=True))
+    else:
+        report.findings.append(
+            Finding("ledger_torn", path, detail,
+                    repair="cut at first unparsable record"))
+
+
+def _scan_cluster_root(root: str, *, repair: bool, report: FsckReport) -> None:
+    report.scanned.append(root)
+    rlog = _RepairLog(root)
+    add = report.findings.append
+
+    for name in sorted(os.listdir(root)):
+        if _ignored(name) or not name.endswith(".tmp"):
+            continue
+        path = os.path.join(root, name)
+        if not os.path.isfile(path):
+            continue
+        if repair:
+            _unlink(path, rlog, "stale tmp from interrupted rename")
+            add(Finding("stale_tmp", path, "interrupted atomic rename",
+                        repair="delete", repaired=True))
+        else:
+            add(Finding("stale_tmp", path, "interrupted atomic rename",
+                        repair="delete"))
+
+    manifest_path = os.path.join(root, MANIFEST_FILE)
+    try:
+        shards = load_manifest(manifest_path)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        add(Finding("manifest_unreadable", manifest_path, f"cannot parse: {e}"))
+        return
+
+    placement_path = os.path.join(root, PLACEMENT_FILE)
+    if os.path.isfile(placement_path):
+        try:
+            PlacementMap.load(placement_path)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+            detail = (f"cannot parse: {e}; routing falls back to rendezvous "
+                      f"hashing and MOVED chasing")
+            if repair:
+                _quarantine_rename(placement_path, rlog, "unreadable placement")
+                add(Finding("placement_unreadable", placement_path, detail,
+                            repair="quarantine (reconciler re-learns overrides)",
+                            repaired=True))
+            else:
+                add(Finding("placement_unreadable", placement_path, detail,
+                            repair="quarantine (reconciler re-learns overrides)"))
+
+    _scan_ledger(root, repair=repair, report=report)
+
+    owners: dict[str, list[str]] = {}
+    tombstones: list[tuple[str, str, str]] = []  # (shard, session, target)
+    for spec in shards:
+        if not os.path.isdir(spec.data):
+            detail = f"manifest names shard {spec.name!r} data dir {spec.data!r}"
+            if repair:
+                os.makedirs(spec.data, exist_ok=True)
+                rlog.record("mkdir", spec.data, "recreated missing shard data dir")
+                add(Finding("shard_data_missing", spec.data, detail,
+                            repair="recreate empty", repaired=True))
+            else:
+                add(Finding("shard_data_missing", spec.data, detail,
+                            repair="recreate empty"))
+            continue
+        for sdir in _scan_server_dir(spec.data, repair=repair, report=report):
+            sid = os.path.basename(sdir)
+            target = read_tombstone(sdir)
+            if target is None:
+                if os.path.isfile(os.path.join(sdir, _CONFIG_FILE)):
+                    owners.setdefault(sid, []).append(spec.name)
+            elif target != "unknown" or not repair:
+                # (an unreadable tombstone was quarantined above under
+                # --repair, making this shard an owner on the next run)
+                tombstones.append((spec.name, sid, target))
+
+    for sid, names in sorted(owners.items()):
+        if len(names) > 1:
+            add(Finding(
+                "double_ownership", root,
+                f"session {sid!r} owned by {', '.join(sorted(names))}",
+            ))
+    for shard, sid, target in tombstones:
+        if target not in owners.get(sid, []):
+            where = (f"target {target!r} does not own it"
+                     if target != "unknown" else "tombstone target unreadable")
+            add(Finding(
+                "dangling_tombstone",
+                os.path.join(shard, sid),
+                f"session {sid!r} tombstoned toward {target!r} but {where}",
+            ))
+
+
+# ----------------------------------------------------------------------
+
+
+def run_fsck(paths: Sequence[str], *, repair: bool = False) -> FsckReport:
+    """Scan (and with ``repair=True``, repair) each path.
+
+    Each path may be a single session directory, a server data
+    directory (one level of session subdirectories), or a cluster root
+    (``cluster.json`` present).  Repairs are idempotent: a second
+    ``repair=True`` run over the output reports zero findings, except
+    for the reconciler-owned cluster kinds (:data:`RECONCILER_KINDS`)
+    which fsck only reports.
+    """
+    report = FsckReport()
+    for path in paths:
+        if not os.path.isdir(path):
+            raise ValueError(f"fsck target {path!r} is not a directory")
+        if os.path.isfile(os.path.join(path, MANIFEST_FILE)):
+            _scan_cluster_root(path, repair=repair, report=report)
+        elif _looks_like_session(path):
+            _scan_session_dir(path, repair=repair, report=report)
+        else:
+            _scan_server_dir(path, repair=repair, report=report)
+    return report

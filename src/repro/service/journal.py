@@ -283,6 +283,10 @@ class Journal:
             plan = faults.ACTIVE
             if plan is not None:
                 plan.hit("journal.append.io")
+                # Dedicated disk-full site: arming it with error:ENOSPC
+                # exercises the no-LSN-consumed atomicity contract without
+                # disturbing schedules bound to the generic io point.
+                plan.hit("journal.append.enospc")
             fh.write(data)
             fh.flush()
             if do_fsync:

@@ -1422,6 +1422,12 @@ def replay_journal_dir(
     Returns the registry the replay populated -- the same counters a
     live, instrumented, uninterrupted run would have produced, which is
     what lets journal replays feed the PR-1 trace-validation tooling.
+
+    Tombstoned directories (``moved.json`` present: the session migrated
+    away, or is mid-migration toward another shard) are not replayable
+    here -- their authoritative state lives on the target.  They are
+    surfaced as ``{"session": ..., "skipped_moved": True, "moved_to":
+    ...}`` rows instead of aborting the whole report.
     """
     reg = registry if registry is not None else MetricsRegistry()
     if os.path.isfile(os.path.join(root, _CONFIG_FILE)):
@@ -1432,9 +1438,23 @@ def replay_journal_dir(
             for name in sorted(os.listdir(root))
             if os.path.isfile(os.path.join(root, name, _CONFIG_FILE))
         ]
-    if not found:
+    skipped = [
+        (sid, sdir)
+        for sid, sdir in found
+        if os.path.isfile(os.path.join(sdir, _MOVED_FILE))
+    ]
+    found = [pair for pair in found if pair not in skipped]
+    if not found and not skipped:
         raise ValueError(f"no service sessions under {root!r}")
     infos: list[dict[str, Any]] = []
+    for sid, sdir in skipped:
+        infos.append(
+            {
+                "session": sid,
+                "skipped_moved": True,
+                "moved_to": SessionManager._moved_target(sdir),
+            }
+        )
     for sid, sdir in found:
         with open(os.path.join(sdir, _CONFIG_FILE), encoding="utf-8") as fh:
             cfg = SessionConfig.from_mapping(json.load(fh))

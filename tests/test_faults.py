@@ -226,12 +226,15 @@ def test_known_failpoints_catalogue():
     # the catalogue is the contract docs/FAULTS.md documents; a rename
     # must update both (and every compiled-in hit site)
     assert KNOWN_FAILPOINTS == {
-        "journal.append.io", "journal.append.fsync", "journal.roll.io",
-        "journal.checkpoint.io", "journal.recover.io",
+        "journal.append.io", "journal.append.enospc", "journal.append.fsync",
+        "journal.roll.io", "journal.checkpoint.io", "journal.recover.io",
         "sessions.admit", "sessions.evict", "sessions.rehydrate",
         "server.conn.accept", "server.conn.read", "server.conn.write",
         "server.conn.partition",
         "cluster.migrate.handoff", "cluster.shard.spawn",
+        "kcursor.rebuild.enter", "kcursor.rebuild.exit",
+        "kcursor.chunk.slide",
+        "pma.rebalance.spread", "pma.resize",
     }
 
 
@@ -246,3 +249,68 @@ def test_stats_shape():
         "hits": {"journal.append.io": 2},
         "fired": {"journal.append.io": 1},
     }
+
+
+# ---------------------------------------------------------------------------
+# Deep-layer failpoints: the rebuild cascades of the k-cursor table and
+# the PMA fire their points under ordinary driving, and an armed error
+# propagates out of the triggering operation
+
+
+def test_kcursor_failpoints_fire_under_normal_driving():
+    from repro.kcursor import KCursorSparseTable
+
+    plan = faults.activate(faults.parse_plan(
+        "kcursor.rebuild.enter=delay:0;"
+        "kcursor.rebuild.exit=delay:0;"
+        "kcursor.chunk.slide=delay:0"
+    ))
+    t = KCursorSparseTable(4)
+    for i in range(400):
+        t.insert(i % 4, value=i)
+    for i in range(200):
+        if t.district_len(i % 4):
+            t.delete(i % 4)
+    fired = plan.stats()["fired"]
+    assert fired.get("kcursor.rebuild.enter", 0) > 0
+    assert fired.get("kcursor.rebuild.exit", 0) > 0
+    assert fired.get("kcursor.chunk.slide", 0) > 0
+    # enter/exit bracket every completed cascade; with no error armed
+    # they must balance
+    assert fired["kcursor.rebuild.enter"] == fired["kcursor.rebuild.exit"]
+
+
+def test_kcursor_rebuild_error_propagates():
+    from repro.kcursor import KCursorSparseTable
+
+    faults.activate(faults.parse_plan("kcursor.rebuild.enter=error:EIO@times1"))
+    t = KCursorSparseTable(4)
+    with pytest.raises(OSError) as exc:
+        for i in range(400):
+            t.insert(i % 4, value=i)
+    assert exc.value.errno == errno.EIO
+
+
+def test_pma_failpoints_fire_under_normal_driving():
+    from repro.pma import PackedMemoryArray
+
+    plan = faults.activate(faults.parse_plan(
+        "pma.rebalance.spread=delay:0;pma.resize=delay:0"
+    ))
+    pma = PackedMemoryArray()
+    for i in range(600):
+        pma.insert(0, i)  # front inserts force rebalances and growth
+    fired = plan.stats()["fired"]
+    assert fired.get("pma.rebalance.spread", 0) > 0
+    assert fired.get("pma.resize", 0) > 0
+
+
+def test_pma_resize_error_propagates():
+    from repro.pma import PackedMemoryArray
+
+    faults.activate(faults.parse_plan("pma.resize=error:ENOMEM@times1"))
+    pma = PackedMemoryArray()
+    with pytest.raises(OSError) as exc:
+        for i in range(600):
+            pma.insert(0, i)
+    assert exc.value.errno == errno.ENOMEM

@@ -553,3 +553,54 @@ def test_chaos_every_failpoint_plus_sigkill_recovers_exactly(tmp_path, p):
     assert {"journal.append.io", "journal.roll.io", "journal.recover.io",
             "sessions.evict", "sessions.rehydrate",
             "server.conn.write"} <= fired
+
+
+# ----------------------------------------------------------------------
+# Disk-full on the append path (dedicated ENOSPC failpoint)
+
+
+def test_enospc_append_is_failure_atomic_and_heals(tmp_path):
+    """An injected ENOSPC inside ``Journal.append`` consumes no LSN:
+    the op bounces as DEGRADED, the recovery sweep heals the session,
+    and the retried insert lands on the LSN the failed append tried."""
+
+    async def main():
+        reg = MetricsRegistry()
+        m = SessionManager(
+            str(tmp_path), fsync="never", registry=reg,
+            recover_backoff=0.01, recover_backoff_max=0.05,
+        )
+        await m.dispatch(req("open", session="s"))
+        await m.dispatch(req("insert", session="s", name="a", size=3))
+        plan = faults.activate(
+            faults.parse_plan("journal.append.enospc=error:ENOSPC@times1")
+        )
+        with pytest.raises(ServiceError) as exc:
+            await m.dispatch(req("insert", session="s", name="b", size=2))
+        assert exc.value.code is ErrorCode.DEGRADED
+        assert plan.stats()["fired"] == {"journal.append.enospc": 1}
+        # failure-atomic: the journal did not grow past LSN 1
+        st = m.stats("s")
+        assert st["degraded"]  # the ENOSPC reason string
+
+        # the background sweep heals once the "disk" has space again
+        for _ in range(500):
+            if m.sessions["s"].degraded is None:
+                break
+            await asyncio.sleep(0.01)
+        assert m.sessions["s"].degraded is None
+        ins = await m.dispatch(req("insert", session="s", name="b", size=2))
+        assert ins["lsn"] == 2  # the failed append consumed no LSN
+        counters = reg.snapshot()["counters"]
+        assert counters["service.degraded.entered"] == 1
+        assert counters["service.degraded.recovered"] == 1
+        await m.shutdown()
+
+        # and the on-disk journal replays to exactly the acked state
+        m2 = SessionManager(str(tmp_path), fsync="never")
+        q = await m2.dispatch(req("query", session="s", jobs=True))
+        assert q["active"] == 2
+        assert sorted(j[0] for j in q["jobs"]) == ["a", "b"]
+        await m2.shutdown()
+
+    run(main())

@@ -312,3 +312,41 @@ def test_replay_journal_dir_matches_live_state(tmp_path):
     (tmp_path / "empty").mkdir()
     with pytest.raises(ValueError):
         replay_journal_dir(str(tmp_path / "empty"))
+
+
+def test_replay_journal_dir_skips_tombstoned_sessions(tmp_path):
+    """A migrated-away session dir is a tombstone, not a journal; the
+    offline report surfaces it as ``skipped_moved`` instead of failing
+    (or replaying state that now lives on another shard)."""
+    root = str(tmp_path)
+
+    async def main():
+        a = SessionManager(root, fsync="never")
+        b = SessionManager(str(tmp_path / "elsewhere"), fsync="never")
+        await a.dispatch(req("open", session="stay"))
+        await insert_many(a, "stay", 3)
+        await a.dispatch(req("open", session="gone"))
+        await insert_many(a, "gone", 5)
+        out = await a.dispatch(req("migrate_out", session="gone"))
+        await b.dispatch(req(
+            "migrate_in", session="gone",
+            snapshot=out["snapshot"], config=out.get("config"),
+        ))
+        await a.dispatch(req("migrate_seal", session="gone", target="shard-B"))
+        await a.shutdown()
+        await b.shutdown()
+
+    run(main())
+    _, infos = replay_journal_dir(root)
+    by_sid = {i["session"]: i for i in infos}
+    assert set(by_sid) == {"stay", "gone"}
+    assert by_sid["stay"]["active"] == 3
+    assert "skipped_moved" not in by_sid["stay"]
+    assert by_sid["gone"]["skipped_moved"] is True
+    assert by_sid["gone"]["moved_to"] == "shard-B"
+
+    # pointing straight at the tombstoned dir skips it too
+    _, direct = replay_journal_dir(str(tmp_path / "gone"))
+    assert direct == [
+        {"session": "gone", "skipped_moved": True, "moved_to": "shard-B"}
+    ]
