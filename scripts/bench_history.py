@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""Benchmark history: append loadgen results, ratchet p99 latency.
+
+Each CI run produces ``BENCH_service.json`` (``service_loadgen``) and
+``BENCH_cluster.json`` (``cluster_loadgen``).  This script distils each
+into one compact record -- median per-session/per-shard p99, mean
+latency, throughput -- appends it to
+``benchmarks/results/history.jsonl``, and then *checks* the fresh
+record against the trailing window of prior records of the same kind:
+a p99 more than ``--threshold`` (default 20%) above the trailing
+median fails the run.  Fewer than ``--min-history`` prior records
+(default 3) means not enough signal, so only the append happens.
+
+The history file is committed alongside the benchmark snapshots, so
+the ratchet tightens as the record accumulates and a latency
+regression has to argue with the median of everything that came
+before it, not just the previous run.
+
+    python scripts/bench_history.py                   # append + check
+    python scripts/bench_history.py --no-append       # check only
+    python scripts/bench_history.py --threshold 0.5   # looser gate
+"""
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+RESULTS = os.path.join(ROOT, "benchmarks", "results")
+HISTORY = "history.jsonl"
+
+
+def _git_commit():
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, cwd=ROOT, timeout=10,
+        )
+        return out.stdout.strip() or None
+    except OSError:
+        return None
+
+
+def distil_service(doc):
+    """One record from a ``service_loadgen`` BENCH document."""
+    sessions = doc.get("per_session") or []
+    p99s = [s["latency_ms"]["p99"] for s in sessions if "latency_ms" in s]
+    means = [s["latency_ms"]["mean"] for s in sessions if "latency_ms" in s]
+    if not p99s:
+        return None
+    ops = sum(int(s.get("ops", 0)) for s in sessions)
+    return {
+        "kind": "service",
+        "p99_ms": round(statistics.median(p99s), 6),
+        "p99_worst_ms": round(max(p99s), 6),
+        "mean_ms": round(statistics.median(means), 6),
+        "ops": ops,
+    }
+
+
+def distil_cluster(doc):
+    """One record from a ``cluster_loadgen`` BENCH document -- the
+    largest scaling point is the tracked configuration."""
+    scaling = doc.get("scaling") or []
+    if not scaling:
+        return None
+    top = max(scaling, key=lambda row: row.get("shards", 0))
+    p99s = [
+        sh["latency_ms"]["p99"]
+        for sh in top.get("per_shard", [])
+        if "latency_ms" in sh
+    ]
+    if not p99s:
+        return None
+    return {
+        "kind": "cluster",
+        "shards": top.get("shards"),
+        "p99_ms": round(statistics.median(p99s), 6),
+        "p99_worst_ms": round(max(p99s), 6),
+        "throughput_ops_per_s": round(
+            float(top.get("throughput_ops_per_s", 0.0)), 3
+        ),
+        "ops": top.get("ops"),
+    }
+
+
+SOURCES = {
+    "BENCH_service.json": distil_service,
+    "BENCH_cluster.json": distil_cluster,
+}
+
+
+def read_history(path):
+    records = []
+    if not os.path.isfile(path):
+        return records
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                print(f"history: skipping unparsable line {lineno}")
+    return records
+
+
+def check(record, prior, threshold, min_history):
+    """None when fine, else a human-readable regression message."""
+    p99s = [
+        r["p99_ms"] for r in prior
+        if r.get("kind") == record["kind"] and "p99_ms" in r
+    ]
+    if len(p99s) < min_history:
+        print(
+            f"{record['kind']}: p99 {record['p99_ms']:.3f} ms "
+            f"({len(p99s)} prior record(s), ratchet needs {min_history})"
+        )
+        return None
+    baseline = statistics.median(p99s)
+    limit = baseline * (1.0 + threshold)
+    verdict = "ok" if record["p99_ms"] <= limit else "REGRESSION"
+    print(
+        f"{record['kind']}: p99 {record['p99_ms']:.3f} ms vs trailing "
+        f"median {baseline:.3f} ms over {len(p99s)} run(s) "
+        f"(limit {limit:.3f} ms): {verdict}"
+    )
+    if record["p99_ms"] > limit:
+        return (
+            f"{record['kind']} p99 {record['p99_ms']:.3f} ms exceeds "
+            f"{limit:.3f} ms (+{threshold:.0%} over trailing median)"
+        )
+    return None
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--results-dir", default=RESULTS,
+                    help="directory holding BENCH_*.json and the history")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="allowed p99 growth over the trailing median")
+    ap.add_argument("--window", type=int, default=10,
+                    help="trailing records per kind in the baseline")
+    ap.add_argument("--min-history", type=int, default=3,
+                    help="prior records required before the gate arms")
+    ap.add_argument("--no-append", action="store_true",
+                    help="only check the current BENCH files, do not "
+                         "extend the history")
+    ap.add_argument("--only", choices=["service", "cluster"],
+                    help="track a single kind (CI jobs regenerate one "
+                         "BENCH file each; the other would be stale)")
+    args = ap.parse_args(argv)
+
+    hpath = os.path.join(args.results_dir, HISTORY)
+    history = read_history(hpath)
+    commit = _git_commit()
+    now = time.time()
+
+    fresh = []
+    for name, distil in sorted(SOURCES.items()):
+        if args.only and args.only not in name:
+            continue
+        path = os.path.join(args.results_dir, name)
+        if not os.path.isfile(path):
+            print(f"{name}: absent, skipped")
+            continue
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{name}: unreadable ({e}), skipped")
+            continue
+        record = distil(doc)
+        if record is None:
+            print(f"{name}: no latency data, skipped")
+            continue
+        record["ts"] = round(now, 3)
+        record["source"] = name
+        if commit:
+            record["commit"] = commit
+        fresh.append(record)
+
+    if not fresh:
+        print("bench history: nothing to record")
+        return 0
+
+    failures = []
+    for record in fresh:
+        prior = [
+            r for r in history if r.get("kind") == record["kind"]
+        ][-args.window:]
+        msg = check(record, prior, args.threshold, args.min_history)
+        if msg is not None:
+            failures.append(msg)
+
+    if not args.no_append:
+        with open(hpath, "a", encoding="utf-8") as fh:
+            for record in fresh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        print(f"appended {len(fresh)} record(s) to {hpath}")
+
+    if failures:
+        for msg in failures:
+            print(f"bench history: {msg}")
+        return 1
+    print("bench history: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

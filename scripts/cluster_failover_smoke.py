@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Failover smoke gate: SIGKILL a replicated primary under load.
+
+A two-primary :class:`ShardGroup` with one quorum-acked replica per
+primary takes sustained load from threads of retrying idempotent
+cluster clients (the same drivers as ``cluster_smoke.py``).  Mid-load
+one primary is SIGKILLed at whatever op happens to be in flight; the
+group's failover driver then fences the corpse, promotes its replica,
+and the corpse is respawned -- coming back read-only behind the fence.
+The gate asserts:
+
+* **zero acked-write loss** -- every op the cluster acknowledged is
+  present on the promoted replica; when no op's fate was ambiguous the
+  check tightens to an exact differential (active/objective/volume/
+  makespan/jobs) against an uninterrupted in-process replay of the
+  acked log;
+* **clients drain without help** -- the same client objects keep
+  writing through the kill, discovering the promotion by probing the
+  dead shard's replicas;
+* **the fence holds** -- a write sent straight at the revived
+  ex-primary answers MOVED toward the promoted shard;
+* **the ledger knows** -- every promoted session has a
+  ``reason="failover"`` reallocation record, priced after the fact;
+* **at rest** -- ``fsck --repair`` converges (second run clean) and
+  the anti-entropy reconciler reaches a fixed point, with only
+  ``placement_learn`` / ``replica_truncate`` resolutions.
+
+Exits 0 on success; any violated property raises.  CI runs this as
+the ``cluster-failover-smoke`` job.
+
+    python scripts/cluster_failover_smoke.py
+    python scripts/cluster_failover_smoke.py --duration 6 --sessions 8
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+SRC = os.path.join(ROOT, "src")
+for p in (SRC, HERE):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+from cluster_smoke import MAX_SIZE, Driver, check_session  # noqa: E402
+
+from repro.cluster import (  # noqa: E402
+    ClusterClient,
+    PlacementMap,
+    ReallocationLedger,
+    ShardGroup,
+)
+from repro.cluster.rebalance import REALLOC_FILE  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.recovery import reconcile_cluster, run_fsck  # noqa: E402
+from repro.service import ServiceError  # noqa: E402
+from repro.service.protocol import ErrorCode  # noqa: E402
+
+
+def phase_failover(group, specs, td, args):
+    primaries = [s for s in specs if s.of is None]
+    followers = [s for s in specs if s.of is not None]
+    placement = PlacementMap(
+        (s.name for s in primaries), members=(s.name for s in followers)
+    )
+    sids = [f"s{k}" for k in range(args.sessions)]
+    for k, sid in enumerate(sids):
+        placement.assign(sid, primaries[k % len(primaries)].name)
+    victim = primaries[0].name
+    victim_sids = sorted(s for s in sids if placement.owner(s) == victim)
+
+    stop = threading.Event()
+    drivers = [
+        Driver(specs, placement, sid, seed=4000 + k, stop=stop)
+        for k, sid in enumerate(sids)
+    ]
+    for d in drivers:
+        d.start()
+    time.sleep(args.duration / 3.0)
+    pre_kill = [len(d.acked) for d in drivers]
+
+    pid = group.kill(victim)
+    print(f"SIGKILLed {victim} (pid {pid}) mid-load")
+    # The failover driver (normally the supervisor poll loop) fences
+    # the corpse and promotes the most advanced replica.
+    events = group.check_failover()
+    assert len(events) == 1, f"expected one promotion, got {events!r}"
+    ev = events[0]
+    winner = ev["promoted"]
+    assert ev["shard"] == victim
+    print(f"promoted {winner} for {victim} at epoch {ev['epoch']}")
+    # Revive the corpse: it must come back read-only behind the fence.
+    revived = group.respawn_dead()
+    assert revived == [victim], f"respawn_dead returned {revived!r}"
+
+    time.sleep(args.duration * 2.0 / 3.0)
+    stop.set()
+    for d in drivers:
+        d.join(timeout=60)
+        assert not d.is_alive(), f"driver {d.sid} hung"
+        if d.error is not None:
+            raise d.error
+    for d, pre in zip(drivers, pre_kill):
+        assert len(d.acked) > pre, (
+            f"{d.sid}: no progress after the kill ({pre} acked ops ever)"
+        )
+
+    with ClusterClient(specs, placement=placement, timeout=10.0) as cc:
+        totals = [check_session(cc, td, d) for d in drivers]
+        for sid in victim_sids:
+            assert placement.owner(sid) == winner, (
+                f"{sid}: routed to {placement.owner(sid)!r}, "
+                f"expected promoted {winner!r}"
+            )
+        # The fence must hold against the revived ex-primary.
+        try:
+            cc.shard_client(victim).call(
+                "insert", session=victim_sids[0], name="stale-write", size=3
+            )
+        except ServiceError as e:
+            assert e.code is ErrorCode.MOVED and e.moved == winner, (
+                f"fenced write answered {e.code.value} moved={e.moved!r}"
+            )
+        else:
+            raise AssertionError("fenced ex-primary accepted a write")
+
+    acked = sum(a for a, _ in totals)
+    uncertain = sum(u for _, u in totals)
+    print(
+        f"failover: {acked} acked ops across {len(drivers)} sessions, "
+        f"{uncertain} ambiguous, 0 acked writes lost; fence holds"
+    )
+    return {
+        "victim": victim,
+        "promoted": winner,
+        "epoch": ev["epoch"],
+        "sessions": len(drivers),
+        "victim_sessions": victim_sids,
+        "acked_ops": acked,
+        "ambiguous_ops": uncertain,
+    }
+
+
+def check_ledger(root, outcome):
+    ledger = ReallocationLedger(os.path.join(root, REALLOC_FILE))
+    rows = [r for r in ledger.read() if r.get("reason") == "failover"]
+    moved = sorted(r["session"] for r in rows)
+    assert moved == outcome["victim_sessions"], (
+        f"ledger failover rows {moved!r} != promoted sessions "
+        f"{outcome['victim_sessions']!r}"
+    )
+    for r in rows:
+        assert r["from"] == outcome["victim"]
+        assert r["to"] == outcome["promoted"]
+        assert r["epoch"] == outcome["epoch"]
+    priced = ledger.price(rows, lambda v: v)
+    print(
+        f"ledger: {len(rows)} failover record(s), volume prices to {priced}"
+    )
+    return {"records": len(rows), "volume": priced}
+
+
+def phase_recovery(root):
+    """At rest: fsck converges, reconcile reaches a fixed point."""
+    first = run_fsck([root], repair=True)
+    second = run_fsck([root], repair=True)
+    assert second.clean, "\n".join(second.human_lines())
+
+    rec = reconcile_cluster(root, apply=True)
+    assert not rec.errors, rec.errors
+    kinds = sorted({r.kind for r in rec.resolutions})
+    assert set(kinds) <= {"placement_learn", "replica_truncate"}, kinds
+    again = reconcile_cluster(root, apply=True)
+    assert not again.errors and not again.resolutions, (
+        "reconcile did not reach a fixed point: "
+        + "; ".join(r.to_doc().__repr__() for r in again.resolutions)
+    )
+    post = run_fsck([root])
+    assert post.clean, "\n".join(post.human_lines())
+    print(
+        f"recovery: fsck clean ({len(first.findings)} finding(s) "
+        f"repaired), reconcile applied {len(rec.resolutions)} "
+        f"resolution(s) {kinds}, second sweep idle"
+    )
+    return {
+        "fsck_findings": len(first.findings),
+        "resolutions": len(rec.resolutions),
+        "resolution_kinds": kinds,
+    }
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--sessions", type=int, default=6,
+                    help="driver sessions (one thread each)")
+    ap.add_argument("--duration", type=float, default=4.0,
+                    help="load seconds (kill at 1/3)")
+    ap.add_argument("--ack-mode", default="quorum",
+                    choices=["quorum", "async"],
+                    help="replica ack mode (the gate's loss property "
+                         "needs quorum)")
+    args = ap.parse_args(argv)
+    if args.sessions < 2:
+        ap.error("--sessions must be >= 2 (both primaries need load)")
+
+    with tempfile.TemporaryDirectory(prefix="repro-failover-smoke-") as td:
+        root = os.path.join(td, "cluster")
+        group = ShardGroup(
+            root, 2, fsync="interval", replicas=1, ack_mode=args.ack_mode,
+            registry=MetricsRegistry(),
+        )
+        specs = group.start()
+        try:
+            outcome = phase_failover(group, specs, td, args)
+            ledger = check_ledger(root, outcome)
+            assert group.promotions == 1
+        finally:
+            group.stop()
+        recovery = phase_recovery(root)
+    print(json.dumps(
+        {"kind": "cluster_failover_smoke", "failover": outcome,
+         "ledger": ledger, "recovery": recovery},
+        indent=2, sort_keys=True,
+    ))
+    print("cluster failover smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -252,7 +252,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
         dedup_window=args.dedup_window,
         registry=registry,
         tracer=tracer,
+        replica_of=args.replica_of,
+        epoch=args.epoch,
     )
+    if args.replicate:
+        from repro.service.replica import Replicator, parse_targets
+
+        try:
+            repl = Replicator(
+                parse_targets(args.replicate),
+                ack_mode=args.ack_mode,
+                registry=registry,
+                tracer=tracer,
+            )
+        except ValueError as e:
+            raise SystemExit(f"serve: {e}")
+        manager.set_replicator(repl)
     try:
         server = ServiceServer(
             manager,
@@ -377,6 +392,8 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
         host=args.host,
         fsync=args.fsync,
         max_live=args.max_live,
+        replicas=args.replicas,
+        ack_mode=args.ack_mode,
         extra_args=extra,
     )
     try:
@@ -395,6 +412,22 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
         while True:
             time.sleep(args.poll)
             ticks += 1
+            # Failover before respawn: a dead primary must be fenced
+            # and its replica promoted *before* the corpse is revived,
+            # so the revival comes back read-only behind the fence.
+            if args.replicas > 0:
+                try:
+                    events = group.check_failover()
+                except (OSError, ValueError) as e:
+                    print(f"failover check failed: {e}", flush=True)
+                    events = []
+                for ev in events:
+                    print(
+                        f"promoted {ev['promoted']} for {ev['shard']} "
+                        f"(epoch {ev['epoch']}, {len(ev['sessions'])} "
+                        f"session(s))",
+                        flush=True,
+                    )
             if not args.no_respawn:
                 for name in group.respawn_dead():
                     print(f"respawned {name}", flush=True)
@@ -448,17 +481,38 @@ def cmd_cluster_status(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as e:
         raise SystemExit(f"cluster status: {e}")
     out: dict = {}
-    failures = 0
+    totals: dict = {}
+    dead = 0
     with ClusterClient(shards, timeout=args.timeout) as cc:
         for spec in shards:
+            row: dict = {"addr": f"{spec.host}:{spec.port}"}
+            if spec.of is not None:
+                row["of"] = spec.of
             try:
-                doc = cc.shard_client(spec.name).health()
-            except ServiceError as e:
-                failures += 1
-                doc = {"error": e.code.value, "message": e.message}
-            out[spec.name] = {"addr": f"{spec.host}:{spec.port}", **doc}
+                health = cc.shard_client(spec.name).health()
+                st = cc.shard_client(spec.name).repl_status()
+            except (ServiceError, OSError) as e:
+                dead += 1
+                msg = e.message if isinstance(e, ServiceError) else str(e)
+                out[spec.name] = {**row, "state": "dead", "error": msg}
+                continue
+            totals[spec.name] = int(st.get("total", 0))
+            out[spec.name] = {
+                **row,
+                "state": "degraded" if health.get("degraded") else "alive",
+                "role": health.get("role"),
+                "epoch": health.get("epoch"),
+                "sessions": health.get("sessions"),
+                "durable_lsn": totals[spec.name],
+                "fenced": bool(st.get("fenced")),
+            }
+    # Replica lag is the primary's durable LSN total minus the copy's;
+    # computable only when both ends answered.
+    for spec in shards:
+        if spec.of is not None and spec.name in totals and spec.of in totals:
+            out[spec.name]["lag"] = max(0, totals[spec.of] - totals[spec.name])
     print(json.dumps(out, indent=2, sort_keys=True))
-    return 1 if failures else 0
+    return 1 if dead else 0
 
 
 def cmd_cluster_rebalance(args: argparse.Namespace) -> int:
@@ -681,6 +735,20 @@ def main(argv: list[str] | None = None) -> int:
                        help="per-session op queue bound (load shedding)")
     p_srv.add_argument("--dedup-window", type=int, default=1024,
                        help="idempotency keys remembered per session")
+    p_srv.add_argument("--replica-of", metavar="NAME",
+                       help="run as a replica of primary shard NAME: apply "
+                            "its shipped journal, refuse client writes with "
+                            "MOVED until promoted (docs/CLUSTER.md)")
+    p_srv.add_argument("--replicate", metavar="HOST:PORT[,HOST:PORT...]",
+                       help="ship every journaled write to these replicas")
+    p_srv.add_argument("--ack-mode", default="quorum",
+                       choices=["quorum", "async"],
+                       help="with --replicate: gate client acks on majority "
+                            "replica durability (quorum) or ship in the "
+                            "background (async)")
+    p_srv.add_argument("--epoch", type=int, default=0,
+                       help="fencing epoch this process serves at (a "
+                            "promoted.json at a higher epoch wins)")
     p_srv.add_argument("--faults", metavar="SPEC",
                        help="activate deterministic fault injection, e.g. "
                             "'journal.append.io=error:ENOSPC@p0.05' "
@@ -768,6 +836,14 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="SECS",
                         help="seconds between anti-entropy sweeps "
                              "(0 = disable; docs/RECOVERY.md)")
+    pc_srv.add_argument("--replicas", type=int, default=0,
+                        help="replicas per shard (journal shipping + "
+                             "automatic failover; 0 = none)")
+    pc_srv.add_argument("--ack-mode", default="quorum",
+                        choices=["quorum", "async"],
+                        help="with --replicas: client acks wait for "
+                             "majority replica durability (quorum) or "
+                             "ship in the background (async)")
     pc_srv.set_defaults(fn=cmd_cluster_serve)
 
     pc_st = csub.add_parser("status", help="health of every shard in a "

@@ -73,11 +73,22 @@ class _ClusterBase(_CallMixin):
         self._specs: dict[str, ShardSpec] = {s.name: s for s in shards}
         if len(self._specs) != len(shards):
             raise ValueError("duplicate shard names")
+        # The rendezvous ring is the *configured* primaries (specs with
+        # no ``of`` lineage -- a fenced ex-primary stays in the ring so
+        # hashing is stable; its MOVED answers route around it).
+        # Replicas and promoted replicas are reachable only by explicit
+        # override or MOVED redirect, never by hash.
+        ring = [s.name for s in shards if s.of is None]
+        followers = [s.name for s in shards if s.of is not None]
+        if not ring:
+            raise ValueError("no primary shards in the manifest")
         self.placement = (
             placement
             if placement is not None
-            else PlacementMap(s.name for s in shards)
+            else PlacementMap(ring, members=followers)
         )
+        for name in followers:
+            self.placement.add_member(name)
         self.timeout = timeout
         self.retry = retry
         self.auto_idem = auto_idem
@@ -104,6 +115,27 @@ class _ClusterBase(_CallMixin):
         reg = self.registry
         if reg is not None:
             reg.inc_all({"cluster.ops": 1})
+
+    def _replicas_of(self, shard: str) -> list[str]:
+        """Known copies of ``shard``, the failover probe order."""
+        return sorted(
+            name for name, spec in self._specs.items() if spec.of == shard
+        )
+
+    def _learn_promoted(self, shard: str, session: Optional[str], tid: str) -> None:
+        """A probe found ``shard`` promoted: learn the new authority."""
+        if session is not None:
+            self.placement.assign(session, shard)
+        self.redirects += 1
+        reg = self.registry
+        if reg is not None:
+            reg.inc_all({"cluster.redirects": 1})
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event(
+                "cluster.failover",
+                {"trace": tid, "session": session, "to": shard},
+            )
 
     def _follow(
         self,
@@ -221,8 +253,8 @@ class ClusterClient(_ClusterBase):
         hops = 0
         while True:
             self._count_op()
-            client = self.shard_client(shard)
             try:
+                client = self.shard_client(shard)
                 return client.call(op, timeout=timeout, **wire)
             except ServiceError as e:
                 if e.code is ErrorCode.INTERNAL:
@@ -230,10 +262,31 @@ class ClusterClient(_ClusterBase):
                     # drop it so the next attempt reconnects fresh.
                     self.drop_shard_client(shard)
                 target = self._follow(e, session, hops, tid)
+                if target is None and e.code is ErrorCode.INTERNAL:
+                    # The shard is unreachable even after the per-shard
+                    # retry policy: maybe it died and a replica was
+                    # promoted.  Probe its known copies before giving up.
+                    if hops < self.max_hops:
+                        target = self._probe_promoted(shard, session, tid)
                 if target is None:
                     raise
                 hops += 1
                 shard = target
+
+    def _probe_promoted(
+        self, shard: str, session: Optional[str], tid: str
+    ) -> Optional[str]:
+        """First copy of ``shard`` answering ``health`` as a primary."""
+        for rname in self._replicas_of(shard):
+            try:
+                doc = self.shard_client(rname).health()
+            except (ServiceError, OSError):
+                self.drop_shard_client(rname)
+                continue
+            if doc.get("role") == "primary":
+                self._learn_promoted(rname, session, tid)
+                return rname
+        return None
 
     # -- broadcast helpers ----------------------------------------------
 
@@ -471,6 +524,15 @@ class AsyncClusterClient(_ClusterBase):
                 await asyncio.sleep(wait)
             except (OSError, EOFError, ConnectionError) as e:
                 await self._drop_pipe(shard)
+                if hops < self.max_hops:
+                    # Dead shard?  A promoted replica may hold the
+                    # session -- probe the copies before burning a
+                    # retry step against the corpse.
+                    target = await self._probe_promoted(shard, session, tid)
+                    if target is not None:
+                        hops += 1
+                        shard = target
+                        continue
                 if self.retry is None or step >= len(delays):
                     raise ServiceError(
                         ErrorCode.INTERNAL,
@@ -480,6 +542,24 @@ class AsyncClusterClient(_ClusterBase):
                 step += 1
                 self.retries += 1
                 await asyncio.sleep(wait)
+
+    async def _probe_promoted(
+        self, shard: str, session: Optional[str], tid: str
+    ) -> Optional[str]:
+        """First copy of ``shard`` answering ``health`` as a primary."""
+        for rname in self._replicas_of(shard):
+            try:
+                pipe = await self._pipe(rname)
+                doc = result_from_response(
+                    await pipe.request({"op": "health"}, self.timeout)
+                )
+            except (ServiceError, OSError, EOFError, ConnectionError):
+                await self._drop_pipe(rname)
+                continue
+            if doc.get("role") == "primary":
+                self._learn_promoted(rname, session, tid)
+                return rname
+        return None
 
     # -- broadcast helpers ----------------------------------------------
 

@@ -55,16 +55,21 @@ class PlacementMap:
         *,
         overrides: Optional[Mapping[str, str]] = None,
         epoch: int = 0,
+        members: Iterable[str] = (),
     ) -> None:
         self.shards: tuple[str, ...] = tuple(shards)
         if not self.shards:
             raise ValueError("PlacementMap needs at least one shard")
         if len(set(self.shards)) != len(self.shards):
             raise ValueError("duplicate shard names")
-        self.overrides: dict[str, str] = {}
+        #: Assignable targets beyond the hash ring: promoted replicas
+        #: own sessions by override without participating in rendezvous
+        #: (new sessions keep hashing over the configured primaries).
+        self.members: set[str] = set(members) - set(self.shards)
         self.epoch = epoch
+        self.overrides: dict[str, str] = {}
         for sid, shard in (overrides or {}).items():
-            if shard not in self.shards:
+            if shard not in self.shards and shard not in self.members:
                 raise ValueError(f"override to unknown shard {shard!r}")
             self.overrides[sid] = shard
 
@@ -74,9 +79,14 @@ class PlacementMap:
             return over
         return rendezvous_owner(session, self.shards)
 
+    def add_member(self, shard: str) -> None:
+        """Make ``shard`` an assignable override target (promotion)."""
+        if shard not in self.shards:
+            self.members.add(shard)
+
     def assign(self, session: str, shard: str) -> None:
         """Record that ``session`` now lives on ``shard``."""
-        if shard not in self.shards:
+        if shard not in self.shards and shard not in self.members:
             raise ValueError(f"unknown shard {shard!r}")
         if rendezvous_owner(session, self.shards) == shard:
             self.overrides.pop(session, None)
@@ -96,26 +106,32 @@ class PlacementMap:
     # -- persistence -----------------------------------------------------
 
     def to_doc(self) -> dict[str, Any]:
-        return {
+        doc: dict[str, Any] = {
             "version": 1,
             "shards": list(self.shards),
             "overrides": dict(sorted(self.overrides.items())),
             "epoch": self.epoch,
         }
+        if self.members:
+            doc["members"] = sorted(self.members)
+        return doc
 
     @classmethod
     def from_doc(cls, doc: Mapping[str, Any]) -> "PlacementMap":
         shards = doc.get("shards")
         overrides = doc.get("overrides", {})
         epoch = doc.get("epoch", 0)
+        members = doc.get("members", [])
         if (
             not isinstance(shards, list)
             or not all(isinstance(s, str) for s in shards)
             or not isinstance(overrides, dict)
             or not isinstance(epoch, int)
+            or not isinstance(members, list)
+            or not all(isinstance(m, str) for m in members)
         ):
             raise ValueError("malformed placement document")
-        return cls(shards, overrides=overrides, epoch=epoch)
+        return cls(shards, overrides=overrides, epoch=epoch, members=members)
 
     def save(self, path: str) -> None:
         tmp = path + ".tmp"

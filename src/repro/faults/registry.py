@@ -87,8 +87,12 @@ KNOWN_FAILPOINTS: frozenset[str] = frozenset(
         "server.conn.read",
         "server.conn.write",
         "server.conn.partition",
+        "replica.stream.drop",
+        "replica.ack.delay",
+        "replica.apply.exit",
         "cluster.migrate.handoff",
         "cluster.shard.spawn",
+        "cluster.promote.enter",
     }
 )
 

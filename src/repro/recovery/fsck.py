@@ -54,7 +54,13 @@ from repro.service.journal import (
     _decode_record,
     _fsync_dir,
 )
-from repro.service.sessions import _CONFIG_FILE, _MOVED_FILE
+from repro.service.sessions import (
+    _CONFIG_FILE,
+    _FENCE_FILE,
+    _MOVED_FILE,
+    _PROMOTED_FILE,
+    _REPLICA_FILE,
+)
 
 log = get_logger("recovery.fsck")
 
@@ -355,6 +361,22 @@ def _looks_like_session(path: str) -> bool:
     return bool(_list_sorted(path, _SEG_PREFIX, _SEG_SUFFIX)) or bool(
         _list_sorted(path, _SNAP_PREFIX, _SNAP_SUFFIX)
     )
+
+
+def _data_role(data_dir: str) -> str:
+    """What the marker files in a shard data dir say the shard is.
+
+    ``fence.json`` wins -- a later promotion at a higher epoch removes
+    it; ``promoted.json`` marks an ex-replica now serving as primary;
+    ``replica.json`` a follower; no marker means a plain primary.
+    """
+    if os.path.isfile(os.path.join(data_dir, _FENCE_FILE)):
+        return "fenced"
+    if os.path.isfile(os.path.join(data_dir, _PROMOTED_FILE)):
+        return "primary"
+    if os.path.isfile(os.path.join(data_dir, _REPLICA_FILE)):
+        return "replica"
+    return "primary"
 
 
 # ----------------------------------------------------------------------
@@ -710,7 +732,13 @@ def _scan_cluster_root(root: str, *, repair: bool, report: FsckReport) -> None:
                 add(Finding("shard_data_missing", spec.data, detail,
                             repair="recreate empty"))
             continue
+        # Journal-level repair applies to every shard's sessions, but
+        # replicas and fenced ex-primaries hold *copies* -- they never
+        # count as owners (the reconciler trims divergent copies).
+        copy_dir = _data_role(spec.data) != "primary"
         for sdir in _scan_server_dir(spec.data, repair=repair, report=report):
+            if copy_dir:
+                continue
             sid = os.path.basename(sdir)
             target = read_tombstone(sdir)
             if target is None:

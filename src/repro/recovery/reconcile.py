@@ -31,6 +31,11 @@ at a non-owner while   so MOVED chases terminate
 another shard owns     (``retarget_tombstone``)
 owner disagrees with   record the override
 placement map          (``placement_learn``)
+copy (replica or       truncate the copy's journal back to the
+fenced ex-primary)     owner's durable LSN -- the suffix was never
+ahead of the owner     quorum-acked; quarantine the cut bytes and
+                       journal the repair like fsck
+                       (``replica_truncate``)
 =====================  ==============================================
 
 Everything the reconciler needs at rest comes from
@@ -52,9 +57,26 @@ from repro.cluster.placement import PLACEMENT_FILE, PlacementMap
 from repro.cluster.rebalance import REALLOC_FILE, Migration, ReallocationLedger
 from repro.obs.logsetup import get_logger
 from repro.obs.metrics import MetricsRegistry
-from repro.recovery.fsck import read_tombstone, session_last_lsn
+from repro.recovery.fsck import (
+    _data_role,
+    _list_sorted,
+    _looks_like_session,
+    _quarantine_copy,
+    _quarantine_rename,
+    _scan_segment,
+    _truncate,
+    _RepairLog,
+    read_tombstone,
+    session_last_lsn,
+)
 from repro.service.client import RetryPolicy, ServiceClient
-from repro.service.journal import _fsync_dir
+from repro.service.journal import (
+    _SEG_PREFIX,
+    _SEG_SUFFIX,
+    _SNAP_PREFIX,
+    _SNAP_SUFFIX,
+    _fsync_dir,
+)
 from repro.service.protocol import ServiceError
 from repro.service.sessions import _CONFIG_FILE, _MOVED_FILE
 
@@ -62,7 +84,13 @@ log = get_logger("recovery.reconcile")
 
 #: Resolution kinds (the decision-table rows; docs/RECOVERY.md).
 RESOLUTION_KINDS = frozenset(
-    {"seal_stale", "roll_back", "retarget_tombstone", "placement_learn"}
+    {
+        "seal_stale",
+        "roll_back",
+        "retarget_tombstone",
+        "placement_learn",
+        "replica_truncate",
+    }
 )
 
 
@@ -169,6 +197,10 @@ def _scan_ownership(
     for spec in specs:
         if not os.path.isdir(spec.data):
             continue
+        if _data_role(spec.data) != "primary":
+            # Replicas and fenced ex-primaries hold *copies* of their
+            # primary's sessions -- present on disk, never owners.
+            continue
         for sid in sorted(os.listdir(spec.data)):
             sdir = os.path.join(spec.data, sid)
             if not os.path.isdir(sdir):
@@ -213,6 +245,53 @@ def _remove_tombstone(sdir: str) -> None:
     _fsync_dir(sdir)
 
 
+def _truncate_divergent(sdir: str, keep_lsn: int) -> list[str]:
+    """Cut everything past ``keep_lsn`` out of a copy's journal.
+
+    The suffix beyond the owner's durable LSN was never quorum-acked,
+    so dropping it loses no promised write; the cut bytes are
+    quarantined first and every action lands in the session's
+    ``fsck.log.jsonl`` -- the same evidence discipline as an fsck
+    repair.
+    """
+    rlog = _RepairLog(sdir)
+    actions: list[str] = []
+    for lsn, path in _list_sorted(sdir, _SNAP_PREFIX, _SNAP_SUFFIX):
+        if lsn > keep_lsn:
+            actions.append(f"quarantined snapshot at LSN {lsn}")
+            _quarantine_rename(
+                path, rlog, f"snapshot past quorum-durable LSN {keep_lsn}"
+            )
+    for _start, path in _list_sorted(sdir, _SEG_PREFIX, _SEG_SUFFIX):
+        scan = _scan_segment(path)
+        keep = 0
+        for rec in scan.records:
+            if rec.lsn > keep_lsn:
+                break
+            keep += 1
+        if keep == len(scan.records):
+            continue  # entirely within the durable prefix
+        name = os.path.basename(path)
+        if keep == 0:
+            actions.append(f"quarantined segment {name}")
+            _quarantine_rename(
+                path, rlog,
+                f"segment entirely past quorum-durable LSN {keep_lsn}",
+            )
+            continue
+        actions.append(f"cut segment {name} to {keep} record(s)")
+        _quarantine_copy(
+            path, rlog,
+            f"pre-truncate copy; dropping records past LSN {keep_lsn}",
+        )
+        _truncate(
+            path, scan.cut_at(keep), rlog,
+            f"unacked suffix past quorum-durable LSN {keep_lsn}",
+        )
+    _fsync_dir(sdir)
+    return actions
+
+
 def reconcile_cluster(
     root: str,
     *,
@@ -231,13 +310,20 @@ def reconcile_cluster(
     report = ReconcileReport()
     specs = load_manifest(root)
     shards = _Shards(specs, timeout)
-    names = [s.name for s in specs]
+    # The rendezvous ring is the configured primaries (``of`` unset --
+    # a fenced ex-primary stays in it so hashing is stable); replicas
+    # and promoted replicas are assignable members only.
+    ring = [s.name for s in specs if s.of is None]
+    followers = [s.name for s in specs if s.of is not None]
 
     ppath = os.path.join(root, PLACEMENT_FILE)
     if os.path.isfile(ppath):
         placement = PlacementMap.load(ppath)
+        for name in followers:
+            placement.add_member(name)
     else:
-        placement = PlacementMap(names)
+        placement = PlacementMap(ring or [s.name for s in specs],
+                                 members=followers)
     epoch0 = placement.epoch
     ledger = ReallocationLedger(os.path.join(root, REALLOC_FILE))
 
@@ -342,6 +428,44 @@ def reconcile_cluster(
                 )
                 if apply:
                     placement.assign(sid, own)
+
+        # -- 4. divergent copies: a replica or fenced ex-primary whose ----
+        #    journal runs past the owner's holds writes that were never
+        #    quorum-acked; truncate back to the durable prefix.  No
+        #    ledger row -- no session moved, only a copy was trimmed.
+        for spec in specs:
+            if not os.path.isdir(spec.data):
+                continue
+            if _data_role(spec.data) == "primary":
+                continue
+            for sid in sorted(os.listdir(spec.data)):
+                sdir = os.path.join(spec.data, sid)
+                if not _looks_like_session(sdir):
+                    continue
+                if read_tombstone(sdir) is not None:
+                    continue
+                holders = owners.get(sid, [])
+                if len(holders) != 1:
+                    continue
+                own = holders[0]
+                copy_lsn = session_last_lsn(sdir)
+                own_lsn = session_last_lsn(shards.session_dir(own, sid))
+                if copy_lsn <= own_lsn:
+                    continue
+                detail = (
+                    f"copy at LSN {copy_lsn} past owner {own!r} at "
+                    f"LSN {own_lsn}"
+                )
+                applied = False
+                if apply:
+                    acts = _truncate_divergent(sdir, own_lsn)
+                    applied = True
+                    if acts:
+                        detail += "; " + "; ".join(acts)
+                report.resolutions.append(
+                    Resolution("replica_truncate", sid, spec.name, own,
+                               detail, applied)
+                )
     finally:
         shards.close()
 

@@ -271,6 +271,42 @@ class _CallMixin:
             "migrate_seal", session=session, target=target, timeout=timeout
         )
 
+    def repl_apply(
+        self,
+        session: str,
+        records: list[str],
+        *,
+        config: Optional[dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Ship encoded journal record lines to a replica, verbatim."""
+        fields: dict[str, Any] = {"session": session, "records": records}
+        if config is not None:
+            fields["config"] = config
+        return self.call("repl_apply", timeout=timeout, **fields)
+
+    def repl_install(
+        self,
+        session: str,
+        snapshot: dict[str, Any],
+        *,
+        config: Optional[dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Seed or catch up a replica from a full primary snapshot."""
+        fields: dict[str, Any] = {"session": session, "snapshot": snapshot}
+        if config is not None:
+            fields["config"] = config
+        return self.call("repl_install", timeout=timeout, **fields)
+
+    def repl_status(self, *, timeout: Optional[float] = None) -> Any:
+        """Per-session durable LSNs plus role/epoch (promotion input)."""
+        return self.call("repl_status", timeout=timeout)
+
+    def repl_promote(self, epoch: int, *, timeout: Optional[float] = None) -> Any:
+        """Durably exit replica mode at ``epoch`` (failover promotion)."""
+        return self.call("repl_promote", epoch=epoch, timeout=timeout)
+
     def shutdown(self, *, timeout: Optional[float] = None) -> Any:
         return self.call("shutdown", timeout=timeout)
 
@@ -387,6 +423,11 @@ class ServiceClient(_CallMixin):
         root: int,
     ) -> dict[str, Any]:
         delays = self.retry.schedule() if self.retry is not None else []
+        # The caller's ``timeout=`` is a whole-call budget for backoff:
+        # a server ``retry_after`` hint (or a long local delay) must
+        # never sleep past it -- when the wait cannot fit in what is
+        # left, fail fast with the pending error instead.
+        deadline = None if timeout is None else time.monotonic() + timeout
         step = 0
         attempt = 0
         while True:
@@ -419,6 +460,8 @@ class ServiceClient(_CallMixin):
                 ):
                     raise
                 wait = _retry_wait(delays[step], e)
+                if deadline is not None and wait >= deadline - time.monotonic():
+                    raise
                 step += 1
                 self.retries += 1
                 if tracer is not None:
@@ -444,6 +487,10 @@ class ServiceClient(_CallMixin):
                         ErrorCode.INTERNAL, f"connection failed: {e}"
                     ) from e
                 wait = delays[step]
+                if deadline is not None and wait >= deadline - time.monotonic():
+                    raise ServiceError(
+                        ErrorCode.INTERNAL, f"connection failed: {e}"
+                    ) from e
                 step += 1
                 self.retries += 1
                 if tracer is not None:
@@ -580,6 +627,9 @@ class AsyncServiceClient(_CallMixin):
         root: int,
     ) -> dict[str, Any]:
         delays = self.retry.schedule() if self.retry is not None else []
+        # Same whole-call backoff budget as the sync client: a server
+        # ``retry_after`` hint never sleeps past ``timeout=``.
+        deadline = None if timeout is None else time.monotonic() + timeout
         step = 0
         attempt = 0
         while True:
@@ -612,6 +662,8 @@ class AsyncServiceClient(_CallMixin):
                 ):
                     raise
                 wait = _retry_wait(delays[step], e)
+                if deadline is not None and wait >= deadline - time.monotonic():
+                    raise
                 step += 1
                 self.retries += 1
                 if tracer is not None:
@@ -636,6 +688,10 @@ class AsyncServiceClient(_CallMixin):
                         ErrorCode.INTERNAL, f"connection failed: {e}"
                     ) from e
                 wait = delays[step]
+                if deadline is not None and wait >= deadline - time.monotonic():
+                    raise ServiceError(
+                        ErrorCode.INTERNAL, f"connection failed: {e}"
+                    ) from e
                 step += 1
                 self.retries += 1
                 if tracer is not None:

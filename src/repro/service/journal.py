@@ -184,6 +184,10 @@ class Journal:
         self.appends = 0
         self.fsyncs = 0
         self.checkpoints = 0
+        #: Encoded line of the most recent successful append (no trailing
+        #: newline) -- what a replicating primary ships verbatim, CRC and
+        #: all, so replicas store byte-identical records.
+        self.last_line: Optional[str] = None
         self._fh: Optional[Any] = None
         self._seg_records = 0
         self._since_fsync = 0
@@ -266,11 +270,38 @@ class Journal:
         and the LSN is not consumed, so the journal stays replayable --
         the caller decides whether to degrade the session.
         """
+        rec = JournalRecord(lsn=self._lsn + 1, op=op, name=name, size=size, idem=idem)
+        return self._append_rec(rec)
+
+    def append_record(self, rec: JournalRecord) -> int:
+        """Adopt one already-encoded record verbatim, preserving its LSN.
+
+        The replica side of journal shipping (docs/CLUSTER.md): the
+        primary assigned the LSN, so it must extend this journal exactly
+        -- a gap or regression means the stream diverged and the caller
+        must fall back to the snapshot catch-up path.
+        """
+        if rec.lsn != self._lsn + 1:
+            raise ValueError(
+                f"append_record: LSN {rec.lsn}, expected {self._lsn + 1}"
+            )
+        return self._append_rec(rec)
+
+    def advance_to(self, lsn: int) -> None:
+        """Adopt an externally-assigned LSN floor (replica install).
+
+        The snapshot about to be checkpointed covers the *primary's*
+        LSNs up to ``lsn``; this journal must continue from there so
+        subsequently shipped records extend it verbatim.
+        """
+        if lsn > self._lsn:
+            self._lsn = lsn
+
+    def _append_rec(self, rec: JournalRecord) -> int:
         if self._fh is None or self._seg_records >= self.segment_records:
             self._roll()
         fh = self._fh
         assert fh is not None
-        rec = JournalRecord(lsn=self._lsn + 1, op=op, name=name, size=size, idem=idem)
         data = _encode_record(rec)
         do_fsync = self.fsync == "always" or (
             self.fsync == "interval" and self._since_fsync + 1 >= self.fsync_interval
@@ -304,6 +335,7 @@ class Journal:
                 ot.journal_end(error=f"{type(e).__name__}: {e}")
             raise
         self._lsn = rec.lsn
+        self.last_line = data.decode("utf-8")[:-1]
         self._seg_records += 1
         self.appends += 1
         if do_fsync:

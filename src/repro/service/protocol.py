@@ -183,6 +183,24 @@ REQUEST_FIELDS: dict[str, dict[str, tuple[type, bool]]] = {
         "config": (dict, False),
     },
     "migrate_seal": {"session": (str, True), "target": (str, True)},
+    # Replication stream (docs/CLUSTER.md): `repl_apply` ships CRC'd
+    # journal record lines primary -> replica, verbatim; `repl_install`
+    # seeds or catches up a replica from a full ledger-carrying
+    # snapshot; `repl_status` reports per-session durable LSNs (used to
+    # pick the promotion winner); `repl_promote` durably exits replica
+    # mode at a new placement epoch (failover fencing).
+    "repl_apply": {
+        "session": (str, True),
+        "records": (list, True),
+        "config": (dict, False),
+    },
+    "repl_install": {
+        "session": (str, True),
+        "snapshot": (dict, True),
+        "config": (dict, False),
+    },
+    "repl_status": {},
+    "repl_promote": {"epoch": (int, True)},
     "shutdown": {},
 }
 
@@ -249,6 +267,8 @@ class Request:
     idem: Optional[str] = None
     snapshot: Optional[dict[str, Any]] = None
     target: Optional[str] = None
+    records: Optional[list[str]] = None
+    epoch: Optional[int] = None
     trace: Optional[TraceContext] = None
 
 
@@ -297,6 +317,10 @@ def request_from_doc(doc: Mapping[str, Any]) -> Request:
             raise _bad(f"field {field!r} must be a string")
         if ftype is dict and not isinstance(v, dict):
             raise _bad(f"field {field!r} must be an object")
+        if ftype is list and not (
+            isinstance(v, list) and all(isinstance(x, str) for x in v)
+        ):
+            raise _bad(f"field {field!r} must be an array of strings")
         values[field] = v
     session = values.get("session")
     if session is not None and not _SESSION_ID_RE.match(session):
@@ -312,6 +336,9 @@ def request_from_doc(doc: Mapping[str, Any]) -> Request:
     target = values.get("target")
     if target is not None and not _SESSION_ID_RE.match(target):
         raise _bad("'target' must match [A-Za-z0-9._-]{1,128}")
+    epoch = values.get("epoch")
+    if epoch is not None and epoch < 0:
+        raise _bad("'epoch' must be >= 0")
     return Request(op=op, id=req_id, trace=trace, **values)
 
 
@@ -341,6 +368,10 @@ def request_to_doc(req: Request) -> dict[str, Any]:
         doc["snapshot"] = req.snapshot
     if req.target is not None:
         doc["target"] = req.target
+    if req.records is not None:
+        doc["records"] = req.records
+    if req.epoch is not None:
+        doc["epoch"] = req.epoch
     if req.trace is not None:
         doc["trace"] = req.trace.to_dict()
     return doc

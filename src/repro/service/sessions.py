@@ -47,7 +47,7 @@ import os
 import re
 import time
 from collections import OrderedDict
-from typing import Any, Callable, Optional, Union
+from typing import TYPE_CHECKING, Any, Callable, Optional, Union
 
 from repro import faults
 
@@ -65,7 +65,17 @@ from repro.obs.logsetup import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.service import tracing
-from repro.service.journal import Journal, JournalCorrupt, JournalRecord
+from repro.service.journal import (
+    _SEG_PREFIX,
+    _SEG_SUFFIX,
+    _SNAP_PREFIX,
+    _SNAP_SUFFIX,
+    Journal,
+    JournalCorrupt,
+    JournalRecord,
+    _decode_record,
+    _fsync_dir,
+)
 from repro.service.protocol import (
     ErrorCode,
     Request,
@@ -73,6 +83,9 @@ from repro.service.protocol import (
     SessionConfig,
 )
 from repro.service.tracing import OpTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a hard import)
+    from repro.service.replica import Replicator
 
 log = get_logger("service")
 
@@ -83,6 +96,30 @@ _CONFIG_FILE = "config.json"
 #: Tombstone left by ``migrate_seal``: the session now lives on another
 #: shard; later ops here answer MOVED with the target shard name.
 _MOVED_FILE = "moved.json"
+
+#: Replication-role markers at the *data-dir* root (docs/CLUSTER.md):
+#: a replica serve writes ``replica.json`` naming its primary;
+#: ``repl_promote`` durably supersedes it with ``promoted.json`` at the
+#: new placement epoch; the failover driver writes ``fence.json`` into
+#: a dead primary's data dir so a late respawn refuses stale writes.
+_REPLICA_FILE = "replica.json"
+_PROMOTED_FILE = "promoted.json"
+_FENCE_FILE = "fence.json"
+
+#: Client-facing mutating ops: the set replica mode and an epoch fence
+#: refuse with MOVED.  Reads (``query``/``stats``) and the ``repl_*``
+#: stream keep serving -- fencing guards *authority*, not visibility.
+_FENCED_OPS = frozenset(
+    {
+        "open",
+        "insert",
+        "delete",
+        "close",
+        "migrate_out",
+        "migrate_in",
+        "migrate_seal",
+    }
+)
 
 _QueueItem = Optional[
     tuple[
@@ -357,6 +394,8 @@ class SessionManager:
         recover_backoff: float = 0.05,
         recover_backoff_max: float = 2.0,
         migrate_hold: float = 5.0,
+        replica_of: Optional[str] = None,
+        epoch: int = 0,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
@@ -390,6 +429,30 @@ class SessionManager:
         self._shutting_down = False
         self._t_start = time.perf_counter()
         os.makedirs(root, exist_ok=True)
+        if epoch < 0:
+            raise ValueError("epoch must be >= 0")
+        self.epoch = epoch
+        self.replica_of: Optional[str] = None
+        #: Cached fence marker once seen; None until (unless) fenced.
+        self._fence: Optional[dict[str, Any]] = None
+        #: Journal-shipping driver (primary side); installed by
+        #: :meth:`set_replicator` when serving with ``--replicate``.
+        self.replicator: Optional["Replicator"] = None
+        promoted = self._read_marker(_PROMOTED_FILE)
+        if promoted is not None:
+            # A durable promotion outlives the spawn args: this shard
+            # was promoted out of replica mode and comes back a primary
+            # even when respawned with its original --replica-of.
+            p_epoch = promoted.get("epoch")
+            if isinstance(p_epoch, int) and p_epoch > self.epoch:
+                self.epoch = p_epoch
+            try:
+                os.unlink(os.path.join(root, _REPLICA_FILE))
+            except OSError:
+                pass
+        elif replica_of:
+            self.replica_of = replica_of
+            self._write_marker(_REPLICA_FILE, {"primary": replica_of})
 
     # -- discovery -------------------------------------------------------
 
@@ -424,12 +487,26 @@ class SessionManager:
     ) -> dict[str, Any]:
         """Execute one validated request; raises :class:`ServiceError`."""
         op = req.op
+        if op in _FENCED_OPS:
+            if self.replica_of is not None:
+                raise ServiceError(
+                    ErrorCode.MOVED,
+                    f"shard is a replica of {self.replica_of!r}; "
+                    f"write to the primary",
+                    moved=self.replica_of,
+                )
+            self._check_fence()
         if op == "ping":
             return {"pong": True}
         if op == "health":
             return self.health()
         if op == "stats":
             return self.stats(req.session)
+        if op == "repl_status":
+            return self.repl_status()
+        if op == "repl_promote":
+            assert req.epoch is not None
+            return self.repl_promote(req.epoch)
         if op == "open":
             assert req.session is not None
             return await self.open(req.session, req.config, ot=ot)
@@ -448,6 +525,25 @@ class SessionManager:
         if op == "migrate_seal":
             assert req.target is not None
             return await self.migrate_seal(req.session, req.target, ot=ot)
+        if op == "repl_apply":
+            assert req.records is not None
+            # No create: a fresh replica session must be seeded by
+            # repl_install (which carries the primary's config), so the
+            # NOT_FOUND here steers the primary onto the install path.
+            sess = self._attach(req.session, req.config, create=False)[0]
+            records = req.records
+            return await self._enqueue(
+                sess, lambda: self._op_repl_apply(sess, records), ot=ot
+            )
+        if op == "repl_install":
+            assert req.snapshot is not None
+            sess = self._attach(
+                req.session, req.config, create=True, adopt=True
+            )[0]
+            install_snap = req.snapshot
+            return await self._enqueue(
+                sess, lambda: self._op_repl_install(sess, install_snap), ot=ot
+            )
         sess = self._attach(req.session, None, create=False)[0]
         if op == "migrate_out":
             return await self._enqueue(
@@ -552,7 +648,117 @@ class SessionManager:
             "live": self.live_count(),
             "degraded": degraded,
             "uptime_s": round(time.perf_counter() - self._t_start, 3),
+            "role": "replica" if self.replica_of is not None else "primary",
+            "epoch": self.epoch,
         }
+
+    # -- replication roles (docs/CLUSTER.md) -------------------------------
+
+    def set_replicator(self, repl: "Replicator") -> None:
+        """Install the journal-shipping driver (primary side).  Every
+        acknowledged mutation is shipped -- and, under ``quorum`` ack
+        mode, quorum-durable -- before its future resolves."""
+        self.replicator = repl
+
+    def _read_marker(self, name: str) -> Optional[dict[str, Any]]:
+        try:
+            with open(os.path.join(self.root, name), encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return doc if isinstance(doc, dict) else None
+
+    def _write_marker(self, name: str, doc: dict[str, Any]) -> None:
+        path = os.path.join(self.root, name)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(self.root)
+
+    def _check_fence(self) -> None:
+        """Refuse mutations once a newer epoch has fenced this shard.
+
+        The failover driver writes ``fence.json`` (promotion winner +
+        new epoch) into a dead primary's data dir before promoting;
+        should that primary come back -- respawn, or it was never really
+        dead -- every write from its stale epoch answers MOVED toward
+        the promoted shard instead of diverging the session.
+        """
+        fence = self._fence
+        if fence is None:
+            fence = self._read_marker(_FENCE_FILE)
+            if fence is None:
+                return
+            self._fence = fence
+        f_epoch = fence.get("epoch")
+        if not isinstance(f_epoch, int) or f_epoch <= self.epoch:
+            return
+        target = fence.get("promoted")
+        reg = self.registry
+        if reg is not None:
+            reg.inc_all({"cluster.replica.fence_refusals": 1})
+        raise ServiceError(
+            ErrorCode.MOVED,
+            f"shard fenced at epoch {f_epoch} (serving epoch "
+            f"{self.epoch}); authority moved",
+            moved=target if isinstance(target, str) else "unknown",
+        )
+
+    def repl_status(self) -> dict[str, Any]:
+        """Per-session durable LSNs: what the failover driver compares
+        across replicas to pick the promotion winner."""
+        sessions: dict[str, int] = {}
+        for sid in self.session_ids_on_disk():
+            sess = self.sessions.get(sid)
+            journal = sess.journal if sess is not None else None
+            if journal is not None:
+                sessions[sid] = journal.last_lsn
+            else:
+                try:
+                    scan = Journal(os.path.join(self.root, sid), fsync="never")
+                    sessions[sid] = scan.last_lsn
+                    scan.close()
+                except (JournalCorrupt, OSError):
+                    sessions[sid] = 0
+        return {
+            "replica_of": self.replica_of,
+            "epoch": self.epoch,
+            "fenced": self._read_marker(_FENCE_FILE) is not None,
+            "sessions": sessions,
+            "total": sum(sessions.values()),
+        }
+
+    def repl_promote(self, epoch: int) -> dict[str, Any]:
+        """Durably exit replica mode at ``epoch`` (failover promotion).
+
+        Idempotent: re-promoting an already-primary serve at (or below)
+        its current epoch is a no-op success.  A fence from an earlier
+        epoch is cleared -- a shard fenced at epoch 3 can be promoted
+        again at epoch 4.
+        """
+        if self.replica_of is None and epoch <= self.epoch:
+            return {"promoted": True, "epoch": self.epoch, "noop": True}
+        self._write_marker(_PROMOTED_FILE, {"epoch": epoch})
+        try:
+            os.unlink(os.path.join(self.root, _REPLICA_FILE))
+        except OSError:
+            pass
+        fence = self._read_marker(_FENCE_FILE)
+        if fence is not None:
+            f_epoch = fence.get("epoch")
+            if not isinstance(f_epoch, int) or f_epoch <= epoch:
+                try:
+                    os.unlink(os.path.join(self.root, _FENCE_FILE))
+                except OSError:
+                    pass
+                self._fence = None
+        self.replica_of = None
+        self.epoch = max(self.epoch, epoch)
+        log.info("promoted to primary at epoch %d", self.epoch)
+        return {"promoted": True, "epoch": self.epoch}
 
     def stats(self, sid: Optional[str] = None) -> dict[str, Any]:
         if sid is not None:
@@ -658,6 +864,9 @@ class SessionManager:
                 log.warning("shutdown: session %s: %s", sess.sid, e.message)
             await self._stop_session(sess)
         self.sessions.clear()
+        repl = self.replicator
+        if repl is not None:
+            await repl.close()
         return {"checkpointed": checkpointed}
 
     # -- attach / queue plumbing -----------------------------------------
@@ -820,8 +1029,45 @@ class SessionManager:
                             )
                         )
                 else:
+                    # Replication ship point: the op is applied and
+                    # journaled locally; under quorum ack mode the
+                    # future must not resolve until the record is
+                    # quorum-durable.  Runs inside this worker turn, so
+                    # per-session ship order equals journal order.
+                    ship_err: Optional[ServiceError] = None
+                    repl = self.replicator
+                    journal = sess.journal
+                    if (
+                        repl is not None
+                        and self.replica_of is None
+                        and journal is not None
+                        and journal.last_lsn > 0
+                    ):
+                        try:
+                            await repl.ship(
+                                sess.sid,
+                                journal.last_lsn,
+                                journal.last_line,
+                                lambda: self._op_repl_snapshot(sess),
+                            )
+                        except ServiceError as e:
+                            ship_err = e
+                        except Exception as e:  # a ship bug must not
+                            # wedge the session worker: fail this op,
+                            # keep the queue draining.
+                            log.exception(
+                                "session %s: replication ship failed",
+                                sess.sid,
+                            )
+                            ship_err = ServiceError(
+                                ErrorCode.INTERNAL,
+                                f"replication: {type(e).__name__}: {e}",
+                            )
                     if not fut.cancelled():
-                        fut.set_result(res)
+                        if ship_err is not None:
+                            fut.set_exception(ship_err)
+                        else:
+                            fut.set_result(res)
                 finally:
                     tracing.CURRENT = None
                     if ot is not None:
@@ -1293,6 +1539,181 @@ class SessionManager:
                 f"could not seal migration: {e}",
                 retry_after=self.retry_after_hint,
             ) from e
+
+    # -- replication stream (run inside the session worker) ----------------
+
+    def _op_repl_snapshot(self, sess: Session) -> tuple[dict[str, Any], dict[str, Any]]:
+        """Catch-up payload for a lagging or fresh replica: the live
+        snapshot doc (ledger totals + dedup sidecar + the ``service_lsn``
+        it covers) and the session config.
+
+        Called by the replicator from inside this session's worker turn
+        -- the worker is blocked awaiting the ship, so nothing can
+        interleave with the read.
+        """
+        sched = sess.scheduler
+        assert sched is not None, "ship runs only after a hydrated op"
+        doc = self._snapshot_doc(sess, sched)
+        doc["service_lsn"] = self._journal(sess).last_lsn
+        return doc, sess.config.to_dict()
+
+    def _op_repl_apply(self, sess: Session, lines: list[str]) -> dict[str, Any]:
+        """Apply shipped journal records verbatim (the replica half of
+        the replication stream).
+
+        Records at or below the local durable LSN are duplicates of an
+        earlier ship and are skipped; a record past ``last_lsn + 1``
+        means this replica missed part of the stream, so the reply
+        carries ``need`` and the primary falls back to the snapshot
+        install path.  Each adopted record is appended byte-identically
+        (CRC and all) *before* it is applied -- the same write-ahead
+        discipline as the primary -- and keyed records rebuild the same
+        dedup entries recovery would, so a promoted replica answers
+        retried ops exactly like the dead primary would have.
+        """
+        sched = self._hydrated(sess)
+        if sess.degraded is not None:
+            raise self._degraded_error(sess)
+        plan = faults.ACTIVE
+        if plan is not None:
+            # Crash the replica at the worst moment: the batch is about
+            # to land, nothing applied yet (armed with kind=exit).
+            plan.hit("replica.apply.exit")
+        journal = self._journal(sess)
+        applied = 0
+        for line in lines:
+            rec = _decode_record(line)
+            if rec is None:
+                raise ServiceError(
+                    ErrorCode.BAD_REQUEST, "undecodable replication record"
+                )
+            if rec.lsn <= journal.last_lsn:
+                continue
+            if rec.lsn != journal.last_lsn + 1:
+                return {
+                    "applied": applied,
+                    "lsn": journal.last_lsn,
+                    "need": journal.last_lsn + 1,
+                }
+            try:
+                journal.append_record(rec)
+            except OSError as e:
+                raise self._degrade(sess, e) from e
+            try:
+                if rec.op == "insert":
+                    pj = sched.insert(rec.name, rec.size)
+                    if rec.idem is not None:
+                        self._dedup_store(
+                            sess,
+                            rec.idem,
+                            {
+                                "lsn": rec.lsn,
+                                "placed": {
+                                    "name": rec.name,
+                                    "size": rec.size,
+                                    "klass": pj.klass,
+                                    "start": pj.start,
+                                    "server": pj.server,
+                                },
+                            },
+                        )
+                elif rec.op == "delete":
+                    sched.delete(rec.name)
+                    if rec.idem is not None:
+                        self._dedup_store(
+                            sess, rec.idem, {"lsn": rec.lsn, "size": rec.size}
+                        )
+                else:
+                    raise ServiceError(
+                        ErrorCode.BAD_REQUEST,
+                        f"unknown replicated op {rec.op!r} at LSN {rec.lsn}",
+                    )
+            except KeyError:
+                log.warning("repl_apply: op at LSN %d does not apply", rec.lsn)
+            applied += 1
+        self._count_op(sess, "repl_apply")
+        reg = self.registry
+        if reg is not None and applied:
+            reg.inc_all({"service.repl.applies": applied})
+        if plan is not None:
+            # Ack-side fault: stall (or drop) the durability ack the
+            # primary's quorum gate is waiting on.
+            plan.hit("replica.ack.delay")
+        return {"applied": applied, "lsn": journal.last_lsn}
+
+    def _op_repl_install(self, sess: Session, snap: dict[str, Any]) -> dict[str, Any]:
+        """Seed or catch up this replica from a full primary snapshot.
+
+        ``_op_migrate_in``'s restore discipline with two replica twists:
+        the journal adopts the *primary's* LSN (the ``service_lsn``
+        sidecar) so subsequently shipped records extend it verbatim, and
+        pre-existing local segments/snapshots are dropped first -- the
+        incoming state supersedes a stale or diverged copy wholesale.
+        """
+        lsn_floor = snap.pop("service_lsn", 0)
+        if type(lsn_floor) is not int or lsn_floor < 0:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                "install snapshot lacks a valid service_lsn",
+            )
+        entries: list[tuple[str, dict[str, Any]]] = []
+        for item in snap.pop("service_dedup", []):
+            if (
+                isinstance(item, list)
+                and len(item) == 2
+                and isinstance(item[0], str)
+                and isinstance(item[1], dict)
+            ):
+                entries.append((item[0], item[1]))
+        try:
+            sched = restore_snapshot(snap)
+        except ServiceError as e:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, f"snapshot rejected: {e.message}"
+            ) from e
+        except (KeyError, TypeError, ValueError) as e:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, f"snapshot rejected: {e}"
+            ) from e
+        old_journal = sess.journal
+        sess.scheduler = None
+        sess.journal = None
+        if old_journal is not None:
+            try:
+                old_journal.close()
+            except OSError:
+                pass
+        sess.dedup.clear()
+        for key, result in entries:
+            sess.dedup.put(key, result)
+        try:
+            for name in os.listdir(sess.root):
+                if (
+                    name.startswith(_SEG_PREFIX) and name.endswith(_SEG_SUFFIX)
+                ) or (
+                    name.startswith(_SNAP_PREFIX) and name.endswith(_SNAP_SUFFIX)
+                ):
+                    os.unlink(os.path.join(sess.root, name))
+            journal = Journal(
+                sess.root,
+                fsync=self.fsync,
+                fsync_interval=self.fsync_interval,
+                registry=self.registry,
+            )
+            journal.advance_to(lsn_floor)
+            lsn = journal.checkpoint(self._snapshot_doc(sess, sched))
+        except OSError as e:
+            raise self._degrade(sess, e) from e
+        sess.scheduler = sched
+        sess.journal = journal
+        sess.degraded = None
+        sess.migrating = None
+        self._count_op(sess, "repl_install")
+        reg = self.registry
+        if reg is not None:
+            reg.inc_all({"service.repl.installs": 1})
+        self._maybe_evict(exclude=sess.sid)
+        return {"installed": True, "lsn": lsn, "active": len(sched)}
 
     # -- degraded mode -----------------------------------------------------
 

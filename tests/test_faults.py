@@ -232,6 +232,8 @@ def test_known_failpoints_catalogue():
         "server.conn.accept", "server.conn.read", "server.conn.write",
         "server.conn.partition",
         "cluster.migrate.handoff", "cluster.shard.spawn",
+        "cluster.promote.enter",
+        "replica.stream.drop", "replica.ack.delay", "replica.apply.exit",
         "kcursor.rebuild.enter", "kcursor.rebuild.exit",
         "kcursor.chunk.slide",
         "pma.rebalance.spread", "pma.resize",
